@@ -1,0 +1,110 @@
+//! Analytic model of the cloud TPU comparison point (paper Fig 17).
+//!
+//! The paper runs the 345M model on a cloud TPU and reports GFLOPS of
+//! 674.5 (summarization), 8.2 (generation) and 16.1 (total) for the 64:64
+//! workload. The systolic array batches the summarization pass
+//! efficiently but is severely underutilised by the batch-1 feedback loop
+//! of generation, which additionally pays a host round-trip per token.
+//! Constants are fitted to those three published numbers.
+
+use dfx_model::{flops, GptConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Calibration constants for the TPU model.
+pub mod calib {
+    /// Per-layer step overhead at batch 1, µs (XLA dispatch + systolic
+    /// fill/drain at 128×128 granularity).
+    pub const LAYER_US: f64 = 2_700.0;
+    /// Host round-trip per generated token, ms (the feedback loop leaves
+    /// the device between steps).
+    pub const HOST_ROUNDTRIP_MS: f64 = 20.0;
+    /// Effective batched throughput during summarization, TFLOPS.
+    pub const SUMMARIZATION_TFLOPS: f64 = 12.0;
+}
+
+/// Result of simulating a workload on the TPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpuReport {
+    /// Summarization latency, ms.
+    pub summarization_ms: f64,
+    /// Generation latency, ms.
+    pub generation_ms: f64,
+}
+
+impl TpuReport {
+    /// End-to-end latency, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.summarization_ms + self.generation_ms
+    }
+}
+
+/// The cloud-TPU model.
+#[derive(Debug, Clone)]
+pub struct TpuModel {
+    cfg: GptConfig,
+}
+
+impl TpuModel {
+    /// Creates a TPU model for `cfg`.
+    pub fn new(cfg: GptConfig) -> Self {
+        TpuModel { cfg }
+    }
+
+    /// One generation step, ms.
+    pub fn generation_step_ms(&self) -> f64 {
+        calib::LAYER_US * self.cfg.num_layers as f64 / 1e3 + calib::HOST_ROUNDTRIP_MS
+    }
+
+    /// The summarization pass over `n` tokens, ms.
+    pub fn summarization_pass_ms(&self, n: usize) -> f64 {
+        let base = calib::LAYER_US * self.cfg.num_layers as f64 / 1e3;
+        let fl = n as f64 * flops::token_step_flops(&self.cfg, n).total();
+        base + fl / (calib::SUMMARIZATION_TFLOPS * 1e12) * 1e3
+    }
+
+    /// Runs a workload.
+    pub fn run(&self, workload: Workload) -> TpuReport {
+        TpuReport {
+            summarization_ms: self.summarization_pass_ms(workload.input_len),
+            generation_ms: (workload.output_len.saturating_sub(1)) as f64
+                * self.generation_step_ms(),
+        }
+    }
+
+    /// Average GFLOPS per stage and total (Fig 17).
+    pub fn stage_gflops(&self, workload: Workload) -> (f64, f64, f64) {
+        let fl = flops::workload_flops(&self.cfg, workload);
+        let r = self.run(workload);
+        let s = fl.summarization / (r.summarization_ms / 1e3) / 1e9;
+        let g = if r.generation_ms > 0.0 {
+            fl.generation / (r.generation_ms / 1e3) / 1e9
+        } else {
+            0.0
+        };
+        let t = fl.total() / (r.total_ms() / 1e3) / 1e9;
+        (s, g, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_gflops_anchors() {
+        // Paper: 674.5 / 8.2 / 16.1 GFLOPS for 345M at 64:64.
+        let tpu = TpuModel::new(GptConfig::gpt2_345m());
+        let (s, g, t) = tpu.stage_gflops(Workload::chatbot());
+        assert!((s - 674.5).abs() / 674.5 < 0.30, "summarization {s}");
+        assert!((g - 8.2).abs() / 8.2 < 0.20, "generation {g}");
+        assert!((t - 16.1).abs() / 16.1 < 0.30, "total {t}");
+    }
+
+    #[test]
+    fn tpu_generation_is_slower_than_gpu() {
+        let tpu = TpuModel::new(GptConfig::gpt2_345m());
+        // ~85 ms/token (0.69 GFLOP at 8.2 GFLOPS).
+        let step = tpu.generation_step_ms();
+        assert!(step > 60.0 && step < 110.0, "{step} ms");
+    }
+}

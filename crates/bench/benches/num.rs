@@ -1,0 +1,38 @@
+//! Criterion benches for the half-precision datapath primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfx_num::{reduce, F16, GeluLut};
+
+fn bench_f16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f16");
+    g.bench_function("from_f32", |b| {
+        b.iter(|| F16::from_f32(black_box(1.2345f32)))
+    });
+    let x = F16::from_f32(1.5);
+    let y = F16::from_f32(2.25);
+    g.bench_function("add", |b| b.iter(|| black_box(x) + black_box(y)));
+    g.bench_function("mul", |b| b.iter(|| black_box(x) * black_box(y)));
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce");
+    let v64: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32 * 0.01)).collect();
+    let v4k: Vec<F16> = (0..4096).map(|i| F16::from_f32((i % 97) as f32 * 0.01)).collect();
+    let w64 = vec![F16::from_f32(0.5); 64];
+    g.bench_function("tree_sum_64", |b| b.iter(|| reduce::tree_sum(black_box(&v64))));
+    g.bench_function("tree_sum_4096", |b| b.iter(|| reduce::tree_sum(black_box(&v4k))));
+    g.bench_function("mac_tree_64", |b| {
+        b.iter(|| reduce::mac_tree(black_box(&v64), black_box(&w64)))
+    });
+    g.finish();
+}
+
+fn bench_gelu(c: &mut Criterion) {
+    let lut = GeluLut::new();
+    let x = F16::from_f32(0.7);
+    c.bench_function("gelu_lut_eval", |b| b.iter(|| lut.eval(black_box(x))));
+}
+
+criterion_group!(benches, bench_f16, bench_reduce, bench_gelu);
+criterion_main!(benches);

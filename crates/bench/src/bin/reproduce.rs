@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce <id> [--full] [--write <path>]
+//!   ids: table1 fig3 fig4 fig8 fig13 fig14 fig15 fig16 fig17 fig18
+//!        table2 accuracy all
+//!   --full   accuracy task sets at paper sizes (slow)
+//!   --write  also write the combined markdown to <path>
+//! ```
+
+use dfx_bench::experiments;
+use dfx_bench::table::ExperimentReport;
+use std::io::Write as _;
+
+const IDS: [&str; 13] = [
+    "table1", "fig3", "fig4", "fig8", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "table2", "accuracy", "ablation",
+];
+
+fn run_one(id: &str, full: bool) -> ExperimentReport {
+    match id {
+        "table1" => experiments::table1(),
+        "fig3" => experiments::fig3(),
+        "fig4" => experiments::fig4(),
+        "fig8" => experiments::fig8(),
+        "fig13" => experiments::fig13(),
+        "fig14" => experiments::fig14(),
+        "fig15" => experiments::fig15(),
+        "fig16" => experiments::fig16(),
+        "fig17" => experiments::fig17(),
+        "fig18" => experiments::fig18(),
+        "table2" => experiments::table2(),
+        "accuracy" => experiments::accuracy(full),
+        "ablation" => experiments::ablation(),
+        other => {
+            eprintln!("unknown experiment `{other}`; known: {IDS:?} or `all`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let write_path = args
+        .iter()
+        .position(|a| a == "--write")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--") && Some(a) != write_path.as_ref())
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: reproduce <id|all> [--full] [--write <path>]");
+        eprintln!("known ids: {IDS:?}");
+        std::process::exit(2);
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let mut combined = String::from(
+        "# DFX — regenerated evaluation\n\nEvery table is produced by \
+         `cargo run -p dfx-bench --release --bin reproduce -- <id>`; \"paper\" columns quote \
+         the published values for comparison.\n\n",
+    );
+    for id in selected {
+        eprintln!("[reproduce] running {id}...");
+        let start = std::time::Instant::now();
+        let report = run_one(id, full);
+        let md = report.to_markdown();
+        println!("{md}");
+        combined.push_str(&md);
+        eprintln!("[reproduce] {id} done in {:.1}s", start.elapsed().as_secs_f32());
+    }
+
+    if let Some(path) = write_path {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(combined.as_bytes()).expect("write output file");
+        eprintln!("[reproduce] wrote {path}");
+    }
+}

@@ -1,0 +1,15 @@
+//! One runner per paper table/figure.
+
+mod ablation;
+mod design;
+mod evaluation;
+mod fig14;
+mod motivation;
+mod tables;
+
+pub use ablation::run as ablation;
+pub use design::{fig13, fig8};
+pub use evaluation::{fig15, fig16, fig17, fig18, table2};
+pub use fig14::{run as fig14, run_model, ModelGrid};
+pub use motivation::{fig3, fig4};
+pub use tables::{accuracy, table1};

@@ -1,0 +1,112 @@
+//! Figures 3 and 4: the motivation experiments on the GPU appliance.
+
+use crate::paper;
+use crate::table::{fmt, ExperimentReport, MdTable};
+use dfx_baseline::GpuModel;
+use dfx_model::{flops, GptConfig, Workload};
+
+/// Figure 3: GPU latency as input tokens grow (leftward) and output
+/// tokens grow (rightward) for the 1.5B model.
+pub fn fig3() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig3",
+        "Figure 3: GPU text-generation latency vs input/output size (GPT-2 1.5B)",
+    );
+    let gpu = GpuModel::new(GptConfig::gpt2_1_5b(), 4);
+    let mut t = MdTable::new(
+        "Latency split by stage",
+        &["[in:out]", "summarization ms", "generation ms", "total ms"],
+    );
+    for w in Workload::fig3_sweep() {
+        let r = gpu.run(w);
+        t.push_row(vec![
+            w.to_string(),
+            fmt(r.summarization_ms, 1),
+            fmt(r.generation_ms, 1),
+            fmt(r.total_ms(), 1),
+        ]);
+    }
+    report.table(t);
+
+    // Headline slopes.
+    let out_slope = {
+        let a = gpu.run(Workload::new(32, 1)).total_ms();
+        let b = gpu.run(Workload::new(32, 4)).total_ms();
+        (b - a) / 3.0
+    };
+    let in_slope = {
+        let a = gpu.run(Workload::new(32, 1)).total_ms();
+        let b = gpu.run(Workload::new(128, 1)).total_ms();
+        (b - a) / 96.0
+    };
+    report.note(format!(
+        "Per-output-token slope: {:.2} ms (paper: {:.2} ms); per-input-token slope: {:.3} ms \
+         (paper: {:.2} ms).",
+        out_slope,
+        paper::FIG3_MS_PER_OUTPUT_TOKEN,
+        in_slope,
+        paper::FIG3_MS_PER_INPUT_TOKEN
+    ));
+    report
+}
+
+/// Figure 4: GPU latency breakdown vs operation-count breakdown.
+pub fn fig4() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig4",
+        "Figure 4: GPT-2 latency and operation-count breakdown on the GPU",
+    );
+    report.note(
+        "Demonstrates the paper's motivation: LayerNorm + Residual consume ~22.8% of GPU time \
+         at ~0.11% of the operations.",
+    );
+    let gpu = GpuModel::new(GptConfig::gpt2_1_5b(), 4);
+    let lat = gpu.layer_breakdown(64).shares_percent();
+    let ops = flops::token_step_flops(&GptConfig::gpt2_1_5b(), 64).shares_percent();
+
+    let mut t = MdTable::new(
+        "Shares per op class (generation stage, 1.5B)",
+        &[
+            "class",
+            "latency % (sim)",
+            "latency % (paper)",
+            "operations % (sim)",
+            "operations % (paper)",
+        ],
+    );
+    let names = ["LayerNorm", "Self-Attention", "Residual", "Feed-Forward Network"];
+    for i in 0..4 {
+        t.push_row(vec![
+            names[i].into(),
+            fmt(lat[i], 1),
+            fmt(paper::FIG4_LATENCY_SHARES[i], 1),
+            fmt(ops[i], 2),
+            fmt(paper::FIG4_OP_SHARES[i], 2),
+        ]);
+    }
+    report.table(t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_report_has_seven_rows_and_slopes() {
+        let r = fig3();
+        assert_eq!(r.tables[0].rows.len(), 7);
+        assert!(r.notes[0].contains("slope"));
+    }
+
+    #[test]
+    fn fig4_shares_are_percentages() {
+        let r = fig4();
+        let sum: f64 = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[1].parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - 100.0).abs() < 0.5, "{sum}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # dfx-bench — the benchmark harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! from the simulator and the calibrated baselines, printing the same
+//! rows/series the paper reports side by side with the published values.
+//!
+//! Run `cargo run -p dfx-bench --release --bin reproduce -- all` to
+//! regenerate everything, or pass an individual id (`fig14`, `table2`,
+//! ...). Criterion benches (`cargo bench`) measure the simulator's own
+//! component performance.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod table;

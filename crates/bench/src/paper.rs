@@ -1,0 +1,107 @@
+//! Published reference values from the paper, used as comparison columns
+//! in the regenerated tables (values transcribed from the figures' data
+//! labels; averages cross-checked against the headline speedups).
+
+/// The Fig 14/16 workload grid in row order: inputs {32, 64, 128} ×
+/// outputs {1, 4, 16, 64, 256}.
+pub const GRID: [(usize, usize); 15] = [
+    (32, 1),
+    (32, 4),
+    (32, 16),
+    (32, 64),
+    (32, 256),
+    (64, 1),
+    (64, 4),
+    (64, 16),
+    (64, 64),
+    (64, 256),
+    (128, 1),
+    (128, 4),
+    (128, 16),
+    (128, 64),
+    (128, 256),
+];
+
+/// Fig 14, GPU appliance latency (ms), 345M on 1 V100.
+pub const FIG14_GPU_345M: [f64; 15] = [
+    38.1, 150.1, 592.4, 2370.4, 9506.4, 39.7, 151.1, 593.9, 2362.1, 9554.8, 40.1, 152.0, 595.0,
+    2378.6, 9449.7,
+];
+
+/// Fig 14, GPU appliance latency (ms), 774M on 2 V100s.
+pub const FIG14_GPU_774M: [f64; 15] = [
+    66.5, 250.5, 984.6, 3915.8, 15877.4, 67.0, 248.5, 982.8, 3903.6, 15558.7, 67.7, 251.2, 979.3,
+    4150.8, 17692.3,
+];
+
+/// Fig 14, GPU appliance latency (ms), 1.5B on 4 V100s.
+pub const FIG14_GPU_1_5B: [f64; 15] = [
+    86.7, 310.3, 1276.4, 5232.2, 19873.6, 100.5, 357.6, 1187.5, 4921.2, 19072.1, 89.1, 311.7,
+    1313.5, 5193.2, 22869.4,
+];
+
+/// Fig 14, DFX latency (ms), 345M on 1 U280.
+pub const FIG14_DFX_345M: [f64; 15] = [
+    177.2, 193.4, 257.8, 515.6, 1546.8, 349.1, 365.2, 429.7, 1031.2, 1718.7, 692.8, 709.0, 773.4,
+    1031.2, 2062.4,
+];
+
+/// Fig 14, DFX latency (ms), 774M on 2 U280s.
+pub const FIG14_DFX_774M: [f64; 15] = [
+    224.2, 244.6, 326.1, 652.3, 1956.8, 441.6, 462.0, 543.6, 869.7, 2174.2, 876.5, 896.9, 978.4,
+    1304.5, 2609.1,
+];
+
+/// Fig 14, DFX latency (ms), 1.5B on 4 U280s.
+pub const FIG14_DFX_1_5B: [f64; 15] = [
+    227.0, 247.6, 330.2, 660.4, 1981.1, 447.1, 467.8, 550.3, 880.5, 2201.2, 887.4, 908.0, 990.6,
+    1320.7, 2641.5,
+];
+
+/// Fig 14 headline average speedups (345M, 774M, 1.5B).
+pub const FIG14_SPEEDUPS: [f64; 3] = [3.20, 4.46, 5.58];
+
+/// Fig 15: DFX latency breakdown on the 1.5B model, percent —
+/// Self-Attention, FFN, Synchronization, LayerNorm, Residual.
+pub const FIG15_SHARES: [f64; 5] = [43.0, 29.6, 17.3, 9.3, 0.8];
+
+/// Fig 16 averages: throughput ratio and energy-efficiency ratio.
+pub const FIG16_THROUGHPUT_RATIO: f64 = 3.78;
+/// Fig 16 energy-efficiency ratio.
+pub const FIG16_ENERGY_RATIO: f64 = 3.99;
+
+/// Fig 17 GFLOPS (345M, 64:64): GPU summarization/generation/total.
+pub const FIG17_GPU: [f64; 3] = [1632.1, 40.6, 80.4];
+/// Fig 17 GFLOPS: TPU.
+pub const FIG17_TPU: [f64; 3] = [674.5, 8.2, 16.1];
+/// Fig 17 GFLOPS: DFX (1 FPGA).
+pub const FIG17_DFX: [f64; 3] = [185.6, 181.8, 184.1];
+
+/// Fig 18: DFX tokens/s on the 345M model at 64:64 for 1/2/4 FPGAs.
+pub const FIG18_TOKENS_PER_S: [f64; 3] = [93.10, 146.25, 207.56];
+
+/// Fig 4 latency shares on the GPU: LayerNorm, Self-Attention, Residual,
+/// FFN.
+pub const FIG4_LATENCY_SHARES: [f64; 4] = [9.9, 56.5, 12.9, 20.7];
+/// Fig 4 operation-count shares: LayerNorm, Self-Attention, Residual,
+/// FFN.
+pub const FIG4_OP_SHARES: [f64; 4] = [0.1, 33.31, 0.01, 66.59];
+
+/// Fig 3 headline: average extra latency per output token on the GPU.
+pub const FIG3_MS_PER_OUTPUT_TOKEN: f64 = 75.45;
+/// Fig 3 headline: average extra latency per input token on the GPU.
+pub const FIG3_MS_PER_INPUT_TOKEN: f64 = 0.02;
+
+/// Table II: GPU appliance throughput (tokens/s).
+pub const TABLE2_GPU_TPS: f64 = 13.01;
+/// Table II: DFX throughput (tokens/s).
+pub const TABLE2_DFX_TPS: f64 = 72.68;
+/// Table II: cost-effectiveness advantage.
+pub const TABLE2_ADVANTAGE: f64 = 8.21;
+
+/// Fig 13 totals: device utilisation percentages (LUT, FF, BRAM, URAM,
+/// DSP).
+pub const FIG13_TOTAL_PERCENT: [f64; 5] = [39.93, 42.52, 59.13, 10.83, 39.15];
+
+/// §VII-A accuracy deltas vs the GPU (WSC, CBT-CN, CBT-NE), percent.
+pub const ACCURACY_DELTAS: [f64; 3] = [0.0, -0.3, 0.15];

@@ -1,0 +1,148 @@
+//! Minimal report/table rendering shared by all experiment runners.
+
+use serde::{Deserialize, Serialize};
+
+/// A markdown table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MdTable {
+    /// Optional caption printed above the table.
+    pub caption: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl MdTable {
+    /// Creates a table with a caption and header.
+    pub fn new(caption: impl Into<String>, header: &[&str]) -> Self {
+        MdTable {
+            caption: caption.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.caption.is_empty() {
+            out.push_str(&format!("**{}**\n\n", self.caption));
+        }
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// A complete experiment report: tables plus explanatory notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Short id, e.g. `"fig14"`.
+    pub id: String,
+    /// Title, e.g. `"Figure 14: inference latency"`.
+    pub title: String,
+    /// Free-form notes (substitutions, calibration remarks, paper
+    /// inconsistencies).
+    pub notes: Vec<String>,
+    /// The tables.
+    pub tables: Vec<MdTable>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: MdTable) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Renders the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        for n in &self.notes {
+            out.push_str(&format!("- {n}\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = MdTable::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = MdTable::new("", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn report_rendering() {
+        let mut r = ExperimentReport::new("fig0", "Figure 0");
+        r.note("a note");
+        r.table(MdTable::new("t", &["x"]));
+        let md = r.to_markdown();
+        assert!(md.starts_with("## Figure 0"));
+        assert!(md.contains("- a note"));
+    }
+}

@@ -1,0 +1,495 @@
+//! The functional executor: runs DFX programs on real FP16 data.
+//!
+//! This is the bit-level model of the datapath: matrix instructions
+//! execute tile-by-tile through `d`-input MAC trees (pairwise FP16
+//! reduction), GELU goes through the 2048-entry lookup table, softmax and
+//! LayerNorm run as the lowered vector/scalar sequences, and Values are
+//! cached through the transpose layout. Router instructions suspend
+//! execution and yield control to the cluster, which performs the
+//! all-gather/argmax exchange and resumes each core — mirroring the
+//! RX-buffer rendezvous of the hardware.
+
+use crate::weights::{CoreWeights, KvStore};
+use dfx_isa::{
+    regs, DmaDir, EmbedTable, Instr, MatrixKind, Program, ReduceKind, ReduceMax, RouterInstr,
+    RouterOp, SReg, ScalarOpKind, TensorRef, VReg, VSlice, VectorOpKind,
+};
+use dfx_model::Matrix;
+use dfx_num::{reduce, F16, SfuMath};
+
+/// Why the executor paused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreEvent {
+    /// An `AllGather` router instruction: the core contributes `partial`
+    /// and waits for the gathered vector.
+    AllGather {
+        /// Index of the router instruction within the program.
+        instr_index: usize,
+        /// This core's partial vector.
+        partial: Vec<F16>,
+    },
+    /// An `AllReduceArgMax` router instruction: the core contributes its
+    /// (already globally indexed) argmax candidate.
+    ArgMaxSync {
+        /// Index of the router instruction within the program.
+        instr_index: usize,
+        /// Global vocabulary index of the local maximum.
+        local_idx: u32,
+        /// The local maximum logit.
+        local_max: F16,
+    },
+    /// The program ran to completion.
+    Done,
+}
+
+/// One core's functional state.
+#[derive(Debug, Clone)]
+pub struct FunctionalCore {
+    weights: CoreWeights,
+    kv: KvStore,
+    vregs: Vec<Vec<F16>>,
+    sregs: Vec<F16>,
+    /// Integer side-channel for argmax indices (the hardware reduce-max
+    /// unit carries the index as an integer payload, not as FP16 —
+    /// vocabulary ids above 2048 are not exactly representable in half
+    /// precision).
+    sreg_idx: Vec<u32>,
+    sfu: SfuMath,
+    current_token: u32,
+    out_token: Option<u32>,
+}
+
+impl FunctionalCore {
+    /// Creates a core holding `weights`.
+    pub fn new(weights: CoreWeights) -> Self {
+        let kv = KvStore::new(
+            weights.cfg.num_layers,
+            weights.par.heads_per_core(&weights.cfg),
+            weights.cfg.head_dim(),
+        );
+        FunctionalCore {
+            weights,
+            kv,
+            vregs: vec![Vec::new(); crate::scoreboard::NUM_VREGS],
+            sregs: vec![F16::ZERO; crate::scoreboard::NUM_SREGS],
+            sreg_idx: vec![0; crate::scoreboard::NUM_SREGS],
+            sfu: SfuMath::new(),
+            current_token: 0,
+            out_token: None,
+        }
+    }
+
+    /// This core's weights.
+    pub fn weights(&self) -> &CoreWeights {
+        &self.weights
+    }
+
+    /// Current KV context length.
+    pub fn context_len(&self) -> usize {
+        self.kv.context_len()
+    }
+
+    /// Starts a token step: sets the input token and clears the output.
+    pub fn begin_step(&mut self, token: u32) {
+        self.current_token = token;
+        self.out_token = None;
+    }
+
+    /// The token produced by the last LM-head step, if any.
+    pub fn out_token(&self) -> Option<u32> {
+        self.out_token
+    }
+
+    /// Reads a vector register (tests and cluster assertions).
+    pub fn vreg(&self, reg: VReg) -> &[F16] {
+        &self.vregs[reg.0 as usize]
+    }
+
+    /// Reads a scalar register.
+    pub fn sreg(&self, reg: SReg) -> F16 {
+        self.sregs[reg.0 as usize]
+    }
+
+    /// Executes `program` from instruction index `from` until a router
+    /// instruction pauses it (returning the resume index and event) or it
+    /// finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed programs (use [`Program::validate`] first) —
+    /// the hardware would raise a fault the same way.
+    pub fn run(&mut self, program: &Program, from: usize) -> (usize, CoreEvent) {
+        let instrs = program.instrs();
+        let mut i = from;
+        while i < instrs.len() {
+            match &instrs[i].instr {
+                Instr::Router(r) => {
+                    let event = self.router_event(i, r);
+                    return (i, event);
+                }
+                other => self.execute(other, program),
+            }
+            i += 1;
+        }
+        (instrs.len(), CoreEvent::Done)
+    }
+
+    fn router_event(&self, instr_index: usize, r: &RouterInstr) -> CoreEvent {
+        match r.op {
+            RouterOp::AllGather => CoreEvent::AllGather {
+                instr_index,
+                partial: self.read_slice(r.src),
+            },
+            RouterOp::AllReduceArgMax => CoreEvent::ArgMaxSync {
+                instr_index,
+                local_idx: self.sreg_idx[r.idx.expect("argmax idx reg").0 as usize],
+                local_max: self.sregs[r.max.expect("argmax max reg").0 as usize],
+            },
+        }
+    }
+
+    /// Completes a paused `AllGather` with the reordered full vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` does not match the instruction's destination
+    /// width.
+    pub fn complete_allgather(&mut self, r: &RouterInstr, full: &[F16]) {
+        assert_eq!(full.len(), r.dst.len as usize, "gathered vector width");
+        self.write_slice(r.dst, full);
+    }
+
+    /// Completes a paused `AllReduceArgMax` with the global winner.
+    pub fn complete_argmax(&mut self, r: &RouterInstr, global_idx: u32, global_max: F16) {
+        self.sreg_idx[r.idx.expect("argmax idx reg").0 as usize] = global_idx;
+        self.sregs[r.max.expect("argmax max reg").0 as usize] = global_max;
+    }
+
+    fn read_slice(&self, s: VSlice) -> Vec<F16> {
+        let reg = &self.vregs[s.reg.0 as usize];
+        let start = s.offset as usize;
+        let end = start + s.len as usize;
+        assert!(
+            end <= reg.len(),
+            "read of {}..{end} from {} holding {} elements",
+            start,
+            s.reg,
+            reg.len()
+        );
+        reg[start..end].to_vec()
+    }
+
+    fn write_slice(&mut self, s: VSlice, data: &[F16]) {
+        assert_eq!(data.len(), s.len as usize, "slice write width");
+        let reg = &mut self.vregs[s.reg.0 as usize];
+        let end = s.offset as usize + data.len();
+        if reg.len() < end {
+            reg.resize(end, F16::ZERO);
+        }
+        reg[s.offset as usize..end].copy_from_slice(data);
+    }
+
+    fn execute(&mut self, instr: &Instr, program: &Program) {
+        match instr {
+            Instr::Matrix(m) => self.exec_matrix(m),
+            Instr::Vector(v) => self.exec_vector(v),
+            Instr::Reduce(r) => self.exec_reduce(r),
+            Instr::Scalar(s) => self.exec_scalar(s),
+            Instr::Dma(d) => self.exec_dma(d, program),
+            Instr::Router(_) => unreachable!("router instructions pause the executor"),
+        }
+    }
+
+    /// Matrix-vector multiply through the MAC trees, tile-accurate:
+    /// the input is consumed in `d`-row blocks, each block reduced by a
+    /// pairwise tree, block partials accumulated in FP16.
+    fn exec_matrix(&mut self, m: &dfx_isa::MatrixInstr) {
+        let x = self.read_slice(m.src);
+        // KV operands materialise a fresh stream view (they change every
+        // step); weight matrices are borrowed in place.
+        let kv_view;
+        let w: &Matrix<F16> = match m.weight {
+            TensorRef::Kv { .. } => {
+                kv_view = self.kv.stream_matrix(m.weight);
+                &kv_view
+            }
+            _ => self.weights.weight_matrix(m.weight),
+        };
+        assert_eq!(
+            w.shape(),
+            (m.rows as usize, m.cols as usize),
+            "weight shape vs instruction geometry for {}",
+            m.weight
+        );
+        let bias = m.bias.map(|b| self.weights.bias(b).to_vec());
+        let d = 64usize; // MAC-tree fan-in (functional behaviour is d-block-wise)
+
+        let mut out = vec![F16::ZERO; m.cols as usize];
+        let mut wcol = [F16::ZERO; 64];
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut acc = bias.as_ref().map_or(F16::ZERO, |b| b[c]);
+            let mut r = 0usize;
+            while r < x.len() {
+                let end = (r + d).min(x.len());
+                for (slot, i) in wcol.iter_mut().zip(r..end) {
+                    *slot = w[(i, c)];
+                }
+                let partial = reduce::mac_tree(&x[r..end], &wcol[..end - r]);
+                acc = acc + partial;
+                r = end;
+            }
+            *o = acc;
+        }
+
+        if let Some(scale) = m.scale {
+            let s = F16::from_f32(scale);
+            for o in &mut out {
+                *o = *o * s;
+            }
+        }
+        if m.kind == MatrixKind::MaskedMm {
+            for o in out.iter_mut().skip(m.valid_cols as usize) {
+                *o = F16::NEG_INFINITY;
+            }
+        }
+        if m.gelu {
+            for o in &mut out {
+                *o = self.sfu.gelu(*o);
+            }
+        }
+        match m.reduce_max {
+            ReduceMax::None => {}
+            ReduceMax::Max(sreg) => {
+                let (_, max) = reduce::reduce_max(&out).expect("non-empty output");
+                self.sregs[sreg.0 as usize] = max;
+            }
+            ReduceMax::ArgMax { idx, max } => {
+                let (i, v) = reduce::reduce_max(&out).expect("non-empty output");
+                // The index is globalised with the core's vocabulary
+                // offset so single- and multi-core paths agree.
+                self.sreg_idx[idx.0 as usize] = self.weights.vocab_offset + i as u32;
+                self.sregs[idx.0 as usize] = F16::from_f64(i as f64);
+                self.sregs[max.0 as usize] = v;
+            }
+        }
+        self.write_slice(m.dst, &out);
+    }
+
+    fn exec_vector(&mut self, v: &dfx_isa::VectorInstr) {
+        let len = v.len as usize;
+        let a = self.read_slice(VSlice::full(v.a, v.len));
+        let out: Vec<F16> = match v.op {
+            VectorOpKind::Add | VectorOpKind::Sub | VectorOpKind::Mul => {
+                let b = self.read_slice(VSlice::full(v.b.expect("vv operand"), v.len));
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| match v.op {
+                        VectorOpKind::Add => x + y,
+                        VectorOpKind::Sub => x - y,
+                        _ => x * y,
+                    })
+                    .collect()
+            }
+            VectorOpKind::AddScalar | VectorOpKind::SubScalar | VectorOpKind::MulScalar => {
+                let s = self.sregs[v.s.expect("vs operand").0 as usize];
+                a.iter()
+                    .map(|&x| match v.op {
+                        VectorOpKind::AddScalar => x + s,
+                        VectorOpKind::SubScalar => x - s,
+                        _ => x * s,
+                    })
+                    .collect()
+            }
+            VectorOpKind::Exp => a.iter().map(|&x| self.sfu.exp(x)).collect(),
+            VectorOpKind::Copy => a.clone(),
+        };
+        debug_assert_eq!(out.len(), len);
+        self.write_slice(VSlice::full(v.dst, v.len), &out);
+    }
+
+    /// Reduction through SFU_V: `d`-wide tree per chunk, chunks
+    /// accumulated sequentially.
+    fn exec_reduce(&mut self, r: &dfx_isa::ReduceInstr) {
+        let v = self.read_slice(VSlice::full(r.v, r.len));
+        let result = match r.kind {
+            ReduceKind::Sum => v
+                .chunks(64)
+                .map(reduce::tree_sum)
+                .fold(F16::ZERO, |acc, c| acc + c),
+            ReduceKind::Max => reduce::reduce_max(&v).map_or(F16::NEG_INFINITY, |(_, m)| m),
+        };
+        self.sregs[r.dst.0 as usize] = result;
+    }
+
+    fn exec_scalar(&mut self, s: &dfx_isa::ScalarInstr) {
+        let a = self.sregs[s.a.0 as usize];
+        let b = s
+            .b
+            .map(|r| self.sregs[r.0 as usize])
+            .or_else(|| s.imm.map(F16::from_f32));
+        let out = match s.op {
+            ScalarOpKind::Add => a + b.expect("add operand"),
+            ScalarOpKind::Mul => a * b.expect("mul operand"),
+            ScalarOpKind::Recip => self.sfu.recip(a),
+            ScalarOpKind::RecipSqrt => self.sfu.recip_sqrt(a),
+        };
+        self.sregs[s.dst.0 as usize] = out;
+    }
+
+    fn exec_dma(&mut self, d: &dfx_isa::DmaInstr, program: &Program) {
+        match (d.dir, d.tensor) {
+            (DmaDir::Load, TensorRef::TokenIo) => {
+                // The controller already latched `current_token` via
+                // `begin_step`; nothing to model functionally.
+            }
+            (DmaDir::Store, TensorRef::TokenIo) => {
+                self.out_token = Some(self.sreg_idx[regs::S_ARGMAX.0 as usize]);
+            }
+            (DmaDir::Load, TensorRef::Embed { table }) => {
+                let row = match table {
+                    EmbedTable::Wte => self.weights.wte.row(self.current_token as usize).to_vec(),
+                    EmbedTable::Wpe => self.weights.wpe.row(d.row as usize).to_vec(),
+                };
+                let slice = d.reg.expect("embedding load destination");
+                self.write_slice(slice, &row);
+            }
+            (DmaDir::Load, TensorRef::Ln { .. }) => {
+                let row = self.weights.ln_param(d.tensor).to_vec();
+                let slice = d.reg.expect("ln load destination");
+                self.write_slice(slice, &row);
+            }
+            (DmaDir::Load, TensorRef::Bias { .. }) => {
+                // Biases stream into the DMA bias buffer; the matrix
+                // instruction reads them directly in this model.
+            }
+            (DmaDir::Store, TensorRef::Kv { layer, head, kind }) => {
+                let row = self.read_slice(d.reg.expect("kv store source"));
+                let hkv = self.kv.head_mut(layer, head);
+                match kind {
+                    dfx_isa::KvKind::Key => {
+                        assert!(!d.transpose, "K rows are stored untransposed");
+                        hkv.push_key(&row);
+                    }
+                    dfx_isa::KvKind::Value => {
+                        assert!(d.transpose, "V rows go through the transpose unit");
+                        hkv.push_value(&row);
+                    }
+                }
+                // Each store must land at the row for this step.
+                debug_assert_eq!(d.row, program.meta.token_pos);
+            }
+            (dir, tensor) => panic!("unsupported DMA {dir:?} of {tensor}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfx_isa::{ParallelConfig, ProgramBuilder};
+    use dfx_model::{GptConfig, GptWeights};
+
+    fn single_core() -> (FunctionalCore, ProgramBuilder) {
+        let cfg = GptConfig::tiny();
+        let w = GptWeights::synthetic(&cfg).cast::<F16>();
+        let par = ParallelConfig::new(0, 1);
+        let core = FunctionalCore::new(CoreWeights::partition(&w, par));
+        let builder = ProgramBuilder::new(cfg, par).unwrap();
+        (core, builder)
+    }
+
+    #[test]
+    fn single_core_step_runs_to_done_and_emits_a_token() {
+        let (mut core, builder) = single_core();
+        let p = builder.token_step(0, true);
+        core.begin_step(42);
+        let (end, ev) = core.run(&p, 0);
+        assert_eq!(ev, CoreEvent::Done);
+        assert_eq!(end, p.len());
+        assert!(core.out_token().is_some());
+        assert_eq!(core.context_len(), 1, "one token cached");
+    }
+
+    #[test]
+    fn step_without_lm_head_produces_no_token() {
+        let (mut core, builder) = single_core();
+        let p = builder.token_step(0, false);
+        core.begin_step(7);
+        let (_, ev) = core.run(&p, 0);
+        assert_eq!(ev, CoreEvent::Done);
+        assert!(core.out_token().is_none());
+    }
+
+    #[test]
+    fn kv_cache_grows_per_step_and_context_matches() {
+        let (mut core, builder) = single_core();
+        for pos in 0..3 {
+            let p = builder.token_step(pos, false);
+            core.begin_step(pos as u32 + 1);
+            let (_, ev) = core.run(&p, 0);
+            assert_eq!(ev, CoreEvent::Done);
+        }
+        assert_eq!(core.context_len(), 3);
+    }
+
+    #[test]
+    fn functional_step_matches_reference_model_hidden_state() {
+        // One full token step vs the f32 reference narrowed to F16: the
+        // residual register after the step should be close to the
+        // reference's pre-ln_f hidden state.
+        let cfg = GptConfig::tiny();
+        let w32 = GptWeights::synthetic(&cfg);
+        let w16 = w32.cast::<F16>();
+        let reference = dfx_model::Gpt2Model::new(w16.clone());
+        let mut cache = dfx_model::KvCache::new(cfg.num_layers);
+        let ref_hidden = reference.forward_token(11, 0, &mut cache);
+
+        let par = ParallelConfig::new(0, 1);
+        let mut core = FunctionalCore::new(CoreWeights::partition(&w16, par));
+        let builder = ProgramBuilder::new(cfg, par).unwrap();
+        let p = builder.token_step(0, true);
+        core.begin_step(11);
+        let (_, ev) = core.run(&p, 0);
+        assert_eq!(ev, CoreEvent::Done);
+
+        let got = core.vreg(regs::LM_HIDDEN);
+        assert_eq!(got.len(), ref_hidden.len());
+        let mut max_err = 0f64;
+        for (a, b) in got.iter().zip(&ref_hidden) {
+            max_err = max_err.max((a.to_f64() - b.to_f64()).abs());
+        }
+        // Tree-vs-sequential accumulation and LUT GELU differ slightly.
+        assert!(max_err < 0.05, "max |Δhidden| = {max_err}");
+    }
+
+    #[test]
+    fn two_core_execution_pauses_at_allgather_with_matching_indices() {
+        let cfg = GptConfig::tiny();
+        let w = GptWeights::synthetic(&cfg).cast::<F16>();
+        let mut cores: Vec<FunctionalCore> = (0..2)
+            .map(|c| FunctionalCore::new(CoreWeights::partition(&w, ParallelConfig::new(c, 2))))
+            .collect();
+        let builders: Vec<ProgramBuilder> = (0..2)
+            .map(|c| ProgramBuilder::new(cfg.clone(), ParallelConfig::new(c, 2)).unwrap())
+            .collect();
+        let programs: Vec<Program> = builders.iter().map(|b| b.token_step(0, false)).collect();
+
+        let mut events = Vec::new();
+        for (core, p) in cores.iter_mut().zip(&programs) {
+            core.begin_step(5);
+            events.push(core.run(p, 0));
+        }
+        let (i0, e0) = &events[0];
+        let (i1, _e1) = &events[1];
+        assert_eq!(i0, i1, "homogeneous cores pause at the same instruction");
+        assert!(matches!(e0, CoreEvent::AllGather { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "read of")]
+    fn reading_unwritten_register_slice_panics() {
+        let (core, _) = single_core();
+        // v5 has never been written; a 16-wide read must fault.
+        let _ = core.read_slice(VSlice::full(VReg(5), 16));
+    }
+}

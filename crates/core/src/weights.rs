@@ -1,0 +1,427 @@
+//! Per-core weight partitions (paper Fig 6).
+//!
+//! The model partitioner slices the full GPT-2 parameter set for one
+//! core: attention projections head-wise (contiguous column ranges, since
+//! a head's columns are contiguous), FC/FFN matrices column-wise, and the
+//! LM head by vocabulary range. LayerNorm parameters, embeddings and the
+//! full-width FFN2 input rows are replicated on every core — exactly the
+//! data the paper stores per-FPGA in DDR/HBM.
+
+use dfx_isa::{KvKind, LnParam, ParallelConfig, TensorRef, WeightKind};
+use dfx_model::{GptConfig, GptWeights, Matrix};
+use dfx_num::F16;
+
+/// One decoder layer's partition for a single core.
+#[derive(Debug, Clone)]
+pub struct CoreLayerWeights {
+    /// Q projection slice, `(emb, part)`.
+    pub w_q: Matrix<F16>,
+    /// Q bias slice.
+    pub b_q: Vec<F16>,
+    /// K projection slice.
+    pub w_k: Matrix<F16>,
+    /// K bias slice.
+    pub b_k: Vec<F16>,
+    /// V projection slice.
+    pub w_v: Matrix<F16>,
+    /// V bias slice.
+    pub b_v: Vec<F16>,
+    /// Output projection slice, `(emb, part)`.
+    pub w_attn_proj: Matrix<F16>,
+    /// Output projection bias slice.
+    pub b_attn_proj: Vec<F16>,
+    /// FFN up slice, `(emb, ffn_part)`.
+    pub w_ffn1: Matrix<F16>,
+    /// FFN up bias slice.
+    pub b_ffn1: Vec<F16>,
+    /// FFN down slice, `(ffn, part)` — full rows, sliced columns.
+    pub w_ffn2: Matrix<F16>,
+    /// FFN down bias slice.
+    pub b_ffn2: Vec<F16>,
+    /// LayerNorm 1 γ (replicated).
+    pub ln1_gamma: Vec<F16>,
+    /// LayerNorm 1 β (replicated).
+    pub ln1_beta: Vec<F16>,
+    /// LayerNorm 2 γ (replicated).
+    pub ln2_gamma: Vec<F16>,
+    /// LayerNorm 2 β (replicated).
+    pub ln2_beta: Vec<F16>,
+}
+
+/// All weights resident on one core.
+#[derive(Debug, Clone)]
+pub struct CoreWeights {
+    /// Model configuration.
+    pub cfg: GptConfig,
+    /// This core's placement.
+    pub par: ParallelConfig,
+    /// Per-layer partitions.
+    pub layers: Vec<CoreLayerWeights>,
+    /// Full WTE (DDR-resident; used row-wise for embedding).
+    pub wte: Matrix<F16>,
+    /// Full WPE.
+    pub wpe: Matrix<F16>,
+    /// LM head slice: WTEᵀ columns for this core's vocabulary range,
+    /// `(emb, vocab_part)`.
+    pub lm_head: Matrix<F16>,
+    /// First vocabulary id of this core's LM-head slice.
+    pub vocab_offset: u32,
+    /// Final LayerNorm γ.
+    pub ln_f_gamma: Vec<F16>,
+    /// Final LayerNorm β.
+    pub ln_f_beta: Vec<F16>,
+}
+
+fn slice_vec(v: &[F16], start: usize, end: usize) -> Vec<F16> {
+    v[start..end].to_vec()
+}
+
+impl CoreWeights {
+    /// Partitions `weights` for the core at `par`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not divide evenly over the cluster (use
+    /// [`ParallelConfig::check`] first).
+    pub fn partition(weights: &GptWeights<F16>, par: ParallelConfig) -> Self {
+        let cfg = weights.config.clone();
+        par.check(&cfg).expect("model must divide across the cluster");
+        let part = par.emb_part(&cfg);
+        let ffn_part = par.ffn_part(&cfg);
+        let c0 = par.core_id * part;
+        let c1 = c0 + part;
+        let f0 = par.core_id * ffn_part;
+        let f1 = f0 + ffn_part;
+
+        let layers = weights
+            .layers
+            .iter()
+            .map(|lw| CoreLayerWeights {
+                w_q: lw.w_q.col_slice(c0, c1),
+                b_q: slice_vec(&lw.b_q, c0, c1),
+                w_k: lw.w_k.col_slice(c0, c1),
+                b_k: slice_vec(&lw.b_k, c0, c1),
+                w_v: lw.w_v.col_slice(c0, c1),
+                b_v: slice_vec(&lw.b_v, c0, c1),
+                w_attn_proj: lw.w_attn_proj.col_slice(c0, c1),
+                b_attn_proj: slice_vec(&lw.b_attn_proj, c0, c1),
+                w_ffn1: lw.w_ffn1.col_slice(f0, f1),
+                b_ffn1: slice_vec(&lw.b_ffn1, f0, f1),
+                w_ffn2: lw.w_ffn2.col_slice(c0, c1),
+                b_ffn2: slice_vec(&lw.b_ffn2, c0, c1),
+                ln1_gamma: lw.ln1_gamma.clone(),
+                ln1_beta: lw.ln1_beta.clone(),
+                ln2_gamma: lw.ln2_gamma.clone(),
+                ln2_beta: lw.ln2_beta.clone(),
+            })
+            .collect();
+
+        let (v0, v1) = par.vocab_range(&cfg);
+        // LM head = WTEᵀ: column v of the head is WTE row v.
+        let emb = cfg.embedding_dim;
+        let lm_head = Matrix::from_fn(emb, v1 - v0, |r, c| weights.wte[(v0 + c, r)]);
+
+        CoreWeights {
+            cfg,
+            par,
+            layers,
+            wte: weights.wte.clone(),
+            wpe: weights.wpe.clone(),
+            lm_head,
+            vocab_offset: v0 as u32,
+            ln_f_gamma: weights.ln_f_gamma.clone(),
+            ln_f_beta: weights.ln_f_beta.clone(),
+        }
+    }
+
+    /// Resolves a weight reference to the matrix streamed by a matrix
+    /// instruction (K/V cache references are resolved by the executor's
+    /// KV store instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics on K/V or non-weight references.
+    pub fn weight_matrix(&self, tensor: TensorRef) -> &Matrix<F16> {
+        match tensor {
+            TensorRef::Weight { layer, kind } => {
+                let l = &self.layers[layer as usize];
+                match kind {
+                    WeightKind::Query => &l.w_q,
+                    WeightKind::Key => &l.w_k,
+                    WeightKind::Value => &l.w_v,
+                    WeightKind::AttnProj => &l.w_attn_proj,
+                    WeightKind::Ffn1 => &l.w_ffn1,
+                    WeightKind::Ffn2 => &l.w_ffn2,
+                    WeightKind::LmHead => &self.lm_head,
+                }
+            }
+            other => panic!("{other} is not a weight matrix"),
+        }
+    }
+
+    /// Resolves a bias reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-bias references or the (bias-less) LM head.
+    pub fn bias(&self, tensor: TensorRef) -> &[F16] {
+        match tensor {
+            TensorRef::Bias { layer, kind } => {
+                let l = &self.layers[layer as usize];
+                match kind {
+                    WeightKind::Query => &l.b_q,
+                    WeightKind::Key => &l.b_k,
+                    WeightKind::Value => &l.b_v,
+                    WeightKind::AttnProj => &l.b_attn_proj,
+                    WeightKind::Ffn1 => &l.b_ffn1,
+                    WeightKind::Ffn2 => &l.b_ffn2,
+                    WeightKind::LmHead => panic!("the LM head has no bias"),
+                }
+            }
+            other => panic!("{other} is not a bias"),
+        }
+    }
+
+    /// Resolves a LayerNorm parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-LayerNorm references.
+    pub fn ln_param(&self, tensor: TensorRef) -> &[F16] {
+        match tensor {
+            TensorRef::Ln { layer, param } => match param {
+                LnParam::Ln1Gamma => &self.layers[layer as usize].ln1_gamma,
+                LnParam::Ln1Beta => &self.layers[layer as usize].ln1_beta,
+                LnParam::Ln2Gamma => &self.layers[layer as usize].ln2_gamma,
+                LnParam::Ln2Beta => &self.layers[layer as usize].ln2_beta,
+                LnParam::LnFGamma => &self.ln_f_gamma,
+                LnParam::LnFBeta => &self.ln_f_beta,
+            },
+            other => panic!("{other} is not a LayerNorm parameter"),
+        }
+    }
+}
+
+/// Growable per-head K/V cache with hardware layout: K row-major
+/// (`t × dh`), V *transposed* (`dh × t`) as written by the DMA transpose
+/// unit (paper §V-B), so the `Score × Value` read streams rows.
+#[derive(Debug, Clone, Default)]
+pub struct HeadKv {
+    /// Keys: one row per cached token.
+    pub keys: Vec<Vec<F16>>,
+    /// Values, transposed: `values_t[c][j]` = `V[j][c]`.
+    pub values_t: Vec<Vec<F16>>,
+}
+
+impl HeadKv {
+    /// Creates an empty cache for `head_dim`-wide rows.
+    pub fn new(head_dim: usize) -> Self {
+        HeadKv {
+            keys: Vec::new(),
+            values_t: vec![Vec::new(); head_dim],
+        }
+    }
+
+    /// Cached context length.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no token has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends one K row.
+    pub fn push_key(&mut self, row: &[F16]) {
+        self.keys.push(row.to_vec());
+    }
+
+    /// Appends one V row through the transpose layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the head dimension.
+    pub fn push_value(&mut self, row: &[F16]) {
+        assert_eq!(row.len(), self.values_t.len(), "V row width mismatch");
+        for (col, &x) in self.values_t.iter_mut().zip(row) {
+            col.push(x);
+        }
+    }
+}
+
+/// The K/V store of one core: `[layer][local_head]`.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    heads: Vec<Vec<HeadKv>>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new(layers: usize, heads_per_core: usize, head_dim: usize) -> Self {
+        KvStore {
+            heads: (0..layers)
+                .map(|_| (0..heads_per_core).map(|_| HeadKv::new(head_dim)).collect())
+                .collect(),
+        }
+    }
+
+    /// Borrow one head's cache.
+    pub fn head(&self, layer: u16, head: u16) -> &HeadKv {
+        &self.heads[layer as usize][head as usize]
+    }
+
+    /// Mutably borrow one head's cache.
+    pub fn head_mut(&mut self, layer: u16, head: u16) -> &mut HeadKv {
+        &mut self.heads[layer as usize][head as usize]
+    }
+
+    /// Context length (tokens cached so far).
+    pub fn context_len(&self) -> usize {
+        self.heads
+            .first()
+            .and_then(|l| l.first())
+            .map_or(0, HeadKv::len)
+    }
+
+    /// Resolves a KV tensor reference for reading: returns the matrix the
+    /// matrix unit streams — `Kᵀ` (`dh × t`) for keys, `V` as stored
+    /// (`t × dh` mathematically, streamed from the transposed layout) for
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-KV references.
+    pub fn stream_matrix(&self, tensor: TensorRef) -> Matrix<F16> {
+        match tensor {
+            TensorRef::Kv { layer, head, kind } => {
+                let hkv = self.head(layer, head);
+                let t = hkv.len();
+                match kind {
+                    // MaskedMM computes q · Kᵀ: matrix (dh × t), element
+                    // (r, c) = K[c][r].
+                    KvKind::Key => {
+                        let dh = hkv.keys.first().map_or(0, Vec::len);
+                        Matrix::from_fn(dh, t, |r, c| hkv.keys[c][r])
+                    }
+                    // MM computes p · V: matrix (t × dh), element (r, c) =
+                    // values_t[c][r].
+                    KvKind::Value => {
+                        let dh = hkv.values_t.len();
+                        Matrix::from_fn(t, dh, |r, c| hkv.values_t[c][r])
+                    }
+                }
+            }
+            other => panic!("{other} is not a KV reference"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfx_model::Gpt2Model;
+
+    fn weights16() -> GptWeights<F16> {
+        GptWeights::synthetic(&GptConfig::tiny()).cast()
+    }
+
+    #[test]
+    fn partitions_tile_the_full_matrices() {
+        let w = weights16();
+        let cfg = &w.config;
+        let parts: Vec<CoreWeights> = (0..2)
+            .map(|c| CoreWeights::partition(&w, ParallelConfig::new(c, 2)))
+            .collect();
+        // Column ranges reassemble w_q.
+        for r in 0..cfg.embedding_dim {
+            for c in 0..cfg.embedding_dim {
+                let part = cfg.embedding_dim / 2;
+                let got = parts[c / part].layers[0].w_q[(r, c % part)];
+                assert_eq!(got.to_bits(), w.layers[0].w_q[(r, c)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ffn2_keeps_full_rows() {
+        let w = weights16();
+        let p = CoreWeights::partition(&w, ParallelConfig::new(0, 2));
+        assert_eq!(p.layers[0].w_ffn2.rows(), w.config.ffn_dim);
+        assert_eq!(p.layers[0].w_ffn2.cols(), w.config.embedding_dim / 2);
+    }
+
+    #[test]
+    fn lm_head_is_wte_transposed_slice() {
+        let w = weights16();
+        let p = CoreWeights::partition(&w, ParallelConfig::new(1, 2));
+        let (v0, _) = p.par.vocab_range(&p.cfg);
+        assert_eq!(p.vocab_offset as usize, v0);
+        for r in [0usize, 5, 63] {
+            for c in [0usize, 3, 7] {
+                assert_eq!(
+                    p.lm_head[(r, c)].to_bits(),
+                    w.wte[(v0 + c, r)].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_partition_is_identity() {
+        let w = weights16();
+        let p = CoreWeights::partition(&w, ParallelConfig::new(0, 1));
+        assert_eq!(p.layers[0].w_q.shape(), w.layers[0].w_q.shape());
+        assert_eq!(p.lm_head.cols(), w.config.vocab_size);
+    }
+
+    #[test]
+    fn head_kv_transpose_roundtrip() {
+        let mut kv = HeadKv::new(4);
+        let row1: Vec<F16> = (0..4).map(|i| F16::from_f32(i as f32)).collect();
+        let row2: Vec<F16> = (0..4).map(|i| F16::from_f32(10.0 + i as f32)).collect();
+        kv.push_key(&row1);
+        kv.push_value(&row1);
+        kv.push_key(&row2);
+        kv.push_value(&row2);
+        assert_eq!(kv.len(), 2);
+        // values_t[c][j] = V[j][c]
+        assert_eq!(kv.values_t[3][1].to_f32(), 13.0);
+    }
+
+    #[test]
+    fn kv_stream_matrices_have_hardware_shapes() {
+        let mut store = KvStore::new(1, 1, 4);
+        let r: Vec<F16> = (0..4).map(|i| F16::from_f32(i as f32)).collect();
+        store.head_mut(0, 0).push_key(&r);
+        store.head_mut(0, 0).push_value(&r);
+        store.head_mut(0, 0).push_key(&r);
+        store.head_mut(0, 0).push_value(&r);
+        let kt = store.stream_matrix(TensorRef::Kv { layer: 0, head: 0, kind: KvKind::Key });
+        assert_eq!(kt.shape(), (4, 2)); // dh x t
+        let v = store.stream_matrix(TensorRef::Kv { layer: 0, head: 0, kind: KvKind::Value });
+        assert_eq!(v.shape(), (2, 4)); // t x dh
+        assert_eq!(v[(1, 2)].to_f32(), 2.0);
+    }
+
+    #[test]
+    fn partitioned_lm_head_matches_reference_logits() {
+        // Concatenating per-core logits equals the reference logits.
+        let w32 = GptWeights::synthetic(&GptConfig::tiny());
+        let w = w32.cast::<F16>();
+        let model = Gpt2Model::new(w.clone());
+        let hidden: Vec<F16> = (0..w.config.embedding_dim)
+            .map(|i| F16::from_f32((i as f32 * 0.01).sin()))
+            .collect();
+        let reference = model.logits(&hidden);
+        let mut stitched: Vec<F16> = Vec::new();
+        for c in 0..2 {
+            let p = CoreWeights::partition(&w, ParallelConfig::new(c, 2));
+            stitched.extend(p.lm_head.vecmat(&hidden));
+        }
+        assert_eq!(stitched.len(), reference.len());
+        for (a, b) in stitched.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "logit mismatch");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # dfx-hw — hardware substrate models for the DFX appliance
+//!
+//! Timing, capacity and resource models of everything around the compute
+//! core: the 32-channel HBM2 and the DDR4 channel, the DMA engine with
+//! the paper's zigzag `d × l` tiling scheme and Value-transpose path, the
+//! Aurora 64b/66b ring network, the FPGA resource accounting of Fig 13,
+//! and the board power model.
+//!
+//! All costs are in kernel-clock [`Cycles`] (200 MHz). The functional
+//! data plane lives in `dfx-core`; this crate answers "how long does it
+//! take" and "does it fit".
+//!
+//! ```
+//! use dfx_hw::{DmaModel, RingModel};
+//!
+//! let dma = DmaModel::default();
+//! // Stream one 1536x384 FP16 weight partition from HBM:
+//! let cycles = dma.weight_stream_cycles(1536, 384);
+//! assert!(cycles.to_micros() > 3.0 && cycles.to_micros() < 7.0);
+//! // All-gather a 768-byte partial across a 4-FPGA ring:
+//! let sync = RingModel::new(4).allgather_cycles(768);
+//! assert!(sync.to_micros() > 4.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod clock;
+mod dma;
+mod memory;
+mod net;
+mod power;
+mod resource;
+mod tile;
+
+pub use clock::{Cycles, CORE_CLOCK_HZ};
+pub use dma::DmaModel;
+pub use memory::{DdrModel, HbmModel};
+pub use net::{allgather_reorder, argmax_reduce, RingModel};
+pub use power::PowerModel;
+pub use resource::{ComponentUsage, ResourceModel, Resources, U280_CAPACITY};
+pub use tile::{Tile, TileShape, TileWalk, WalkAnalysis, WalkOrder};

@@ -1,0 +1,148 @@
+//! The multi-FPGA ring network (paper §V-E).
+//!
+//! Each FPGA has two QSFP28 ports running the Aurora 64b/66b link-layer
+//! protocol at 100 Gb/s, so the cluster forms a ring. Synchronisation is
+//! an all-gather: each core's router forwards partial vectors around the
+//! ring; after `n − 1` hops every core holds all partials, and the
+//! reorder unit arranges them by core id so every core sees an identical
+//! full vector.
+
+use crate::clock::{Cycles, CORE_CLOCK_HZ};
+use serde::{Deserialize, Serialize};
+
+/// Ring-network timing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingModel {
+    /// Number of nodes on the ring.
+    pub nodes: u32,
+    /// Raw serial bandwidth per link in Gb/s (QSFP28: 100).
+    pub link_gbps: f64,
+    /// Line-coding efficiency (Aurora 64b/66b: 64/66 ≈ 3% overhead).
+    pub encoding_efficiency: f64,
+    /// Fixed per-hop latency: Aurora serialisation/deserialisation, router
+    /// control and RX-buffer fill before the consumer may start.
+    ///
+    /// Calibrated: ~2 µs/hop reproduces the paper's 17.3% synchronisation
+    /// share on the 1.5B model (Fig 15; DESIGN.md §5).
+    pub hop_latency: Cycles,
+}
+
+impl RingModel {
+    /// Creates a ring of `nodes` nodes with paper-default link parameters.
+    pub fn new(nodes: u32) -> Self {
+        RingModel {
+            nodes,
+            link_gbps: 100.0,
+            encoding_efficiency: 64.0 / 66.0,
+            hop_latency: Cycles(400),
+        }
+    }
+
+    /// Effective payload bandwidth per link in bytes per kernel cycle.
+    pub fn payload_bytes_per_cycle(&self) -> f64 {
+        self.link_gbps * 1e9 / 8.0 * self.encoding_efficiency / CORE_CLOCK_HZ
+    }
+
+    /// Cycles for an all-gather in which each node contributes
+    /// `bytes_per_node`. The ring pipelines chunks: total time is
+    /// `(n−1) × (hop_latency + serialisation(bytes_per_node))`.
+    ///
+    /// A single-node "ring" costs nothing.
+    pub fn allgather_cycles(&self, bytes_per_node: u64) -> Cycles {
+        if self.nodes <= 1 {
+            return Cycles::ZERO;
+        }
+        let ser = (bytes_per_node as f64 / self.payload_bytes_per_cycle()).ceil() as u64;
+        Cycles((u64::from(self.nodes) - 1) * (self.hop_latency.0 + ser))
+    }
+
+    /// Cycles for the LM-head argmax reduction: one `(index, max)` pair
+    /// (8 bytes) circulated around the ring.
+    pub fn argmax_reduce_cycles(&self) -> Cycles {
+        self.allgather_cycles(8)
+    }
+}
+
+/// Functional helper: the reorder unit's view of an all-gather. Takes the
+/// per-core partial vectors (indexed by core id) and returns the full
+/// vector every core observes — identical everywhere by construction.
+pub fn allgather_reorder<T: Clone>(partials: &[Vec<T>]) -> Vec<T> {
+    let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
+    for p in partials {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Functional helper: global argmax across per-core `(local_index, max)`
+/// candidates where each core's indices are offset by its partition start.
+/// Ties resolve to the lowest global index, matching a sequential argmax
+/// over the concatenated logits.
+pub fn argmax_reduce(candidates: &[(u32, f64)]) -> u32 {
+    let mut best: Option<(u32, f64)> = None;
+    for &(idx, val) in candidates {
+        best = match best {
+            None => Some((idx, val)),
+            Some((bi, bv)) => {
+                if val > bv || (val == bv && idx < bi) {
+                    Some((idx, val))
+                } else {
+                    Some((bi, bv))
+                }
+            }
+        };
+    }
+    best.map(|(i, _)| i).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_bandwidth_accounts_encoding_overhead() {
+        let ring = RingModel::new(4);
+        // 100 Gb/s * 64/66 = 12.12 GB/s = ~60.6 B per 200 MHz cycle.
+        let bpc = ring.payload_bytes_per_cycle();
+        assert!((bpc - 60.6).abs() < 0.2, "{bpc}");
+    }
+
+    #[test]
+    fn allgather_scales_with_hops() {
+        let small = RingModel::new(2).allgather_cycles(768);
+        let big = RingModel::new(4).allgather_cycles(768);
+        assert_eq!(big.0, 3 * small.0, "hops scale (n-1)");
+        assert_eq!(RingModel::new(1).allgather_cycles(768), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sync_latency_magnitude_matches_calibration() {
+        // 1.5B on 4 FPGAs: one all-gather of a 768 B partial should cost
+        // ~6 µs (Fig 15 calibration, DESIGN.md §5).
+        let ring = RingModel::new(4);
+        let us = ring.allgather_cycles(768).to_micros();
+        assert!(us > 4.0 && us < 8.0, "{us} µs");
+    }
+
+    #[test]
+    fn small_payloads_are_hop_latency_bound() {
+        let ring = RingModel::new(4);
+        let tiny = ring.allgather_cycles(8);
+        let small = ring.allgather_cycles(768);
+        // Serialization of 768 B is ~13 cycles vs 400 cycles hop latency.
+        assert!((small.0 as f64) < (tiny.0 as f64) * 1.1);
+    }
+
+    #[test]
+    fn reorder_concatenates_in_core_order() {
+        let partials = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        assert_eq!(allgather_reorder(&partials), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn argmax_reduce_picks_global_max_with_low_index_ties() {
+        assert_eq!(argmax_reduce(&[(10, 1.0), (20, 3.0), (30, 2.0)]), 20);
+        assert_eq!(argmax_reduce(&[(10, 3.0), (5, 3.0)]), 5);
+        assert_eq!(argmax_reduce(&[]), 0);
+    }
+}

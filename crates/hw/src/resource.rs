@@ -1,0 +1,294 @@
+//! Analytic FPGA resource model (paper Fig 13 and Fig 8b).
+//!
+//! The paper reports post-place-and-route utilisation of one DFX core on
+//! the Alveo U280. This model reproduces that table from per-unit
+//! formulas parameterised by the datapath geometry `(d, l)`:
+//!
+//! - MAC DSP count is the paper's own accounting (3·d·l for the MFU —
+//!   one DSP per multiplier, two per adder — plus SFU lane operators);
+//! - per-lane control/accumulator/SFU resources scale linearly with `l`
+//!   ("with larger l … the resources in the matrix processing unit
+//!   increase linearly", §V-B), the MAC array with `d·l`, and the VPU
+//!   with `d`;
+//! - coefficient values are calibrated so `(d, l) = (64, 16)` lands on
+//!   the published Fig 13 numbers; the residual against the published
+//!   device totals is attributed to the Vitis platform shell and HBM
+//!   controllers, listed as an explicit component.
+
+use crate::tile::TileShape;
+use serde::{Deserialize, Serialize};
+
+/// A resource vector: LUTs, flip-flops, BRAM36 blocks, URAM blocks, DSP
+/// slices. BRAM is fractional because 18Kb halves are allocatable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Resources {
+    /// Lookup tables.
+    pub lut: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// BRAM36 blocks.
+    pub bram: f64,
+    /// UltraRAM blocks.
+    pub uram: f64,
+    /// DSP48 slices.
+    pub dsp: f64,
+}
+
+impl Resources {
+    /// Elementwise sum.
+    pub fn add(self, other: Resources) -> Resources {
+        Resources {
+            lut: self.lut + other.lut,
+            ff: self.ff + other.ff,
+            bram: self.bram + other.bram,
+            uram: self.uram + other.uram,
+            dsp: self.dsp + other.dsp,
+        }
+    }
+
+    /// Elementwise utilisation percentage against a capacity.
+    pub fn percent_of(self, cap: Resources) -> Resources {
+        Resources {
+            lut: 100.0 * self.lut / cap.lut,
+            ff: 100.0 * self.ff / cap.ff,
+            bram: 100.0 * self.bram / cap.bram,
+            uram: 100.0 * self.uram / cap.uram,
+            dsp: 100.0 * self.dsp / cap.dsp,
+        }
+    }
+}
+
+/// Total resources of the Xilinx Alveo U280 (XCU280).
+pub const U280_CAPACITY: Resources = Resources {
+    lut: 1_303_680.0,
+    ff: 2_607_360.0,
+    bram: 2_016.0,
+    uram: 960.0,
+    dsp: 9_024.0,
+};
+
+/// One named component of the core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentUsage {
+    /// Component name as in Fig 13.
+    pub name: String,
+    /// Absolute resources.
+    pub used: Resources,
+}
+
+/// The resource model for one DFX core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// Datapath geometry.
+    pub shape: TileShape,
+    /// HBM channels wired to the DMA.
+    pub hbm_channels: u32,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel {
+            shape: TileShape::PAPER,
+            hbm_channels: 32,
+        }
+    }
+}
+
+impl ResourceModel {
+    /// Creates a model for a given geometry (Fig 8b sweep).
+    pub fn with_shape(shape: TileShape) -> Self {
+        ResourceModel {
+            shape,
+            ..ResourceModel::default()
+        }
+    }
+
+    /// Matrix processing unit resources.
+    pub fn mpu(&self) -> Resources {
+        let d = f64::from(self.shape.d);
+        let l = f64::from(self.shape.l);
+        Resources {
+            // MAC array ∝ d·l, per-lane accumulator/SFU/control ∝ l.
+            lut: 100.0 * d * l + 4_225.0 * l,
+            ff: 300.0 * d * l + 4_612.0 * l,
+            bram: 3.5 * l,
+            uram: 0.0,
+            // d·l multiplier DSPs + 2·(d−1)·l adder-tree DSPs + 2·l scalar
+            // adders + 2·l SFU operators  = 3·d·l + 4·l at large d.
+            dsp: 3.0 * d * l + 4.0 * l,
+        }
+    }
+
+    /// Vector processing unit resources (∝ the d-wide ALU).
+    pub fn vpu(&self) -> Resources {
+        let d = f64::from(self.shape.d);
+        Resources {
+            lut: 562.5 * d,
+            ff: 859.4 * d,
+            bram: 1.5,
+            uram: 0.0,
+            dsp: 6.0 * d + 6.0,
+        }
+    }
+
+    /// Register file manager resources.
+    pub fn register_file(&self) -> Resources {
+        let d = f64::from(self.shape.d);
+        Resources {
+            lut: 93.8 * d,
+            ff: 1_718.8 * d,
+            bram: 1.383 * d,
+            uram: 0.0,
+            dsp: 0.0,
+        }
+    }
+
+    /// DMA resources (∝ HBM channel count).
+    pub fn dma(&self) -> Resources {
+        let ch = f64::from(self.hbm_channels);
+        Resources {
+            lut: 1_187.5 * ch,
+            ff: 3_031.3 * ch,
+            bram: 4.203 * ch,
+            uram: 1.625 * ch,
+            dsp: 0.0,
+        }
+    }
+
+    /// Router resources (fixed: the Aurora-based link layer is light,
+    /// §V-E).
+    pub fn router(&self) -> Resources {
+        Resources {
+            lut: 3_000.0,
+            ff: 13_000.0,
+            bram: 24.0,
+            uram: 0.0,
+            dsp: 0.0,
+        }
+    }
+
+    /// AXI interconnect between the kernels and the 32 memory channels.
+    pub fn interconnect(&self) -> Resources {
+        Resources {
+            lut: 180_000.0,
+            ff: 303_000.0,
+            bram: 204.0,
+            uram: 0.0,
+            dsp: 4.0,
+        }
+    }
+
+    /// The Vitis platform shell + HBM controllers (the gap between the
+    /// component rows and the device totals in Fig 13).
+    pub fn platform_shell(&self) -> Resources {
+        Resources {
+            lut: 87_000.0,
+            ff: 148_000.0,
+            bram: 683.5,
+            uram: 52.0,
+            dsp: 3.0,
+        }
+    }
+
+    /// The full per-component table (Fig 13 layout).
+    pub fn components(&self) -> Vec<ComponentUsage> {
+        let rows = [
+            ("Register File", self.register_file()),
+            ("MPU", self.mpu()),
+            ("VPU", self.vpu()),
+            ("DMA", self.dma()),
+            ("Router", self.router()),
+            ("Interconnect", self.interconnect()),
+            ("Platform Shell", self.platform_shell()),
+        ];
+        rows.into_iter()
+            .map(|(name, used)| ComponentUsage {
+                name: name.to_owned(),
+                used,
+            })
+            .collect()
+    }
+
+    /// Total resources of the core (sum of all components).
+    pub fn total(&self) -> Resources {
+        self.components()
+            .into_iter()
+            .fold(Resources::default(), |acc, c| acc.add(c.used))
+    }
+
+    /// Checks the design fits the U280.
+    pub fn fits_u280(&self) -> bool {
+        let t = self.total();
+        t.lut <= U280_CAPACITY.lut
+            && t.ff <= U280_CAPACITY.ff
+            && t.bram <= U280_CAPACITY.bram
+            && t.uram <= U280_CAPACITY.uram
+            && t.dsp <= U280_CAPACITY.dsp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(got: f64, want: f64, tol_pct: f64) -> bool {
+        (got - want).abs() / want.max(1.0) * 100.0 <= tol_pct
+    }
+
+    #[test]
+    fn paper_geometry_matches_fig13_anchors() {
+        let m = ResourceModel::default();
+        let mpu = m.mpu();
+        assert!(close(mpu.lut, 170_000.0, 2.0), "MPU LUT {}", mpu.lut);
+        assert!(close(mpu.ff, 381_000.0, 2.0), "MPU FF {}", mpu.ff);
+        assert_eq!(mpu.dsp, 3_136.0, "MPU DSP must match 3·d·l + 4·l");
+        assert!(close(mpu.bram, 56.0, 2.0));
+        let vpu = m.vpu();
+        assert!(close(vpu.lut, 36_000.0, 2.0));
+        assert_eq!(vpu.dsp, 390.0);
+        let dma = m.dma();
+        assert!(close(dma.bram, 134.5, 2.0));
+        assert_eq!(dma.uram, 52.0);
+        let rf = m.register_file();
+        assert!(close(rf.bram, 88.5, 2.0));
+    }
+
+    #[test]
+    fn totals_match_fig13_device_utilisation() {
+        let m = ResourceModel::default();
+        let pct = m.total().percent_of(U280_CAPACITY);
+        // Paper: 39.93% LUT, 42.52% FF, 59.13% BRAM, 10.83% URAM, 39.15% DSP.
+        assert!(close(pct.lut, 39.93, 5.0), "LUT {}%", pct.lut);
+        assert!(close(pct.ff, 42.52, 5.0), "FF {}%", pct.ff);
+        assert!(close(pct.bram, 59.13, 5.0), "BRAM {}%", pct.bram);
+        assert!(close(pct.uram, 10.83, 5.0), "URAM {}%", pct.uram);
+        assert!(close(pct.dsp, 39.15, 5.0), "DSP {}%", pct.dsp);
+    }
+
+    #[test]
+    fn smaller_d_with_larger_l_uses_more_mpu_resources() {
+        // Fig 8b: d=16/l=64 requires more LUT/FF/BRAM than d=64/l=16 at
+        // equal MAC count — the reason the paper standardises on d=64.
+        let small_d = ResourceModel::with_shape(TileShape { d: 16, l: 64 }).mpu();
+        let paper = ResourceModel::default().mpu();
+        assert!(small_d.lut > 1.5 * paper.lut);
+        assert!(small_d.ff > 1.3 * paper.ff);
+        assert!(small_d.bram > 2.0 * paper.bram);
+        assert!(small_d.dsp > paper.dsp);
+    }
+
+    #[test]
+    fn all_dse_candidates_fit_the_device() {
+        for shape in TileShape::DSE_CANDIDATES {
+            let m = ResourceModel::with_shape(shape);
+            assert!(m.fits_u280(), "{shape:?} does not fit");
+        }
+    }
+
+    #[test]
+    fn component_table_has_seven_rows() {
+        let rows = ResourceModel::default().components();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[1].name, "MPU");
+    }
+}

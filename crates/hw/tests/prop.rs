@@ -1,0 +1,85 @@
+//! Property-based tests for the hardware substrate models.
+
+use dfx_hw::{Cycles, DmaModel, HbmModel, ResourceModel, RingModel, TileShape, TileWalk};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_shape() -> impl Strategy<Value = TileShape> {
+    prop_oneof![
+        Just(TileShape { d: 8, l: 128 }),
+        Just(TileShape { d: 16, l: 64 }),
+        Just(TileShape { d: 32, l: 32 }),
+        Just(TileShape { d: 64, l: 16 }),
+        Just(TileShape { d: 128, l: 8 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tile_walk_partitions_any_matrix(
+        shape in arb_shape(),
+        rows in 1u32..300,
+        cols in 1u32..300,
+    ) {
+        let mut seen = HashSet::new();
+        let mut tiles = 0u64;
+        for t in TileWalk::new(shape, rows, cols) {
+            tiles += 1;
+            prop_assert!(t.rows >= 1 && t.rows <= shape.d);
+            prop_assert!(t.cols >= 1 && t.cols <= shape.l);
+            for r in t.row..t.row + t.rows {
+                for c in t.col..t.col + t.cols {
+                    prop_assert!(r < rows && c < cols);
+                    prop_assert!(seen.insert((r, c)), "({r},{c}) double-covered");
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, u64::from(rows) * u64::from(cols));
+        prop_assert_eq!(tiles, shape.tile_count(rows, cols));
+    }
+
+    #[test]
+    fn hbm_stream_cycles_are_monotone_in_bytes(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let hbm = HbmModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(hbm.stream_cycles(lo) <= hbm.stream_cycles(hi));
+    }
+
+    #[test]
+    fn weight_stream_dominates_raw_bytes(rows in 1u32..2048, cols in 1u32..2048) {
+        // Padded tiles can only add bytes, never remove them.
+        let dma = DmaModel::default();
+        let padded = dma.weight_stream_cycles(rows, cols);
+        let raw = dma.hbm.stream_cycles(u64::from(rows) * u64::from(cols) * 2);
+        prop_assert!(padded >= raw, "{padded} < {raw}");
+    }
+
+    #[test]
+    fn allgather_is_monotone_in_nodes_and_bytes(
+        nodes in 2u32..=8,
+        bytes in 1u64..100_000,
+    ) {
+        let small = RingModel::new(nodes).allgather_cycles(bytes);
+        let more_nodes = RingModel::new(nodes + 1).allgather_cycles(bytes);
+        let more_bytes = RingModel::new(nodes).allgather_cycles(bytes * 2);
+        prop_assert!(more_nodes > small);
+        prop_assert!(more_bytes >= small);
+        prop_assert!(small > Cycles::ZERO);
+    }
+
+    #[test]
+    fn mpu_resources_grow_with_lane_count(shape in arb_shape()) {
+        // Per-lane resources grow with l at fixed MAC count (the paper's
+        // reason for choosing d = 64 among the performance tie).
+        let model = ResourceModel::with_shape(shape);
+        let paper = ResourceModel::default();
+        let m = model.mpu();
+        let p = paper.mpu();
+        if shape.l > 16 {
+            prop_assert!(m.lut > p.lut);
+            prop_assert!(m.dsp >= p.dsp);
+        }
+        // Everything stays placeable.
+        prop_assert!(model.fits_u280());
+    }
+}

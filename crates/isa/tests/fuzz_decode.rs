@@ -1,0 +1,42 @@
+//! Robustness: the binary decoder must never panic, whatever bytes the
+//! host hands it — truncations, corruptions, or garbage.
+
+use bytes::Bytes;
+use dfx_isa::{decode_program, encode_program, ParallelConfig, ProgramBuilder};
+use dfx_model::GptConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Error or success are both fine; a panic is not.
+        let _ = decode_program(Bytes::from(data));
+    }
+
+    #[test]
+    fn truncating_a_valid_stream_errors_cleanly(cut in 0usize..1000) {
+        let builder = ProgramBuilder::new(GptConfig::tiny(), ParallelConfig::new(0, 2)).unwrap();
+        let encoded = encode_program(&builder.token_step(1, true));
+        let cut = cut.min(encoded.len().saturating_sub(1));
+        let truncated = encoded.slice(0..cut);
+        prop_assert!(decode_program(truncated).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pos in 0usize..2000,
+        flip in 1u8..=255,
+    ) {
+        let builder = ProgramBuilder::new(GptConfig::tiny(), ParallelConfig::new(0, 1)).unwrap();
+        let encoded = encode_program(&builder.token_step(0, false));
+        let mut bytes = encoded.to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        // Corruption may decode to a *different* valid program or error;
+        // both are acceptable, panics are not. Structural validation is
+        // the second line of defence.
+        if let Ok(p) = decode_program(Bytes::from(bytes)) {
+            let _ = p.validate();
+        }
+    }
+}

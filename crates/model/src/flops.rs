@@ -1,0 +1,174 @@
+//! Floating-point operation accounting for GPT-2 inference.
+//!
+//! Used by the GFLOPS comparison (paper Fig 17), the op-count breakdown
+//! (Fig 4, right bar) and the analytic baselines. Multiply-accumulate
+//! counts as two FLOPs, the usual convention.
+
+use crate::config::{GptConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+/// FLOPs attributed to each paper op class (Fig 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpClassFlops {
+    /// Layer normalisation (both per-layer norms and `ln_f`).
+    pub layer_norm: f64,
+    /// Self-attention: QKV projections, score/context matmuls, output
+    /// projection, softmax.
+    pub self_attention: f64,
+    /// Residual additions.
+    pub residual: f64,
+    /// Feed-forward network (both projections and GELU).
+    pub ffn: f64,
+}
+
+impl OpClassFlops {
+    /// Total FLOPs across all classes.
+    pub fn total(&self) -> f64 {
+        self.layer_norm + self.self_attention + self.residual + self.ffn
+    }
+
+    /// Percentage share of each class, in Fig 4 order
+    /// (LayerNorm, Self-Attention, Residual, FFN).
+    pub fn shares_percent(&self) -> [f64; 4] {
+        let t = self.total();
+        [
+            100.0 * self.layer_norm / t,
+            100.0 * self.self_attention / t,
+            100.0 * self.residual / t,
+            100.0 * self.ffn / t,
+        ]
+    }
+}
+
+/// FLOPs for one decoder-stack pass over a single token with `context_len`
+/// cached positions (including the current token), broken down by class.
+pub fn token_step_flops(cfg: &GptConfig, context_len: usize) -> OpClassFlops {
+    let e = cfg.embedding_dim as f64;
+    let f = cfg.ffn_dim as f64;
+    let t = context_len as f64;
+    let n = cfg.num_layers as f64;
+
+    // Per layer:
+    // QKV projections: 3 GEMVs of (e × e), 2 FLOPs per MAC.
+    let qkv = 3.0 * 2.0 * e * e;
+    // Attention score (q·Kᵀ) and context (p·V): per head 2·t·dh each.
+    let attn_mm = 2.0 * 2.0 * t * e;
+    // Softmax: ~5 ops per score element.
+    let softmax = 5.0 * t * cfg.num_heads as f64;
+    // Output projection.
+    let proj = 2.0 * e * e;
+    // FFN: up (e×4e) + GELU (~8 ops/elem) + down (4e×e).
+    let ffn = 2.0 * e * f + 8.0 * f + 2.0 * f * e;
+    // Two LayerNorms: ~8 ops per element each.
+    let ln = 2.0 * 8.0 * e;
+    // Two residual adds.
+    let residual = 2.0 * e;
+
+    OpClassFlops {
+        layer_norm: n * ln + 8.0 * e, // + final ln_f
+        self_attention: n * (qkv + attn_mm + softmax + proj),
+        residual: n * residual,
+        ffn: n * ffn,
+    }
+}
+
+/// FLOPs of the LM head (hidden · WTEᵀ).
+pub fn lm_head_flops(cfg: &GptConfig) -> f64 {
+    2.0 * cfg.embedding_dim as f64 * cfg.vocab_size as f64
+}
+
+/// FLOPs per stage of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageFlops {
+    /// Summarization stage: all context tokens plus the first output token
+    /// selection.
+    pub summarization: f64,
+    /// Generation stage: the remaining `output_len - 1` iterations.
+    pub generation: f64,
+}
+
+impl StageFlops {
+    /// Total across both stages.
+    pub fn total(&self) -> f64 {
+        self.summarization + self.generation
+    }
+}
+
+/// Stage-level FLOPs for a workload (decoder stack + LM head per generated
+/// token).
+///
+/// Convention (matching the paper's Fig 1): the summarization stage
+/// processes the `input_len` context tokens and emits the first output
+/// token; each generation iteration processes one token.
+pub fn workload_flops(cfg: &GptConfig, workload: Workload) -> StageFlops {
+    let mut summarization = 0.0;
+    for pos in 0..workload.input_len {
+        summarization += token_step_flops(cfg, pos + 1).total();
+    }
+    summarization += lm_head_flops(cfg);
+
+    let mut generation = 0.0;
+    for out in 1..workload.output_len {
+        let ctx = workload.input_len + out;
+        generation += token_step_flops(cfg, ctx).total() + lm_head_flops(cfg);
+    }
+    StageFlops {
+        summarization,
+        generation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_shares_match_fig4_right_bar() {
+        // Paper Fig 4 (number of operations): LN 0.1%, SA 33.31%,
+        // Residual 0.01%, FFN 66.59% for the 1.5B model in generation.
+        let cfg = GptConfig::gpt2_1_5b();
+        let fl = token_step_flops(&cfg, 64);
+        let [ln, sa, res, ffn] = fl.shares_percent();
+        assert!(ln < 0.5, "LN share {ln}%");
+        assert!((sa - 33.3).abs() < 3.0, "SA share {sa}%");
+        assert!(res < 0.1, "residual share {res}%");
+        assert!((ffn - 66.6).abs() < 3.0, "FFN share {ffn}%");
+    }
+
+    #[test]
+    fn flops_scale_with_model_size() {
+        let small = token_step_flops(&GptConfig::gpt2_345m(), 32).total();
+        let big = token_step_flops(&GptConfig::gpt2_1_5b(), 32).total();
+        // ~2 × params per token: 1.5B/345M ≈ 4.2.
+        let ratio = big / small;
+        assert!(ratio > 3.5 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn token_flops_approximate_two_times_decoder_params() {
+        let cfg = GptConfig::gpt2_1_5b();
+        let fl = token_step_flops(&cfg, 1).total();
+        let two_p = (cfg.decoder_weight_bytes() / 2) as f64 * 2.0;
+        assert!((fl - two_p).abs() / two_p < 0.05, "fl {fl} vs 2P {two_p}");
+    }
+
+    #[test]
+    fn workload_flops_split_between_stages() {
+        let cfg = GptConfig::gpt2_345m();
+        let w = Workload::new(64, 64);
+        let st = workload_flops(&cfg, w);
+        assert!(st.summarization > 0.0 && st.generation > 0.0);
+        // 64 summarization steps vs 63 generation steps at slightly longer
+        // context: stages should be within 10% of each other.
+        let ratio = st.summarization / st.generation;
+        assert!(ratio > 0.85 && ratio < 1.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_flops_zero_for_single_output() {
+        let cfg = GptConfig::tiny();
+        let st = workload_flops(&cfg, Workload::new(8, 1));
+        assert_eq!(st.generation, 0.0);
+        assert!(st.summarization > 0.0);
+    }
+}

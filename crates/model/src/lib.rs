@@ -1,0 +1,34 @@
+//! # dfx-model — GPT-2 reference for the DFX simulator
+//!
+//! Model configurations matching the paper's Table I, deterministic
+//! synthetic weights, a precision-generic reference implementation of
+//! GPT-2 inference (summarization + generation with a KV cache, exactly
+//! the token-by-token dataflow the DFX appliance executes), FLOP
+//! accounting for the evaluation figures, and a synthetic tokenizer for
+//! the examples.
+//!
+//! ```
+//! use dfx_model::{Gpt2Model, GptConfig, GptWeights};
+//!
+//! let cfg = GptConfig::tiny();
+//! let model = Gpt2Model::new(GptWeights::synthetic(&cfg));
+//! let out = model.generate(&[1, 2, 3], 5);
+//! assert_eq!(out.tokens.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod flops;
+mod gpt2;
+mod tensor;
+mod tokenizer;
+mod weights;
+
+pub use config::{GptConfig, Workload};
+pub use gpt2::{
+    argmax, layer_norm, softmax, GenerationOutput, Gpt2Model, KvCache, LAYER_NORM_EPS,
+};
+pub use tensor::{dot, vec_add, vec_sub, Matrix};
+pub use tokenizer::Tokenizer;
+pub use weights::{GptWeights, LayerWeights};

@@ -1,0 +1,179 @@
+//! A synthetic word-level tokenizer.
+//!
+//! The real GPT-2 BPE vocabulary is proprietary-adjacent data we do not
+//! ship; examples only need a deterministic, invertible mapping between
+//! words and token ids so generated ids can be rendered as text. Ids below
+//! the base word list decode to common English words; higher ids decode to
+//! synthetic `w<id>` forms.
+
+use std::collections::HashMap;
+
+/// Common words used for the low end of the vocabulary.
+const BASE_WORDS: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he",
+    "was", "for", "on", "are", "as", "with", "his", "they", "i", "at", "be",
+    "this", "have", "from", "or", "one", "had", "by", "word", "but", "not",
+    "what", "all", "were", "we", "when", "your", "can", "said", "there",
+    "use", "an", "each", "which", "she", "do", "how", "their", "if", "will",
+    "up", "other", "about", "out", "many", "then", "them", "these", "so",
+    "some", "her", "would", "make", "like", "him", "into", "time", "has",
+    "look", "two", "more", "write", "go", "see", "number", "no", "way",
+    "could", "people", "my", "than", "first", "water", "been", "call",
+    "who", "oil", "its", "now", "find", "long", "down", "day", "did",
+    "get", "come", "made", "may", "part", "over", "new", "sound", "take",
+    "only", "little", "work", "know", "place", "year", "live", "me",
+    "back", "give", "most", "very", "after", "thing", "our", "just",
+    "name", "good", "sentence", "man", "think", "say", "great", "where",
+    "help", "through", "much", "before", "line", "right", "too", "mean",
+    "old", "any", "same", "tell", "boy", "follow", "came", "want", "show",
+    "also", "around", "form", "three", "small", "set", "put", "end",
+    "does", "another", "well", "large", "must", "big", "even", "such",
+    "because", "turn", "here", "why", "ask", "went", "men", "read",
+    "need", "land", "different", "home", "us", "move", "try", "kind",
+    "hand", "picture", "again", "change", "off", "play", "spell", "air",
+    "away", "animal", "house", "point", "page", "letter", "mother",
+    "answer", "found", "study", "still", "learn", "should", "america",
+    "world", "hello", "james", "smith", "chat", "model", "token",
+];
+
+/// A deterministic word-level tokenizer over a fixed-size vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_model::Tokenizer;
+///
+/// let tok = Tokenizer::new(512);
+/// let ids = tok.encode("hello world");
+/// assert_eq!(tok.decode(&ids), "hello world");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab_size: usize,
+    word_to_id: HashMap<String, u32>,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer for a vocabulary of `vocab_size` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size` is zero.
+    pub fn new(vocab_size: usize) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        let word_to_id = BASE_WORDS
+            .iter()
+            .take(vocab_size)
+            .enumerate()
+            .map(|(i, w)| ((*w).to_owned(), i as u32))
+            .collect();
+        Tokenizer {
+            vocab_size,
+            word_to_id,
+        }
+    }
+
+    /// The vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Encodes whitespace-separated words. Unknown words map
+    /// deterministically into the upper vocabulary range via FNV-1a.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.split_whitespace()
+            .map(|w| {
+                let lower = w.to_lowercase();
+                if let Some(&id) = self.word_to_id.get(&lower) {
+                    return id;
+                }
+                // Synthetic `w<id>` forms decode from their embedded id.
+                if let Some(rest) = lower.strip_prefix('w') {
+                    if let Ok(id) = rest.parse::<u32>() {
+                        if (id as usize) < self.vocab_size {
+                            return id;
+                        }
+                    }
+                }
+                self.fallback_id(&lower)
+            })
+            .collect()
+    }
+
+    /// Decodes ids to a space-separated string.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        ids.iter()
+            .map(|&id| self.word(id))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The word for a single id.
+    pub fn word(&self, id: u32) -> String {
+        let idx = id as usize;
+        if idx < BASE_WORDS.len().min(self.vocab_size) {
+            BASE_WORDS[idx].to_owned()
+        } else {
+            format!("w{id}")
+        }
+    }
+
+    fn fallback_id(&self, word: &str) -> u32 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in word.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let base = BASE_WORDS.len().min(self.vocab_size);
+        if base == self.vocab_size {
+            (hash % self.vocab_size as u64) as u32
+        } else {
+            (base as u64 + hash % (self.vocab_size - base) as u64) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_words_roundtrip() {
+        let tok = Tokenizer::new(512);
+        let ids = tok.encode("hello my name is james");
+        assert_eq!(tok.decode(&ids), "hello my name is james");
+    }
+
+    #[test]
+    fn ids_stay_in_vocabulary() {
+        let tok = Tokenizer::new(64);
+        let ids = tok.encode("supercalifragilistic quantum chromodynamics");
+        assert!(ids.iter().all(|&id| (id as usize) < 64));
+    }
+
+    #[test]
+    fn unknown_words_encode_deterministically() {
+        let tok = Tokenizer::new(512);
+        assert_eq!(tok.encode("zyzzyva"), tok.encode("zyzzyva"));
+    }
+
+    #[test]
+    fn synthetic_ids_roundtrip() {
+        let tok = Tokenizer::new(512);
+        let text = tok.decode(&[300, 400, 501]);
+        assert_eq!(text, "w300 w400 w501");
+        assert_eq!(tok.encode(&text), vec![300, 400, 501]);
+    }
+
+    #[test]
+    fn case_insensitive_encoding() {
+        let tok = Tokenizer::new(512);
+        assert_eq!(tok.encode("Hello THE World"), tok.encode("hello the world"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_vocab_rejected() {
+        let _ = Tokenizer::new(0);
+    }
+}

@@ -1,0 +1,623 @@
+//! IEEE 754 binary16 ("half precision") implemented from scratch.
+//!
+//! The DFX hardware computes exclusively in FP16 (1 sign, 5 exponent,
+//! 10 mantissa bits — the paper, §VII-A, uses the Xilinx Floating-Point
+//! Operator IP, which is IEEE 754 with round-to-nearest-even). This module
+//! provides a bit-exact software model of that datapath: every arithmetic
+//! operation computes the exact result in `f64` (which can represent the
+//! exact sum/product of any two finite `F16` values) and then rounds once
+//! to binary16 with round-to-nearest, ties-to-even.
+//!
+//! Division, square root and the transcendental helpers round the `f64`
+//! result, which may in rare tie cases differ from a correctly rounded
+//! binary16 operation by one unit in the last place; this matches the
+//! "negligible approximation difference" the paper reports between its
+//! FPGA operators and the GPU (§VII-A).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 16-bit IEEE 754 binary16 floating point number.
+///
+/// The in-memory representation is the raw bit pattern, so a `Vec<F16>`
+/// has exactly the layout the DFX DMA streams to and from HBM.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_num::F16;
+///
+/// let a = F16::from_f32(1.5);
+/// let b = F16::from_f32(2.25);
+/// assert_eq!((a * b).to_f32(), 3.375);
+/// assert_eq!(F16::from_f32(65504.0), F16::MAX);
+/// ```
+#[derive(Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct F16(u16);
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7c00;
+const MANT_MASK: u16 = 0x03ff;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Negative one.
+    pub const NEG_ONE: F16 = F16(0xbc00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity. The DFX masking unit uses the closest
+    /// representable value to −∞ for future-token masking; after softmax
+    /// these positions become exactly zero.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7e00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7bff);
+    /// Most negative finite value, −65504.
+    pub const MIN: F16 = F16(0xfbff);
+    /// Smallest positive normal value, 2⁻¹⁴.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, 2⁻²⁴.
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon (difference between 1.0 and the next larger value), 2⁻¹⁰.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Creates a half from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to half precision with round-to-nearest-even.
+    #[inline]
+    pub fn from_f32(value: f32) -> Self {
+        Self::from_f64(value as f64)
+    }
+
+    /// Converts an `f64` to half precision with round-to-nearest-even.
+    ///
+    /// This is the single rounding point used by all arithmetic in this
+    /// module. `f64` holds the exact sum/product of any two finite halves,
+    /// so `F16` add/sub/mul are correctly rounded.
+    pub fn from_f64(value: f64) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 48) & 0x8000) as u16;
+        let exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & 0x000f_ffff_ffff_ffff;
+
+        if exp == 0x7ff {
+            // Infinity or NaN; preserve NaN-ness with a quiet payload.
+            return if frac == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                F16(sign | 0x7e00 | ((frac >> 42) as u16 & 0x1ff))
+            };
+        }
+
+        // Unbiased exponent of the f64 value (subnormal f64 inputs are far
+        // below half's subnormal range and round to zero below).
+        let unbiased = exp - 1023;
+        if exp == 0 && frac == 0 {
+            return F16(sign);
+        }
+        if unbiased >= 16 {
+            // Overflows half range even before rounding (2^16 > 65504... but
+            // values in [65504+16, 65536) would need unbiased 15 handling;
+            // unbiased >= 16 is always infinity after RNE).
+            return F16(sign | EXP_MASK);
+        }
+        if unbiased < -25 {
+            // Below half of the smallest subnormal: rounds to zero.
+            // (Exactly 2^-25 ties to even => zero, handled by general path
+            // when unbiased == -25.)
+            return F16(sign);
+        }
+
+        // Build a fixed-point magnitude: significand with implicit bit,
+        // aligned so that bit 42 is the half ULP position for normals.
+        // 53-bit significand of the f64 value:
+        let sig64 = if exp == 0 { frac } else { frac | (1u64 << 52) };
+
+        // Target: half normal numbers have form m * 2^(e-10) with
+        // 1024 <= m <= 2047, e in [-14, 15]. Compute the real exponent and
+        // shift the 53-bit significand so the integer part is the half
+        // mantissa (with implicit bit) and the fraction is the round bits.
+        let mut e_half = unbiased; // exponent of the leading bit
+        let mut shift = 42i64; // sig64 >> shift leaves 11 integer bits (1 implicit + 10)
+        if e_half < -14 {
+            // Subnormal target: shift further right.
+            shift += -14 - e_half;
+            e_half = -14;
+        }
+        if shift >= 64 {
+            return F16(sign);
+        }
+
+        let integer = sig64 >> shift;
+        let remainder = sig64 & ((1u64 << shift) - 1);
+        let half_point = 1u64 << (shift - 1);
+
+        let mut mant = integer;
+        // Round to nearest, ties to even.
+        if remainder > half_point || (remainder == half_point && (mant & 1) == 1) {
+            mant += 1;
+        }
+
+        // Renormalize after rounding.
+        if mant >= 2048 {
+            mant >>= 1;
+            e_half += 1;
+        }
+        if mant >= 1024 {
+            // Normal number.
+            if e_half > 15 {
+                return F16(sign | EXP_MASK);
+            }
+            let exp_field = ((e_half + 15) as u16) << 10;
+            F16(sign | exp_field | (mant as u16 & MANT_MASK))
+        } else {
+            // Subnormal (or zero) result.
+            F16(sign | mant as u16)
+        }
+    }
+
+    /// Widens to `f32`. This conversion is exact.
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 >> 15);
+        let exp = u32::from((self.0 & EXP_MASK) >> 10);
+        let mant = u32::from(self.0 & MANT_MASK);
+        let bits = match (exp, mant) {
+            (0, 0) => sign << 31,
+            (0, m) => {
+                // Subnormal: normalize. With p the position of the leading
+                // one within the 10 mantissa bits, the value is
+                // 2^(p-24) * (m / 2^p), so the f32 exponent field is p+103.
+                let lz = m.leading_zeros() - 22; // zeros within the 10 mantissa bits
+                let shift = lz + 1; // = 10 - p
+                let normalized = (m << shift) & 0x3ff;
+                let exp32 = 113 - shift; // = p + 103
+                (sign << 31) | (exp32 << 23) | (normalized << 13)
+            }
+            (0x1f, 0) => (sign << 31) | 0x7f80_0000,
+            (0x1f, m) => (sign << 31) | 0x7f80_0000 | 0x0040_0000 | (m << 13),
+            (e, m) => (sign << 31) | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Widens to `f64`. This conversion is exact.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// Returns `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MANT_MASK) != 0
+    }
+
+    /// Returns `true` if this value is positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// Returns `true` if this value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Returns `true` for subnormal values.
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MANT_MASK) != 0
+    }
+
+    /// Returns `true` if the sign bit is set (including −0 and NaN with sign).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Returns `true` if the value is zero (either sign).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        F16(self.0 & !SIGN_MASK)
+    }
+
+    /// Fused semantics are *not* provided by the DFX MAC tree: each
+    /// multiplier and adder rounds individually. `mul_add` here therefore
+    /// rounds twice, exactly like the hardware (multiply DSP then adder DSP).
+    #[inline]
+    pub fn mul_add(self, mul: F16, add: F16) -> Self {
+        (self * mul) + add
+    }
+
+    /// IEEE 754 `maxNum`: returns the larger value, preferring a number
+    /// over NaN. Used by the reduce-max comparator tree in SFU_M.
+    pub fn max(self, other: F16) -> Self {
+        if self.is_nan() {
+            return other;
+        }
+        if other.is_nan() {
+            return self;
+        }
+        if self.to_f64() >= other.to_f64() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// IEEE 754 `minNum` analogue of [`F16::max`].
+    pub fn min(self, other: F16) -> Self {
+        if self.is_nan() {
+            return other;
+        }
+        if other.is_nan() {
+            return self;
+        }
+        if self.to_f64() <= other.to_f64() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Square root, rounded from the `f64` result.
+    pub fn sqrt(self) -> Self {
+        F16::from_f64(self.to_f64().sqrt())
+    }
+
+    /// Total order on the bit patterns suitable for sorting test vectors:
+    /// −NaN < −∞ < … < −0 < +0 < … < +∞ < +NaN.
+    pub fn total_cmp(self, other: F16) -> Ordering {
+        // Map each bit pattern to a monotone integer key: negative patterns
+        // order by descending magnitude, below all non-negative patterns.
+        fn key(x: F16) -> i32 {
+            if x.0 & SIGN_MASK != 0 {
+                -(i32::from(x.0 & !SIGN_MASK)) - 1
+            } else {
+                i32::from(x.0)
+            }
+        }
+        key(self).cmp(&key(other))
+    }
+}
+
+impl From<F16> for f32 {
+    #[inline]
+    fn from(x: F16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    #[inline]
+    fn from(x: F16) -> f64 {
+        x.to_f64()
+    }
+}
+
+impl Add for F16 {
+    type Output = F16;
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() + rhs.to_f64())
+    }
+}
+
+impl Sub for F16 {
+    type Output = F16;
+    #[inline]
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() - rhs.to_f64())
+    }
+}
+
+impl Mul for F16 {
+    type Output = F16;
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() * rhs.to_f64())
+    }
+}
+
+impl Div for F16 {
+    type Output = F16;
+    #[inline]
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() / rhs.to_f64())
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl AddAssign for F16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for F16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: F16) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for F16 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: F16) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for F16 {
+    #[inline]
+    fn div_assign(&mut self, rhs: F16) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialEq for F16 {
+    fn eq(&self, other: &F16) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        if self.is_zero() && other.is_zero() {
+            return true;
+        }
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &F16) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl std::iter::Sum for F16 {
+    /// Sequential left-to-right summation. The DFX adder tree uses pairwise
+    /// reduction instead — see [`crate::reduce::tree_sum`] — so this is only
+    /// appropriate for scalar accumulator semantics (the VPU `accum` op).
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_ieee_bit_patterns() {
+        assert_eq!(F16::ONE.to_bits(), 0x3c00);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 6.103_515_6e-5);
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), 5.960_464_5e-8);
+        assert_eq!(F16::EPSILON.to_f32(), 0.000_976_562_5);
+        assert!(F16::NAN.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::INFINITY.is_nan());
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_all_bit_patterns() {
+        // Exhaustive: every f16 widens to f32 and narrows back to the same
+        // bits (NaNs must stay NaN; payload need not be preserved exactly,
+        // but our implementation preserves the top payload bits).
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan(), "bits {bits:#06x} lost NaN-ness");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} failed roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn widening_matches_reference_for_all_patterns() {
+        // Cross-check our bit-level widening against an independent
+        // computation via powers of two.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let sign = if bits & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+            let exp = (bits >> 10) & 0x1f;
+            let mant = f64::from(bits & 0x3ff);
+            let expected = match exp {
+                0 => sign * mant * 2f64.powi(-24),
+                0x1f => sign * f64::INFINITY,
+                e => sign * (1.0 + mant / 1024.0) * 2f64.powi(i32::from(e) - 15),
+            };
+            assert_eq!(h.to_f64(), expected, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + eps/2 is a tie: rounds to even (1.0).
+        let tie = 1.0 + (F16::EPSILON.to_f64() / 2.0);
+        assert_eq!(F16::from_f64(tie), F16::ONE);
+        // 1 + 1.5*eps is a tie between 1+eps and 1+2eps: rounds to 1+2eps (even).
+        let tie2 = 1.0 + 1.5 * F16::EPSILON.to_f64();
+        assert_eq!(
+            F16::from_f64(tie2).to_bits(),
+            F16::ONE.to_bits() + 2,
+            "tie must round to even mantissa"
+        );
+        // Just above the tie rounds up.
+        assert_eq!(
+            F16::from_f64(tie + 1e-9).to_bits(),
+            F16::ONE.to_bits() + 1
+        );
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity_per_rne() {
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+        // Values below the midpoint to 65536 round to MAX...
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+        // ...the midpoint and beyond round to infinity.
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+        assert_eq!(F16::from_f32(1e9), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e9), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn underflow_rounds_to_zero_or_subnormal() {
+        let half_min_sub = F16::MIN_SUBNORMAL.to_f64() / 2.0;
+        // Exactly half the smallest subnormal ties to even => zero.
+        assert!(F16::from_f64(half_min_sub).is_zero());
+        // Slightly above rounds up to the smallest subnormal.
+        assert_eq!(F16::from_f64(half_min_sub * 1.0001), F16::MIN_SUBNORMAL);
+        // Sign is preserved on underflow.
+        assert!(F16::from_f64(-half_min_sub).is_sign_negative());
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(0.25);
+        assert_eq!((a + b).to_f32(), 1.75);
+        assert_eq!((a - b).to_f32(), 1.25);
+        assert_eq!((a * b).to_f32(), 0.375);
+        assert_eq!((a / b).to_f32(), 6.0);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn addition_is_correctly_rounded_vs_f64() {
+        // Catastrophic-looking case: 2048 + 1 is not representable
+        // (ULP at 2048 is 2); RNE gives 2048.
+        let big = F16::from_f32(2048.0);
+        let one = F16::ONE;
+        assert_eq!(big + one, big);
+        // 2048 + 3 = 2051 is a tie between 2050 (odd mantissa) and 2052
+        // (even mantissa); RNE picks 2052.
+        let three = F16::from_f32(3.0);
+        assert_eq!((big + three).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn special_value_propagation() {
+        assert!((F16::NAN + F16::ONE).is_nan());
+        assert!((F16::INFINITY - F16::INFINITY).is_nan());
+        assert_eq!(F16::INFINITY + F16::ONE, F16::INFINITY);
+        assert!((F16::ZERO / F16::ZERO).is_nan());
+        assert_eq!(F16::ONE / F16::ZERO, F16::INFINITY);
+        assert_eq!(F16::NEG_ONE / F16::ZERO, F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn signed_zero_semantics() {
+        assert_eq!(F16::ZERO, F16::NEG_ZERO);
+        assert!(F16::NEG_ZERO.is_sign_negative());
+        assert!((F16::NEG_ZERO + F16::ZERO).is_zero());
+    }
+
+    #[test]
+    fn max_min_prefer_numbers_over_nan() {
+        assert_eq!(F16::NAN.max(F16::ONE), F16::ONE);
+        assert_eq!(F16::ONE.max(F16::NAN), F16::ONE);
+        assert_eq!(F16::ONE.max(F16::NEG_ONE), F16::ONE);
+        assert_eq!(F16::ONE.min(F16::NEG_ONE), F16::NEG_ONE);
+        assert_eq!(
+            F16::NEG_INFINITY.max(F16::MIN),
+            F16::MIN,
+            "masked -inf loses against any finite score"
+        );
+    }
+
+    #[test]
+    fn total_cmp_orders_negative_before_positive() {
+        let mut v = vec![
+            F16::ONE,
+            F16::NEG_INFINITY,
+            F16::ZERO,
+            F16::NEG_ONE,
+            F16::INFINITY,
+            F16::NEG_ZERO,
+        ];
+        v.sort_by(|a, b| a.total_cmp(*b));
+        let floats: Vec<f32> = v.iter().map(|x| x.to_f32()).collect();
+        assert_eq!(
+            floats,
+            vec![f32::NEG_INFINITY, -1.0, -0.0, 0.0, 1.0, f32::INFINITY]
+        );
+    }
+
+    #[test]
+    fn narrowing_from_f32_matches_narrowing_via_f64_exhaustively() {
+        // f32 -> f16 must equal f64 -> f16 for every f32 obtained by
+        // widening a half and nudging by one f32 ULP (regression guard on
+        // the shared rounding path).
+        for bits in (0..=u16::MAX).step_by(7) {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let f = h.to_f32();
+            for delta in [-1i32, 0, 1] {
+                let nudged = f32::from_bits((f.to_bits() as i32 + delta) as u32);
+                if nudged.is_nan() {
+                    continue;
+                }
+                assert_eq!(
+                    F16::from_f32(nudged).to_bits(),
+                    F16::from_f64(f64::from(nudged)).to_bits(),
+                    "f32 {nudged} (from half bits {bits:#06x} delta {delta})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # dfx-num — numerics of the DFX datapath
+//!
+//! IEEE 754 half precision implemented from scratch, plus the
+//! special-function approximations of the DFX compute core (MICRO 2022):
+//! the 2048-entry linearly interpolated GELU lookup table, exponential,
+//! reciprocal and reciprocal square root, and the adder-tree reduction
+//! semantics of the matrix function unit.
+//!
+//! The whole simulated appliance computes in [`F16`]; `dfx-model`'s golden
+//! reference uses the [`Scalar`] abstraction to run the same model in
+//! `f32`/`f64` for accuracy comparisons.
+//!
+//! ```
+//! use dfx_num::{F16, reduce};
+//!
+//! let x: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32 / 64.0)).collect();
+//! let w = vec![F16::from_f32(0.5); 64];
+//! let dot = reduce::mac_tree(&x, &w);
+//! assert!((dot.to_f32() - 15.75).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod f16;
+pub mod reduce;
+mod scalar;
+mod sfu;
+
+pub use f16::F16;
+pub use scalar::Scalar;
+pub use sfu::{
+    exp, gelu_exact, recip, recip_sqrt, GeluLut, SfuMath, GELU_LUT_HI, GELU_LUT_LO,
+    GELU_LUT_SAMPLES,
+};

@@ -1,0 +1,125 @@
+//! Property-based tests for the half-precision datapath.
+
+use dfx_num::{reduce, F16};
+use proptest::prelude::*;
+
+/// Finite f32 values that stay within (or near) half range.
+fn small_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1000.0f32..1000.0,
+        -1.0f32..1.0,
+        -6.5e4f32..6.5e4,
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+fn small_f16() -> impl Strategy<Value = F16> {
+    small_f32().prop_map(F16::from_f32)
+}
+
+proptest! {
+    #[test]
+    fn narrowing_is_within_half_ulp(x in small_f32()) {
+        let h = F16::from_f32(x);
+        prop_assume!(h.is_finite());
+        let back = h.to_f64();
+        // ULP of the result's binade (for normals); subnormal ULP is 2^-24.
+        let exp = back.abs().log2().floor().max(-14.0);
+        let ulp = 2f64.powf(exp - 10.0);
+        prop_assert!(
+            (back - f64::from(x)).abs() <= ulp / 2.0 + 1e-12,
+            "x={x}, back={back}, ulp={ulp}"
+        );
+    }
+
+    #[test]
+    fn addition_commutes(a in small_f16(), b in small_f16()) {
+        prop_assert_eq!((a + b).to_bits(), (b + a).to_bits());
+    }
+
+    #[test]
+    fn multiplication_commutes(a in small_f16(), b in small_f16()) {
+        prop_assert_eq!((a * b).to_bits(), (b * a).to_bits());
+    }
+
+    #[test]
+    fn addition_matches_f64_rounded(a in small_f16(), b in small_f16()) {
+        // The exact sum of two halves is representable in f64, so the
+        // correctly rounded result is from_f64(exact).
+        prop_assert_eq!(
+            (a + b).to_bits(),
+            F16::from_f64(a.to_f64() + b.to_f64()).to_bits()
+        );
+    }
+
+    #[test]
+    fn negation_is_involutive_and_flips_sign(a in small_f16()) {
+        prop_assert_eq!((-(-a)).to_bits(), a.to_bits());
+        if !a.is_zero() {
+            prop_assert_ne!((-a).is_sign_negative(), a.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn tree_sum_error_is_bounded(xs in proptest::collection::vec(-4.0f32..4.0, 1..256)) {
+        let halves: Vec<F16> = xs.iter().map(|&x| F16::from_f32(x)).collect();
+        let exact: f64 = halves.iter().map(|h| h.to_f64()).sum();
+        let got = reduce::tree_sum(&halves).to_f64();
+        // Pairwise summation error bound: ~ceil(log2 n)+1 rounding steps,
+        // each at most eps * running magnitude.
+        let levels = (halves.len() as f64).log2().ceil() + 1.0;
+        let mag: f64 = halves.iter().map(|h| h.to_f64().abs()).sum();
+        let bound = levels * 2f64.powi(-11) * mag + 2f64.powi(-24);
+        prop_assert!((got - exact).abs() <= bound.max(1e-3),
+            "got {got}, exact {exact}, bound {bound}");
+    }
+
+    #[test]
+    fn tree_sum_is_permutation_stable_for_nonnegative_inputs(
+        mut xs in proptest::collection::vec(0.0f32..8.0, 1..64)
+    ) {
+        // Not bit-identical in general, but must stay within the same error
+        // envelope after an arbitrary permutation (deterministic reversal
+        // here keeps the test reproducible).
+        let fwd: Vec<F16> = xs.iter().map(|&x| F16::from_f32(x)).collect();
+        xs.reverse();
+        let rev: Vec<F16> = xs.iter().map(|&x| F16::from_f32(x)).collect();
+        let a = reduce::tree_sum(&fwd).to_f64();
+        let b = reduce::tree_sum(&rev).to_f64();
+        let mag: f64 = fwd.iter().map(|h| h.to_f64()).sum::<f64>().max(1.0);
+        prop_assert!((a - b).abs() <= mag * 0.02, "fwd {a} vs rev {b}");
+    }
+
+    #[test]
+    fn reduce_max_returns_a_true_maximum(xs in proptest::collection::vec(-100.0f32..100.0, 1..128)) {
+        let halves: Vec<F16> = xs.iter().map(|&x| F16::from_f32(x)).collect();
+        let (idx, val) = reduce::reduce_max(&halves).unwrap();
+        prop_assert_eq!(halves[idx].to_bits(), val.to_bits());
+        for h in &halves {
+            prop_assert!(!(h > &val), "found {h} greater than reported max {val}");
+        }
+    }
+
+    #[test]
+    fn total_cmp_agrees_with_partial_ord_on_numbers(a in small_f16(), b in small_f16()) {
+        if let Some(ord) = a.partial_cmp(&b) {
+            if !(a.is_zero() && b.is_zero()) {
+                prop_assert_eq!(a.total_cmp(b), ord);
+            }
+        }
+    }
+
+    #[test]
+    fn mac_tree_matches_f64_dot_within_bound(
+        pairs in proptest::collection::vec((-2.0f32..2.0, -2.0f32..2.0), 1..=64)
+    ) {
+        let x: Vec<F16> = pairs.iter().map(|&(a, _)| F16::from_f32(a)).collect();
+        let w: Vec<F16> = pairs.iter().map(|&(_, b)| F16::from_f32(b)).collect();
+        let exact: f64 = x.iter().zip(&w).map(|(a, b)| a.to_f64() * b.to_f64()).sum();
+        let got = reduce::mac_tree(&x, &w).to_f64();
+        let mag: f64 = x.iter().zip(&w).map(|(a, b)| (a.to_f64() * b.to_f64()).abs()).sum();
+        let bound = 8.0 * 2f64.powi(-11) * mag + 1e-3;
+        prop_assert!((got - exact).abs() <= bound, "got {got} exact {exact} bound {bound}");
+    }
+}

@@ -1,0 +1,421 @@
+//! The DFX appliance: the top-level user-facing API.
+//!
+//! An [`Appliance`] is a cluster of FPGAs running one model. Two modes
+//! exist:
+//!
+//! - **timing-only** — no weights are materialised; every token step is
+//!   compiled to a program and passed through the cycle model. This is
+//!   how the full-scale models (345M/774M/1.5B) are evaluated, exactly
+//!   like the paper's latency/throughput experiments.
+//! - **functional** — test-scale weights execute bit-level on every
+//!   simulated core *and* each step is timed, so generated text comes
+//!   with its latency report.
+
+use crate::cluster::FunctionalCluster;
+use crate::error::SimError;
+use dfx_core::{CoreParams, StepTiming, TimingCore};
+use dfx_hw::PowerModel;
+use dfx_isa::{OpClass, ParallelConfig, ProgramBuilder};
+use dfx_model::{GptConfig, GptWeights, Workload};
+use dfx_num::F16;
+use serde::{Deserialize, Serialize};
+
+/// Timing of one full text-generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedRun {
+    /// The workload this run executed.
+    pub workload: Workload,
+    /// Accumulated timing of the summarization stage (all context
+    /// tokens, LM head on the last).
+    pub summarization: StepTiming,
+    /// Accumulated timing of the generation stage.
+    pub generation: StepTiming,
+    /// Cluster size the run was timed for.
+    pub num_fpgas: usize,
+}
+
+impl TimedRun {
+    /// Summarization-stage latency in milliseconds.
+    pub fn summarization_ms(&self) -> f64 {
+        self.summarization.total.to_millis()
+    }
+
+    /// Generation-stage latency in milliseconds.
+    pub fn generation_ms(&self) -> f64 {
+        self.generation.total.to_millis()
+    }
+
+    /// End-to-end latency in milliseconds.
+    pub fn total_latency_ms(&self) -> f64 {
+        self.summarization_ms() + self.generation_ms()
+    }
+
+    /// Output tokens per second (the paper's throughput metric: output
+    /// tokens over end-to-end latency, §VII-B).
+    pub fn tokens_per_second(&self) -> f64 {
+        self.workload.output_len as f64 / (self.total_latency_ms() / 1e3)
+    }
+
+    /// Merged per-class cycle attribution across both stages.
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        let mut merged = self.summarization.clone();
+        merged.accumulate(&self.generation);
+        LatencyBreakdown::from_step(&merged)
+    }
+
+    /// Average datapath activity across the run (for the power model).
+    pub fn activity(&self) -> f64 {
+        let mut merged = self.summarization.clone();
+        merged.accumulate(&self.generation);
+        merged.activity()
+    }
+
+    /// Average appliance power in watts.
+    pub fn power_w(&self) -> f64 {
+        PowerModel::u280_dfx().average_watts(self.activity()) * self.num_fpgas as f64
+    }
+
+    /// Output tokens per joule.
+    pub fn tokens_per_joule(&self) -> f64 {
+        self.tokens_per_second() / self.power_w()
+    }
+}
+
+/// Latency attribution by op class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Milliseconds attributed to each class (makespan advancement).
+    pub ms: Vec<(OpClass, f64)>,
+}
+
+impl LatencyBreakdown {
+    fn from_step(step: &StepTiming) -> Self {
+        LatencyBreakdown {
+            ms: step
+                .by_class
+                .iter()
+                .map(|(k, v)| (*k, v.to_millis()))
+                .collect(),
+        }
+    }
+
+    /// Milliseconds of one class (0 if absent).
+    pub fn class_ms(&self, class: OpClass) -> f64 {
+        self.ms
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// The paper's Fig 15 shares: percentages over the five decoder
+    /// classes (Self-Attention, FFN, Synchronization, LayerNorm,
+    /// Residual), excluding embedding and LM head.
+    pub fn fig15_shares(&self) -> [(OpClass, f64); 5] {
+        let classes = [
+            OpClass::SelfAttention,
+            OpClass::Ffn,
+            OpClass::Sync,
+            OpClass::LayerNorm,
+            OpClass::Residual,
+        ];
+        let total: f64 = classes.iter().map(|c| self.class_ms(*c)).sum();
+        classes.map(|c| (c, 100.0 * self.class_ms(c) / total.max(f64::MIN_POSITIVE)))
+    }
+}
+
+/// Result of a functional generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRun {
+    /// The generated token ids.
+    pub tokens: Vec<u32>,
+    /// The run's timing.
+    pub timed: TimedRun,
+}
+
+enum Mode {
+    TimingOnly,
+    Functional(Box<FunctionalCluster>),
+}
+
+/// A simulated DFX appliance.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_sim::Appliance;
+/// use dfx_model::GptConfig;
+///
+/// # fn main() -> Result<(), dfx_sim::SimError> {
+/// let appliance = Appliance::timing_only(GptConfig::gpt2_345m(), 1)?;
+/// let run = appliance.generate_timed(64, 64)?;
+/// assert!(run.total_latency_ms() > 100.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Appliance {
+    cfg: GptConfig,
+    num_fpgas: usize,
+    builder: ProgramBuilder,
+    timing: TimingCore,
+    mode: Mode,
+}
+
+impl std::fmt::Debug for Appliance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Appliance")
+            .field("model", &self.cfg.name)
+            .field("num_fpgas", &self.num_fpgas)
+            .field(
+                "mode",
+                &match self.mode {
+                    Mode::TimingOnly => "timing-only",
+                    Mode::Functional(_) => "functional",
+                },
+            )
+            .finish()
+    }
+}
+
+impl Appliance {
+    /// Creates a timing-only appliance (no weights materialised; use for
+    /// full-scale models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Partition`] if the model does not divide
+    /// across `num_fpgas`.
+    pub fn timing_only(cfg: GptConfig, num_fpgas: usize) -> Result<Self, SimError> {
+        Self::timing_only_with_params(cfg, num_fpgas, CoreParams::default())
+    }
+
+    /// Timing-only appliance with custom core parameters (the Fig 8a
+    /// design-space exploration re-times attention with different
+    /// `(d, l)` geometries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Partition`] if the model does not divide
+    /// across `num_fpgas`.
+    pub fn timing_only_with_params(
+        cfg: GptConfig,
+        num_fpgas: usize,
+        params: CoreParams,
+    ) -> Result<Self, SimError> {
+        let par = ParallelConfig::new(0, num_fpgas);
+        Self::check_capacity(&cfg, par)?;
+        let builder =
+            ProgramBuilder::new(cfg.clone(), par).map_err(SimError::Partition)?;
+        Ok(Appliance {
+            cfg,
+            num_fpgas,
+            builder,
+            timing: TimingCore::new(params, num_fpgas as u32),
+            mode: Mode::TimingOnly,
+        })
+    }
+
+    /// Creates a functional appliance executing `weights` bit-level on
+    /// every core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Partition`] if the model does not divide
+    /// across `num_fpgas`.
+    pub fn functional(weights: GptWeights<F16>, num_fpgas: usize) -> Result<Self, SimError> {
+        let cfg = weights.config.clone();
+        let par = ParallelConfig::new(0, num_fpgas);
+        let builder =
+            ProgramBuilder::new(cfg.clone(), par).map_err(SimError::Partition)?;
+        let cluster = FunctionalCluster::new(weights, num_fpgas)?;
+        Ok(Appliance {
+            cfg,
+            num_fpgas,
+            builder,
+            timing: TimingCore::new(CoreParams::default(), num_fpgas as u32),
+            mode: Mode::Functional(Box::new(cluster)),
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &GptConfig {
+        &self.cfg
+    }
+
+    /// Cluster size.
+    pub fn num_fpgas(&self) -> usize {
+        self.num_fpgas
+    }
+
+    /// Times one workload without executing data (available in both
+    /// modes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for empty or overlong
+    /// workloads.
+    pub fn generate_timed(&self, input_len: usize, output_len: usize) -> Result<TimedRun, SimError> {
+        let workload = Workload::new(input_len, output_len);
+        self.check_workload(workload)?;
+
+        let mut summarization = StepTiming::zero();
+        for pos in 0..input_len {
+            let lm = pos + 1 == input_len && output_len > 0;
+            let program = self.builder.token_step(pos, lm);
+            summarization.accumulate(&self.timing.time_step(&program));
+        }
+        let mut generation = StepTiming::zero();
+        for out in 1..output_len {
+            let program = self.builder.token_step(input_len + out - 1, true);
+            generation.accumulate(&self.timing.time_step(&program));
+        }
+        Ok(TimedRun {
+            workload,
+            summarization,
+            generation,
+            num_fpgas: self.num_fpgas,
+        })
+    }
+
+    /// Generates text functionally (functional mode only), returning the
+    /// tokens together with the run's timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] in timing-only mode or for
+    /// invalid workloads, and propagates cluster errors.
+    pub fn generate(&mut self, input: &[u32], output_len: usize) -> Result<GenerationRun, SimError> {
+        let timed = self.generate_timed(input.len(), output_len)?;
+        match &mut self.mode {
+            Mode::TimingOnly => Err(SimError::InvalidRequest(
+                "functional generation requires Appliance::functional".into(),
+            )),
+            Mode::Functional(cluster) => {
+                cluster.reset()?;
+                let tokens = cluster.generate(input, output_len)?;
+                Ok(GenerationRun { tokens, timed })
+            }
+        }
+    }
+
+    /// Verifies one core's weight partition plus fully grown KV cache
+    /// fits the U280's 8 GB of HBM — the capacity constraint that forces
+    /// model parallelism in the first place (paper §III-C). Makes the
+    /// GPT-3 projection honest: `gpt3_13b` needs at least 4 FPGAs.
+    fn check_capacity(cfg: &GptConfig, par: ParallelConfig) -> Result<(), SimError> {
+        par.check(cfg).map_err(SimError::Partition)?;
+        let map = dfx_isa::MemoryMap::for_model(cfg, par);
+        let capacity = dfx_hw::HbmModel::default().capacity_bytes;
+        let need = map.hbm_footprint();
+        if need > capacity {
+            return Err(SimError::Partition(format!(
+                "{}'s per-core HBM footprint ({:.2} GB weights+KV) exceeds the U280's {:.0} GB; \
+                 use a larger cluster",
+                cfg.name,
+                need as f64 / 1e9,
+                capacity as f64 / 1e9,
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_workload(&self, w: Workload) -> Result<(), SimError> {
+        if w.input_len == 0 {
+            return Err(SimError::InvalidRequest("empty context".into()));
+        }
+        if w.input_len + w.output_len > self.cfg.max_seq_len {
+            return Err(SimError::InvalidRequest(format!(
+                "sequence of {} exceeds the model maximum {}",
+                w.input_len + w.output_len,
+                self.cfg.max_seq_len
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_run_reports_consistent_stages() {
+        let a = Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let run = a.generate_timed(8, 4).unwrap();
+        assert!(run.summarization_ms() > 0.0);
+        assert!(run.generation_ms() > 0.0);
+        assert!(
+            (run.total_latency_ms() - run.summarization_ms() - run.generation_ms()).abs()
+                < 1e-9
+        );
+        assert!(run.tokens_per_second() > 0.0);
+    }
+
+    #[test]
+    fn one_output_token_means_no_generation_stage() {
+        let a = Appliance::timing_only(GptConfig::tiny(), 1).unwrap();
+        let run = a.generate_timed(8, 1).unwrap();
+        assert_eq!(run.generation.total.0, 0);
+        assert!(run.summarization.total.0 > 0);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_both_dimensions() {
+        let a = Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let base = a.generate_timed(8, 4).unwrap().total_latency_ms();
+        let more_in = a.generate_timed(16, 4).unwrap().total_latency_ms();
+        let more_out = a.generate_timed(8, 8).unwrap().total_latency_ms();
+        assert!(more_in > base);
+        assert!(more_out > base);
+    }
+
+    #[test]
+    fn functional_mode_generates_and_times() {
+        let w = GptWeights::synthetic(&GptConfig::tiny()).cast::<F16>();
+        let mut a = Appliance::functional(w, 2).unwrap();
+        let run = a.generate(&[1, 2, 3, 4], 5).unwrap();
+        assert_eq!(run.tokens.len(), 5);
+        assert!(run.timed.total_latency_ms() > 0.0);
+        // Repeat runs are deterministic thanks to the internal reset.
+        let run2 = a.generate(&[1, 2, 3, 4], 5).unwrap();
+        assert_eq!(run.tokens, run2.tokens);
+    }
+
+    #[test]
+    fn timing_only_mode_rejects_functional_generation() {
+        let mut a = Appliance::timing_only(GptConfig::tiny(), 1).unwrap();
+        assert!(matches!(
+            a.generate(&[1, 2], 2),
+            Err(SimError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn fig15_shares_sum_to_100() {
+        let a = Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let run = a.generate_timed(4, 4).unwrap();
+        let shares = run.breakdown().fig15_shares();
+        let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 100.0).abs() < 1e-6, "{sum}");
+    }
+
+    #[test]
+    fn capacity_check_gates_large_models() {
+        // GPT-3 13B weights alone are ~25.7 GB of FP16: one or two U280s
+        // cannot hold a partition; four can.
+        let err = Appliance::timing_only(GptConfig::gpt3_13b(), 2).unwrap_err();
+        assert!(matches!(err, SimError::Partition(m) if m.contains("HBM footprint")));
+        assert!(Appliance::timing_only(GptConfig::gpt3_13b(), 4).is_ok());
+        // All paper configurations fit at their published cluster sizes.
+        assert!(Appliance::timing_only(GptConfig::gpt2_345m(), 1).is_ok());
+        assert!(Appliance::timing_only(GptConfig::gpt2_1_5b(), 4).is_ok());
+    }
+
+    #[test]
+    fn power_scales_with_cluster_size() {
+        let a1 = Appliance::timing_only(GptConfig::tiny(), 1).unwrap();
+        let a2 = Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let p1 = a1.generate_timed(4, 4).unwrap().power_w();
+        let p2 = a2.generate_timed(4, 4).unwrap().power_w();
+        assert!(p2 > 1.5 * p1);
+    }
+}

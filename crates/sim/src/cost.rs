@@ -1,0 +1,102 @@
+//! Appliance cost analysis (paper Table II).
+//!
+//! Cost-effectiveness compares retail accelerator prices only (the paper
+//! excludes CPUs/storage): $11,458 per V100 and $7,795 per Alveo U280,
+//! against throughput on the 1.5B model at the 64:64 chatbot workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Retail price of one NVIDIA V100 32 GB, USD (paper Table II).
+pub const V100_PRICE_USD: f64 = 11_458.0;
+/// Retail price of one Xilinx Alveo U280, USD (paper Table II).
+pub const U280_PRICE_USD: f64 = 7_795.0;
+
+/// One appliance's row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplianceCost {
+    /// Name of the appliance.
+    pub name: String,
+    /// Accelerators installed.
+    pub accelerators: usize,
+    /// Price per accelerator, USD.
+    pub unit_price_usd: f64,
+    /// Measured throughput, tokens/s.
+    pub tokens_per_second: f64,
+}
+
+impl ApplianceCost {
+    /// Total accelerator cost, USD.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.unit_price_usd * self.accelerators as f64
+    }
+
+    /// The paper's cost-effectiveness metric: tokens/s per million USD.
+    pub fn tokens_per_second_per_million_usd(&self) -> f64 {
+        self.tokens_per_second / (self.total_cost_usd() / 1e6)
+    }
+}
+
+/// The Table II comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostComparison {
+    /// The GPU appliance row.
+    pub gpu: ApplianceCost,
+    /// The DFX appliance row.
+    pub dfx: ApplianceCost,
+}
+
+impl CostComparison {
+    /// Builds the comparison from measured throughputs (4 accelerators
+    /// each, as in the paper).
+    pub fn from_throughput(gpu_tokens_per_second: f64, dfx_tokens_per_second: f64) -> Self {
+        CostComparison {
+            gpu: ApplianceCost {
+                name: "GPU Appliance (4x V100)".into(),
+                accelerators: 4,
+                unit_price_usd: V100_PRICE_USD,
+                tokens_per_second: gpu_tokens_per_second,
+            },
+            dfx: ApplianceCost {
+                name: "DFX (4x Alveo U280)".into(),
+                accelerators: 4,
+                unit_price_usd: U280_PRICE_USD,
+                tokens_per_second: dfx_tokens_per_second,
+            },
+        }
+    }
+
+    /// DFX's cost-effectiveness advantage (the paper reports 8.21×).
+    pub fn dfx_advantage(&self) -> f64 {
+        self.dfx.tokens_per_second_per_million_usd()
+            / self.gpu.tokens_per_second_per_million_usd()
+    }
+
+    /// Upfront saving of DFX over the GPU appliance, USD (paper: $14,652).
+    pub fn upfront_saving_usd(&self) -> f64 {
+        self.gpu.total_cost_usd() - self.dfx.total_cost_usd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce_table2() {
+        // With the paper's measured 13.01 and 72.68 tokens/s the ratio is
+        // 8.21x and the saving $14,652.
+        let c = CostComparison::from_throughput(13.01, 72.68);
+        assert!((c.gpu.tokens_per_second_per_million_usd() - 283.86).abs() < 1.0);
+        assert!((c.dfx.tokens_per_second_per_million_usd() - 2330.98).abs() < 2.0);
+        assert!((c.dfx_advantage() - 8.21).abs() < 0.05);
+        assert_eq!(c.upfront_saving_usd(), 14_652.0);
+    }
+
+    #[test]
+    fn advantage_scales_with_throughput_ratio() {
+        let base = CostComparison::from_throughput(10.0, 10.0);
+        // Equal throughput: advantage = price ratio.
+        let price_ratio = (4.0 * V100_PRICE_USD) / (4.0 * U280_PRICE_USD);
+        assert!((base.dfx_advantage() - price_ratio).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Simulation errors.
+
+/// Error type of the simulation crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The model cannot be partitioned across the requested cluster.
+    Partition(String),
+    /// The homogeneous cores diverged (a simulator invariant violation).
+    LockstepViolation(String),
+    /// Invalid workload or configuration.
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Partition(m) => write!(f, "partitioning failed: {m}"),
+            SimError::LockstepViolation(m) => write!(f, "lockstep violation: {m}"),
+            SimError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,65 @@
+//! Stage-level GFLOPS accounting for the DFX appliance (paper Fig 17).
+
+use crate::appliance::TimedRun;
+use dfx_model::{flops, GptConfig};
+use serde::{Deserialize, Serialize};
+
+/// Average GFLOPS per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageGflops {
+    /// Summarization stage.
+    pub summarization: f64,
+    /// Generation stage (0 when the workload generates a single token).
+    pub generation: f64,
+    /// End to end.
+    pub total: f64,
+}
+
+/// Computes model-FLOPs-per-modelled-second for a timed DFX run. The
+/// paper's headline observation (Fig 17): DFX sustains nearly identical
+/// GFLOPS in both stages because its dataflow is specialised for
+/// matrix-vector work, while GPU/TPU collapse in the generation stage.
+pub fn dfx_stage_gflops(cfg: &GptConfig, run: &TimedRun) -> StageGflops {
+    let fl = flops::workload_flops(cfg, run.workload);
+    let summ_s = run.summarization_ms() / 1e3;
+    let gen_s = run.generation_ms() / 1e3;
+    let summarization = if summ_s > 0.0 {
+        fl.summarization / summ_s / 1e9
+    } else {
+        0.0
+    };
+    let generation = if gen_s > 0.0 {
+        fl.generation / gen_s / 1e9
+    } else {
+        0.0
+    };
+    let total = fl.total() / ((summ_s + gen_s).max(f64::MIN_POSITIVE)) / 1e9;
+    StageGflops {
+        summarization,
+        generation,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appliance::Appliance;
+
+    #[test]
+    fn dfx_gflops_is_stage_balanced() {
+        // The defining shape of Fig 17: summarization ≈ generation GFLOPS
+        // for DFX (the paper measures 185.6 vs 181.8 on the 345M model).
+        let a = Appliance::timing_only(GptConfig::gpt2_345m(), 1).unwrap();
+        let run = a.generate_timed(64, 64).unwrap();
+        let g = dfx_stage_gflops(&GptConfig::gpt2_345m(), &run);
+        let ratio = g.summarization / g.generation;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "summ {} vs gen {}",
+            g.summarization,
+            g.generation
+        );
+        assert!(g.total > 50.0, "total {}", g.total);
+    }
+}

@@ -1,0 +1,78 @@
+//! Chatbot serving: the paper's headline datacenter scenario.
+//!
+//! A dialogue service sends ~64 context tokens and expects ~64 generated
+//! tokens per turn (paper §II-A). This example sizes the full 1.5B model
+//! on the 4-FPGA DFX appliance against the 4xV100 GPU appliance: latency
+//! per turn, sustained throughput, energy per token and the Table II
+//! cost-effectiveness.
+//!
+//! ```sh
+//! cargo run --release --example chatbot
+//! ```
+
+use dfx::baseline::GpuModel;
+use dfx::model::{GptConfig, Workload};
+use dfx::sim::{Appliance, CostComparison};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::gpt2_1_5b();
+    let turns = [
+        Workload::new(32, 32),
+        Workload::new(64, 64),
+        Workload::new(96, 48),
+        Workload::new(48, 96),
+    ];
+
+    let dfx = Appliance::timing_only(cfg.clone(), 4)?;
+    let gpu = GpuModel::new(cfg, 4);
+
+    println!("GPT-2 1.5B chatbot turns - DFX (4x U280) vs GPU appliance (4x V100)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "turn", "DFX ms", "GPU ms", "speedup", "DFX tok/s", "GPU tok/s"
+    );
+    for w in turns {
+        let d = dfx.generate_timed(w.input_len, w.output_len)?;
+        let g = gpu.run(w);
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>8.2}x {:>14.1} {:>14.2}",
+            w.to_string(),
+            d.total_latency_ms(),
+            g.total_ms(),
+            g.total_ms() / d.total_latency_ms(),
+            d.tokens_per_second(),
+            g.tokens_per_second(w),
+        );
+    }
+
+    // The representative 64:64 point drives the cost analysis (Table II).
+    let w = Workload::chatbot();
+    let d = dfx.generate_timed(w.input_len, w.output_len)?;
+    let g = gpu.run(w);
+    println!("\nenergy at {w}:");
+    println!(
+        "  DFX: {:>6.1} W appliance power, {:.3} tokens/J",
+        d.power_w(),
+        d.tokens_per_joule()
+    );
+    println!(
+        "  GPU: {:>6.1} W appliance power, {:.3} tokens/J",
+        g.power_w,
+        g.tokens_per_joule(w)
+    );
+
+    let cost = CostComparison::from_throughput(g.tokens_per_second(w), d.tokens_per_second());
+    println!("\ncost-effectiveness (accelerator retail prices):");
+    println!(
+        "  GPU appliance: {:>8.1} tokens/s per M$  (${:.0})",
+        cost.gpu.tokens_per_second_per_million_usd(),
+        cost.gpu.total_cost_usd()
+    );
+    println!(
+        "  DFX          : {:>8.1} tokens/s per M$  (${:.0})",
+        cost.dfx.tokens_per_second_per_million_usd(),
+        cost.dfx.total_cost_usd()
+    );
+    println!("  advantage    : {:.2}x (paper reports 8.21x)", cost.dfx_advantage());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Projection: scaling DFX to GPT-3-class models.
+//!
+//! The paper argues its GPT-2 acceleration strategies "are applicable to
+//! GPT-3 because it has the same model structure but with a larger size"
+//! (SII-A), and that the appliance scales by adding FPGA cards (SVI).
+//! This example tests that claim in simulation: GPT-3 6.7B and 13B on
+//! growing rings, with the HBM capacity check deciding the minimum
+//! cluster per model.
+//!
+//! ```sh
+//! cargo run --release --example gpt3_projection
+//! ```
+
+use dfx::model::GptConfig;
+use dfx::sim::{Appliance, SimError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for cfg in [GptConfig::gpt3_6_7b(), GptConfig::gpt3_13b()] {
+        println!(
+            "\n{} ({:.1}B parameters, {} layers, {} heads of {}):",
+            cfg.name,
+            cfg.num_parameters() as f64 / 1e9,
+            cfg.num_layers,
+            cfg.num_heads,
+            cfg.head_dim()
+        );
+        println!(
+            "{:>6} {:>14} {:>12} {:>12}",
+            "FPGAs", "fits HBM?", "[64:64] ms", "tokens/s"
+        );
+        for fpgas in [1usize, 2, 4, 8] {
+            if cfg.num_heads % fpgas != 0 {
+                continue;
+            }
+            match Appliance::timing_only(cfg.clone(), fpgas) {
+                Ok(appliance) => {
+                    let run = appliance.generate_timed(64, 64)?;
+                    println!(
+                        "{fpgas:>6} {:>14} {:>12.1} {:>12.2}",
+                        "yes",
+                        run.total_latency_ms(),
+                        run.tokens_per_second()
+                    );
+                }
+                Err(SimError::Partition(m)) if m.contains("HBM") => {
+                    println!("{fpgas:>6} {:>14} {:>12} {:>12}", "no (HBM)", "-", "-");
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    println!(
+        "\nWeights alone are 13.4 GB (6.7B) and 25.6 GB (13B) in FP16; each U280 holds 8 GB \
+         of HBM,\nso the ring must grow with the model - the same argument the paper makes \
+         for model\nparallelism on GPT-2 1.5B."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! A tour of the DFX instruction set.
+//!
+//! Compiles one token step of GPT-2 onto the custom ISA and shows what
+//! the hardware actually executes: the embedding fetch, a decoder layer
+//! with its Value-first transpose-hiding order, the per-head attention
+//! sequence, the four ring synchronisations, and the LM head with its
+//! fused argmax. Also reports the binary encoding footprint the host
+//! transfers to the instruction buffers.
+//!
+//! ```sh
+//! cargo run --release --example isa_tour
+//! ```
+
+use dfx::isa::{encode_program, ParallelConfig, ProgramBuilder};
+use dfx::model::GptConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::tiny();
+    let builder = ProgramBuilder::new(cfg.clone(), ParallelConfig::new(0, 2))
+        .map_err(std::io::Error::other)?;
+
+    // Token step 3 (context of 4 after this step), with the LM head.
+    let program = builder.token_step(3, true);
+    program.validate().map_err(|e| std::io::Error::other(e.to_string()))?;
+
+    println!(
+        "model {} on core 0 of 2 | token position 3 | {} instructions\n",
+        cfg.name,
+        program.len()
+    );
+
+    println!("--- first 48 instructions -------------------------------------");
+    for line in program.disassemble().lines().take(48) {
+        println!("{line}");
+    }
+
+    println!("\n--- instruction mix --------------------------------------------");
+    for (class, count) in program.class_histogram() {
+        println!("  {class:<10} {count:>5}");
+    }
+    println!();
+    for (class, count) in program.op_class_histogram() {
+        println!("  {:<22} {count:>5}", class.name());
+    }
+
+    let encoded = encode_program(&program);
+    println!(
+        "\nbinary stream: {} bytes ({:.1} B/instruction)",
+        encoded.len(),
+        encoded.len() as f64 / program.len() as f64
+    );
+    println!(
+        "ring synchronisations in this step: {}",
+        program
+            .op_class_histogram()
+            .get(&dfx::isa::OpClass::Sync)
+            .copied()
+            .unwrap_or(0)
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Scalability: how DFX throughput grows with cluster size.
+//!
+//! Reproduces the Fig 18 experiment and extends it beyond the paper: the
+//! 345M model from 1 to 8 FPGAs at the 64:64 chatbot workload, with the
+//! latency breakdown showing why scaling is sublinear (LayerNorm and
+//! residual are not parallelised, and every extra hop lengthens the ring
+//! synchronisation - paper SVII-B).
+//!
+//! ```sh
+//! cargo run --release --example scaling
+//! ```
+
+use dfx::isa::OpClass;
+use dfx::model::GptConfig;
+use dfx::sim::Appliance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::gpt2_345m();
+    println!("GPT-2 345M at [64:64], growing the FPGA ring\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>8} {:>8}",
+        "FPGAs", "latency ms", "tokens/s", "scaling", "sync %", "SA %"
+    );
+    let mut prev: Option<f64> = None;
+    for fpgas in [1usize, 2, 4, 8] {
+        let appliance = Appliance::timing_only(cfg.clone(), fpgas)?;
+        let run = appliance.generate_timed(64, 64)?;
+        let tps = run.tokens_per_second();
+        let breakdown = run.breakdown();
+        let shares = breakdown.fig15_shares();
+        let share = |class: OpClass| {
+            shares
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:>6} {:>12.1} {:>12.2} {:>9} {:>7.1}% {:>7.1}%",
+            fpgas,
+            run.total_latency_ms(),
+            tps,
+            prev.map_or("-".to_string(), |p| format!("{:.2}x", tps / p)),
+            share(OpClass::Sync),
+            share(OpClass::SelfAttention),
+        );
+        prev = Some(tps);
+    }
+    println!(
+        "\nThroughput grows ~1.5x per doubling (paper: 1.57x and 1.42x) while the \
+         synchronisation\nshare climbs - the paper's explanation for sublinear scaling."
+    );
+    Ok(())
+}

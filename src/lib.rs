@@ -1,0 +1,48 @@
+//! # DFX — a simulated multi-FPGA appliance for transformer text generation
+//!
+//! This crate is the façade of the DFX workspace, a full reproduction of
+//! *"DFX: A Low-latency Multi-FPGA Appliance for Accelerating
+//! Transformer-based Text Generation"* (MICRO 2022) as a cycle-approximate
+//! software simulator. It re-exports the public API of every subsystem:
+//!
+//! - [`num`] — IEEE 754 half-precision arithmetic and the special-function
+//!   units (GELU lookup table, exponential, reciprocal, rsqrt).
+//! - [`model`] — GPT-2 configurations, synthetic weights and the
+//!   precision-generic reference implementation.
+//! - [`isa`] — the DFX instruction set and the program builder that lowers
+//!   GPT-2 inference onto it.
+//! - [`hw`] — hardware substrate models: HBM, DDR, DMA with the zigzag
+//!   tiling scheme, the Aurora ring network, FPGA resources, power.
+//! - [`core`] — the DFX compute core: scheduler, scoreboard, matrix and
+//!   vector processing units, functional executor and timing engine.
+//! - [`baseline`] — calibrated analytic GPU (4×V100 / Megatron-LM) and TPU
+//!   baselines used by the paper's evaluation.
+//! - [`sim`] — the multi-FPGA cluster and appliance API plus the
+//!   experiment harnesses (latency, breakdown, throughput, energy, cost,
+//!   accuracy).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dfx::model::GptConfig;
+//! use dfx::sim::Appliance;
+//!
+//! # fn main() -> Result<(), dfx::sim::SimError> {
+//! // A 4-FPGA appliance running the 1.5B-parameter GPT-2 (timing mode).
+//! let appliance = Appliance::timing_only(GptConfig::gpt2_1_5b(), 4)?;
+//! let report = appliance.generate_timed(64, 64)?;
+//! println!("latency: {:.1} ms", report.total_latency_ms());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use dfx_baseline as baseline;
+pub use dfx_core as core;
+pub use dfx_hw as hw;
+pub use dfx_isa as isa;
+pub use dfx_model as model;
+pub use dfx_num as num;
+pub use dfx_sim as sim;

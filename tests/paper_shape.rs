@@ -1,0 +1,130 @@
+//! Integration: the paper's headline *shapes* must hold in the timing
+//! simulation. These assertions use reduced workloads so they stay fast
+//! in debug builds; the full grids live in the `reproduce` harness.
+
+use dfx::baseline::GpuModel;
+use dfx::isa::OpClass;
+use dfx::model::{GptConfig, Workload};
+use dfx::sim::Appliance;
+
+#[test]
+fn dfx_latency_is_linear_in_tokens() {
+    // The matrix-vector dataflow processes every token at near-constant
+    // cost: doubling output tokens should roughly double generation time.
+    let a = Appliance::timing_only(GptConfig::gpt2_345m(), 1).unwrap();
+    let r4 = a.generate_timed(16, 4).unwrap();
+    let r8 = a.generate_timed(16, 8).unwrap();
+    // Generation stage with 3 vs 7 steps of similar per-step cost.
+    let per_step_4 = r4.generation_ms() / 3.0;
+    let per_step_8 = r8.generation_ms() / 7.0;
+    let ratio = per_step_8 / per_step_4;
+    assert!(
+        (0.9..1.2).contains(&ratio),
+        "per-step cost should be ~constant: {per_step_4} vs {per_step_8}"
+    );
+}
+
+#[test]
+fn gpu_wins_summarization_dfx_wins_generation() {
+    // The crossover of Fig 14 at reduced scale: [128:1] favours the GPU,
+    // [32:64] favours DFX by a wide margin on the 1.5B model.
+    let cfg = GptConfig::gpt2_1_5b();
+    let dfx = Appliance::timing_only(cfg.clone(), 4).unwrap();
+    let gpu = GpuModel::new(cfg, 4);
+
+    let d_summ = dfx.generate_timed(128, 1).unwrap().total_latency_ms();
+    let g_summ = gpu.run(Workload::new(128, 1)).total_ms();
+    assert!(g_summ < d_summ, "GPU should win [128:1]: {g_summ} vs {d_summ}");
+
+    let d_gen = dfx.generate_timed(32, 64).unwrap().total_latency_ms();
+    let g_gen = gpu.run(Workload::new(32, 64)).total_ms();
+    assert!(
+        g_gen > 4.0 * d_gen,
+        "DFX should win [32:64] by >4x: GPU {g_gen} vs DFX {d_gen}"
+    );
+}
+
+#[test]
+fn speedup_grows_with_model_size() {
+    // Fig 14: average speedup rises 3.20x -> 4.46x -> 5.58x with model
+    // size. Check the ordering at one representative point.
+    let w = Workload::new(32, 16);
+    let mut speedups = Vec::new();
+    for (cfg, devices) in [
+        (GptConfig::gpt2_345m(), 1usize),
+        (GptConfig::gpt2_774m(), 2),
+        (GptConfig::gpt2_1_5b(), 4),
+    ] {
+        let d = Appliance::timing_only(cfg.clone(), devices)
+            .unwrap()
+            .generate_timed(w.input_len, w.output_len)
+            .unwrap()
+            .total_latency_ms();
+        let g = GpuModel::new(cfg, devices).run(w).total_ms();
+        speedups.push(g / d);
+    }
+    assert!(
+        speedups[0] < speedups[2],
+        "speedup should grow with model size: {speedups:?}"
+    );
+    assert!(speedups[2] > 3.0, "1.5B speedup too small: {speedups:?}");
+}
+
+#[test]
+fn sync_share_grows_with_cluster_size() {
+    // Fig 15/18: synchronisation is absent at 1 FPGA and grows with the
+    // ring (the paper's explanation for sublinear scaling).
+    let cfg = GptConfig::gpt2_345m();
+    let share = |fpgas: usize| {
+        let run = Appliance::timing_only(cfg.clone(), fpgas)
+            .unwrap()
+            .generate_timed(8, 4)
+            .unwrap();
+        run.breakdown()
+            .fig15_shares()
+            .iter()
+            .find(|(c, _)| *c == OpClass::Sync)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
+    let s1 = share(1);
+    let s2 = share(2);
+    let s4 = share(4);
+    assert_eq!(s1, 0.0);
+    assert!(s2 > 0.0);
+    assert!(s4 > s2, "sync share must grow with hops: {s2} vs {s4}");
+}
+
+#[test]
+fn dfx_throughput_scales_sublinearly_but_monotonically() {
+    let cfg = GptConfig::gpt2_345m();
+    let tps = |fpgas: usize| {
+        Appliance::timing_only(cfg.clone(), fpgas)
+            .unwrap()
+            .generate_timed(16, 16)
+            .unwrap()
+            .tokens_per_second()
+    };
+    let t1 = tps(1);
+    let t2 = tps(2);
+    let t4 = tps(4);
+    assert!(t2 > t1 && t4 > t2, "monotone scaling: {t1} {t2} {t4}");
+    assert!(t4 < 4.0 * t1, "scaling must be sublinear: {t1} vs {t4}");
+}
+
+#[test]
+fn energy_efficiency_favors_dfx_at_chatbot_workload() {
+    let cfg = GptConfig::gpt2_1_5b();
+    let w = Workload::new(32, 16);
+    let d = Appliance::timing_only(cfg.clone(), 4)
+        .unwrap()
+        .generate_timed(w.input_len, w.output_len)
+        .unwrap();
+    let g = GpuModel::new(cfg, 4).run(w);
+    assert!(
+        d.tokens_per_joule() > 2.0 * g.tokens_per_joule(w),
+        "DFX {} tok/J vs GPU {} tok/J",
+        d.tokens_per_joule(),
+        g.tokens_per_joule(w)
+    );
+}

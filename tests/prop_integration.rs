@@ -1,0 +1,54 @@
+//! Property-based integration tests: random model geometries through the
+//! whole pipeline.
+
+use dfx::isa::{decode_program, encode_program, ParallelConfig, ProgramBuilder};
+use dfx::model::{Gpt2Model, GptConfig, GptWeights};
+use dfx::num::F16;
+use dfx::sim::FunctionalCluster;
+use proptest::prelude::*;
+
+/// Random tiny-but-legal model geometries (head_dim stays 32/64-ish so
+/// programs remain small enough for debug-mode execution).
+fn arb_config() -> impl Strategy<Value = GptConfig> {
+    (1usize..=4, 1usize..=2, 6u8..=10)
+        .prop_map(|(heads, layers, vocab_pow)| {
+            let emb = heads * 32;
+            GptConfig::new(
+                format!("prop-{heads}h-{layers}l"),
+                emb,
+                heads,
+                layers,
+                1usize << vocab_pow,
+                64,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn programs_validate_and_roundtrip_for_random_geometry(cfg in arb_config(), pos in 0usize..16) {
+        for cores in [1usize, cfg.num_heads] {
+            let par = ParallelConfig::new(0, cores);
+            let builder = ProgramBuilder::new(cfg.clone(), par).unwrap();
+            let p = builder.token_step(pos, true);
+            prop_assert!(p.validate().is_ok());
+            let decoded = decode_program(encode_program(&p)).unwrap();
+            prop_assert_eq!(p, decoded);
+        }
+    }
+
+    #[test]
+    fn random_models_generate_identically_across_cluster_sizes(cfg in arb_config()) {
+        let w = GptWeights::synthetic(&cfg).cast::<F16>();
+        let reference = Gpt2Model::new(w.clone());
+        let input = [1u32, 2, 3];
+        let expect = reference.generate(&input, 2).tokens;
+        for cores in [1usize, cfg.num_heads] {
+            let mut cluster = FunctionalCluster::new(w.clone(), cores).unwrap();
+            let got = cluster.generate(&input, 2).unwrap();
+            prop_assert_eq!(&got, &expect, "cores = {}", cores);
+        }
+    }
+}
