@@ -170,10 +170,13 @@ impl GpuModel {
     pub fn layer_breakdown(&self, t: usize) -> GpuLayerBreakdown {
         let (attn_bytes, ffn_bytes) = self.layer_gemv_bytes();
         let gemv_us = |bytes: f64| bytes / (calib::HBM_GBPS * calib::GEMV_BW_EFF * 1e9) * 1e6;
-        let allreduce = if self.gpus > 1 { calib::ALLREDUCE_US } else { 0.0 };
+        let allreduce = if self.gpus > 1 {
+            calib::ALLREDUCE_US
+        } else {
+            0.0
+        };
         // KV cache reads grow with context.
-        let kv_bytes =
-            t as f64 * 2.0 * self.cfg.embedding_dim as f64 * 2.0 / self.gpus as f64;
+        let kv_bytes = t as f64 * 2.0 * self.cfg.embedding_dim as f64 * 2.0 / self.gpus as f64;
         GpuLayerBreakdown {
             layer_norm_us: calib::LN_US_PER_LAYER,
             self_attention_us: calib::ATTN_BASE_US_PER_LAYER
@@ -263,14 +266,20 @@ mod tests {
         let small = m.run(Workload::new(32, 1)).total_ms();
         let large = m.run(Workload::new(128, 1)).total_ms();
         let slope = (large - small) / 96.0;
-        assert!(slope > 0.005 && slope < 0.08, "input slope {slope} ms/token");
+        assert!(
+            slope > 0.005 && slope < 0.08,
+            "input slope {slope} ms/token"
+        );
     }
 
     #[test]
     fn fig14_32_1_anchor() {
         let m = GpuModel::new(GptConfig::gpt2_1_5b(), 4);
         let got = m.run(Workload::new(32, 1)).total_ms();
-        assert!((got - 86.7).abs() / 86.7 < 0.10, "[32:1] = {got} ms vs 86.7");
+        assert!(
+            (got - 86.7).abs() / 86.7 < 0.10,
+            "[32:1] = {got} ms vs 86.7"
+        );
     }
 
     #[test]

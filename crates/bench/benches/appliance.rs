@@ -24,7 +24,11 @@ fn bench_appliance(c: &mut Criterion) {
     g.sample_size(10);
     let appliance = Appliance::timing_only(GptConfig::gpt2_1_5b(), 4).unwrap();
     g.bench_function("generate_timed_1.5b_32_4", |b| {
-        b.iter(|| appliance.generate_timed(black_box(32), black_box(4)).unwrap())
+        b.iter(|| {
+            appliance
+                .generate_timed(black_box(32), black_box(4))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -39,5 +43,10 @@ fn bench_reference_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_baselines, bench_appliance, bench_reference_model);
+criterion_group!(
+    benches,
+    bench_baselines,
+    bench_appliance,
+    bench_reference_model
+);
 criterion_main!(benches);

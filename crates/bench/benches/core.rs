@@ -58,5 +58,10 @@ fn bench_functional_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_program_builder, bench_timing_engine, bench_functional_step);
+criterion_group!(
+    benches,
+    bench_program_builder,
+    bench_timing_engine,
+    bench_functional_step
+);
 criterion_main!(benches);

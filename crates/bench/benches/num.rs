@@ -1,7 +1,7 @@
 //! Criterion benches for the half-precision datapath primitives.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dfx_num::{reduce, F16, GeluLut};
+use dfx_num::{reduce, GeluLut, F16};
 
 fn bench_f16(c: &mut Criterion) {
     let mut g = c.benchmark_group("f16");
@@ -18,10 +18,16 @@ fn bench_f16(c: &mut Criterion) {
 fn bench_reduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduce");
     let v64: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32 * 0.01)).collect();
-    let v4k: Vec<F16> = (0..4096).map(|i| F16::from_f32((i % 97) as f32 * 0.01)).collect();
+    let v4k: Vec<F16> = (0..4096)
+        .map(|i| F16::from_f32((i % 97) as f32 * 0.01))
+        .collect();
     let w64 = vec![F16::from_f32(0.5); 64];
-    g.bench_function("tree_sum_64", |b| b.iter(|| reduce::tree_sum(black_box(&v64))));
-    g.bench_function("tree_sum_4096", |b| b.iter(|| reduce::tree_sum(black_box(&v4k))));
+    g.bench_function("tree_sum_64", |b| {
+        b.iter(|| reduce::tree_sum(black_box(&v64)))
+    });
+    g.bench_function("tree_sum_4096", |b| {
+        b.iter(|| reduce::tree_sum(black_box(&v4k)))
+    });
     g.bench_function("mac_tree_64", |b| {
         b.iter(|| reduce::mac_tree(black_box(&v64), black_box(&w64)))
     });

@@ -75,7 +75,10 @@ fn main() {
         let md = report.to_markdown();
         println!("{md}");
         combined.push_str(&md);
-        eprintln!("[reproduce] {id} done in {:.1}s", start.elapsed().as_secs_f32());
+        eprintln!(
+            "[reproduce] {id} done in {:.1}s",
+            start.elapsed().as_secs_f32()
+        );
     }
 
     if let Some(path) = write_path {

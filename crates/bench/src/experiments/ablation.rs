@@ -27,7 +27,10 @@ fn step_ms(cfg: &GptConfig, cores: usize, order: QkvOrder) -> f64 {
     )
     .expect("partitionable");
     let engine = TimingCore::new(CoreParams::default(), cores as u32);
-    engine.time_step(&builder.token_step(64, true)).total.to_millis()
+    engine
+        .time_step(&builder.token_step(64, true))
+        .total
+        .to_millis()
 }
 
 /// Runs all ablations.
@@ -56,15 +59,21 @@ pub fn run() -> ExperimentReport {
                 .expect("partitionable");
             let engine =
                 TimingCore::new(CoreParams::default(), cores as u32).with_read_side_transpose();
-            engine.time_step(&builder.token_step(64, true)).total.to_millis()
+            engine
+                .time_step(&builder.token_step(64, true))
+                .total
+                .to_millis()
         };
         t1.push_row(vec![
             cfg.name.clone(),
             cores.to_string(),
             fmt(paper_scheme, 3),
             fmt(naive_order, 3),
-            format!("{} (+{:.0}%)", fmt(read_side, 3),
-                100.0 * (read_side - paper_scheme) / paper_scheme),
+            format!(
+                "{} (+{:.0}%)",
+                fmt(read_side, 3),
+                100.0 * (read_side - paper_scheme) / paper_scheme
+            ),
         ]);
     }
     report.note(
@@ -152,7 +161,10 @@ pub fn run() -> ExperimentReport {
     );
     use dfx_hw::{TileShape, WalkOrder};
     for (order, verdict) in [
-        (WalkOrder::Horizontal, "max reuse; buffer-infeasible on-chip"),
+        (
+            WalkOrder::Horizontal,
+            "max reuse; buffer-infeasible on-chip",
+        ),
         (WalkOrder::Vertical, "one buffer; register-file traffic x24"),
         (WalkOrder::Zigzag, "the paper's balance (d x d blocks)"),
     ] {
@@ -181,8 +193,7 @@ mod tests {
         // side...
         assert!((naive_order - paper_scheme).abs() / paper_scheme < 0.05);
         // ...but the conventional read-side transpose costs real time.
-        let builder =
-            ProgramBuilder::new(cfg.clone(), ParallelConfig::new(0, 1)).unwrap();
+        let builder = ProgramBuilder::new(cfg.clone(), ParallelConfig::new(0, 1)).unwrap();
         let read_side = TimingCore::new(CoreParams::default(), 1)
             .with_read_side_transpose()
             .time_step(&builder.token_step(64, true))

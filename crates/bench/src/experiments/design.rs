@@ -5,8 +5,8 @@ use crate::table::{fmt, ExperimentReport, MdTable};
 use dfx_core::{CoreParams, TimingCore};
 use dfx_hw::{ResourceModel, TileShape, U280_CAPACITY};
 use dfx_isa::{
-    regs, Instr, MatrixInstr, MatrixKind, OpClass, Program, ReduceMax, SReg, StepMeta,
-    TensorRef, VReg, VSlice,
+    regs, Instr, MatrixInstr, MatrixKind, OpClass, Program, ReduceMax, SReg, StepMeta, TensorRef,
+    VReg, VSlice,
 };
 
 /// Builds the multi-head-attention microbenchmark program the paper's
@@ -40,8 +40,16 @@ fn mha_program(heads: u32, dh: u32, t: u32) -> Program {
             OpClass::SelfAttention,
             Instr::Matrix(MatrixInstr {
                 kind: MatrixKind::MaskedMm,
-                src: VSlice { reg: regs::QUERY, offset: h * dh, len: dh },
-                weight: TensorRef::Kv { layer: 0, head: h as u16, kind: dfx_isa::KvKind::Key },
+                src: VSlice {
+                    reg: regs::QUERY,
+                    offset: h * dh,
+                    len: dh,
+                },
+                weight: TensorRef::Kv {
+                    layer: 0,
+                    head: h as u16,
+                    kind: dfx_isa::KvKind::Key,
+                },
                 bias: None,
                 dst: VSlice::full(score, t),
                 rows: dh,
@@ -57,9 +65,17 @@ fn mha_program(heads: u32, dh: u32, t: u32) -> Program {
             Instr::Matrix(MatrixInstr {
                 kind: MatrixKind::Mm,
                 src: VSlice::full(probs, t),
-                weight: TensorRef::Kv { layer: 0, head: h as u16, kind: dfx_isa::KvKind::Value },
+                weight: TensorRef::Kv {
+                    layer: 0,
+                    head: h as u16,
+                    kind: dfx_isa::KvKind::Value,
+                },
                 bias: None,
-                dst: VSlice { reg: regs::ATTN, offset: h * dh, len: dh },
+                dst: VSlice {
+                    reg: regs::ATTN,
+                    offset: h * dh,
+                    len: dh,
+                },
                 rows: t,
                 cols: dh,
                 valid_cols: dh,
@@ -126,7 +142,9 @@ pub fn fig8() -> ExperimentReport {
         TileShape { d: 32, l: 32 },
         TileShape { d: 64, l: 16 },
     ] {
-        let mpu = ResourceModel::with_shape(shape).mpu().percent_of(U280_CAPACITY);
+        let mpu = ResourceModel::with_shape(shape)
+            .mpu()
+            .percent_of(U280_CAPACITY);
         b.push_row(vec![
             format!("d={}, l={}", shape.d, shape.l),
             fmt(mpu.lut, 1),

@@ -17,9 +17,7 @@ pub fn fig15() -> ExperimentReport {
          paper's figure does not break out).",
     );
     let appliance = Appliance::timing_only(GptConfig::gpt2_1_5b(), 4).expect("4-way split");
-    let run = appliance
-        .generate_timed(64, 64)
-        .expect("chatbot workload");
+    let run = appliance.generate_timed(64, 64).expect("chatbot workload");
     let shares = run.breakdown().fig15_shares();
 
     let mut t = MdTable::new(
@@ -67,7 +65,10 @@ pub fn fig16() -> ExperimentReport {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     let mut t = MdTable::new(

@@ -51,7 +51,10 @@ pub fn run_model(cfg: GptConfig, devices: usize) -> ModelGrid {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     ModelGrid {
@@ -74,9 +77,24 @@ pub fn run() -> ExperimentReport {
     );
 
     let setups = [
-        (GptConfig::gpt2_345m(), 1usize, &paper::FIG14_GPU_345M, &paper::FIG14_DFX_345M),
-        (GptConfig::gpt2_774m(), 2, &paper::FIG14_GPU_774M, &paper::FIG14_DFX_774M),
-        (GptConfig::gpt2_1_5b(), 4, &paper::FIG14_GPU_1_5B, &paper::FIG14_DFX_1_5B),
+        (
+            GptConfig::gpt2_345m(),
+            1usize,
+            &paper::FIG14_GPU_345M,
+            &paper::FIG14_DFX_345M,
+        ),
+        (
+            GptConfig::gpt2_774m(),
+            2,
+            &paper::FIG14_GPU_774M,
+            &paper::FIG14_DFX_774M,
+        ),
+        (
+            GptConfig::gpt2_1_5b(),
+            4,
+            &paper::FIG14_GPU_1_5B,
+            &paper::FIG14_DFX_1_5B,
+        ),
     ];
 
     for (i, (cfg, devices, paper_gpu, paper_dfx)) in setups.into_iter().enumerate() {
@@ -128,9 +146,8 @@ mod tests {
         // DFX wins on generation-heavy points, the GPU wins at [128:1],
         // and the average speedup lands near the paper's 3.20x.
         let grid = run_model(GptConfig::gpt2_345m(), 1);
-        let idx = |inp: usize, out: usize| {
-            paper::GRID.iter().position(|&p| p == (inp, out)).unwrap()
-        };
+        let idx =
+            |inp: usize, out: usize| paper::GRID.iter().position(|&p| p == (inp, out)).unwrap();
         assert!(
             grid.gpu_ms[idx(128, 1)] < grid.dfx_ms[idx(128, 1)],
             "GPU should win the summarization-only corner"

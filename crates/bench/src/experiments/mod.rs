@@ -12,4 +12,4 @@ pub use design::{fig13, fig8};
 pub use evaluation::{fig15, fig16, fig17, fig18, table2};
 pub use fig14::{run as fig14, run_model, ModelGrid};
 pub use motivation::{fig3, fig4};
-pub use tables::{accuracy, table1};
+pub use tables::{accuracy, accuracy_with_tasks, table1};

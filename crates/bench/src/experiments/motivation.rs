@@ -74,7 +74,12 @@ pub fn fig4() -> ExperimentReport {
             "operations % (paper)",
         ],
     );
-    let names = ["LayerNorm", "Self-Attention", "Residual", "Feed-Forward Network"];
+    let names = [
+        "LayerNorm",
+        "Self-Attention",
+        "Residual",
+        "Feed-Forward Network",
+    ];
     for i in 0..4 {
         t.push_row(vec![
             names[i].into(),

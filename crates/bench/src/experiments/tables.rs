@@ -3,7 +3,7 @@
 use crate::paper;
 use crate::table::{fmt, ExperimentReport, MdTable};
 use dfx_model::GptConfig;
-use dfx_sim::{paper_tasks, quick_tasks, run_accuracy};
+use dfx_sim::{paper_tasks, quick_tasks, run_accuracy, AccuracyTask};
 
 /// Table I: GPT-2 model configuration.
 pub fn table1() -> ExperimentReport {
@@ -43,6 +43,18 @@ pub fn table1() -> ExperimentReport {
 
 /// §VII-A: inference accuracy of the FP16 DFX datapath.
 pub fn accuracy(full: bool) -> ExperimentReport {
+    let tasks = if full { paper_tasks() } else { quick_tasks() };
+    let mut report = accuracy_with_tasks(&tasks);
+    if !full {
+        report.note("Quick mode: item counts scaled to 10% (run with --full for paper sizes).");
+    }
+    report
+}
+
+/// §VII-A on an arbitrary task set. The paper runner delegates here; the
+/// smoke tests pass micro task sets so the functional simulation stays
+/// fast in debug builds.
+pub fn accuracy_with_tasks(tasks: &[AccuracyTask]) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "accuracy",
         "Section VII-A: Inference accuracy (FP16 DFX vs FP32 reference)",
@@ -52,12 +64,7 @@ pub fn accuracy(full: bool) -> ExperimentReport {
          synthetic next-token-selection items of the paper's sizes; the measured property — \
          FP16 DFX selects the same token as the reference — is preserved (DESIGN.md).",
     );
-    if !full {
-        report.note("Quick mode: item counts scaled to 10% (run with --full for paper sizes).");
-    }
-    let tasks = if full { paper_tasks() } else { quick_tasks() };
-    let results = run_accuracy(&GptConfig::tiny(), 2, &tasks, 0xACC0)
-        .expect("accuracy harness");
+    let results = run_accuracy(&GptConfig::tiny(), 2, tasks, 0xACC0).expect("accuracy harness");
 
     let mut t = MdTable::new(
         "Agreement with the FP32 reference (greedy next-token)",

@@ -15,7 +15,7 @@ use dfx_isa::{
     RouterOp, SReg, ScalarOpKind, TensorRef, VReg, VSlice, VectorOpKind,
 };
 use dfx_model::Matrix;
-use dfx_num::{reduce, F16, SfuMath};
+use dfx_num::{reduce, SfuMath, F16};
 
 /// Why the executor paused.
 #[derive(Debug, Clone, PartialEq)]
@@ -323,10 +323,9 @@ impl FunctionalCore {
 
     fn exec_scalar(&mut self, s: &dfx_isa::ScalarInstr) {
         let a = self.sregs[s.a.0 as usize];
-        let b = s
-            .b
-            .map(|r| self.sregs[r.0 as usize])
-            .or_else(|| s.imm.map(F16::from_f32));
+        let b =
+            s.b.map(|r| self.sregs[r.0 as usize])
+                .or_else(|| s.imm.map(F16::from_f32));
         let out = match s.op {
             ScalarOpKind::Add => a + b.expect("add operand"),
             ScalarOpKind::Mul => a * b.expect("mul operand"),

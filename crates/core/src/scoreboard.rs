@@ -238,7 +238,10 @@ mod tests {
         let m = Instr::Matrix(MatrixInstr {
             kind: MatrixKind::Mm,
             src: VSlice::full(VReg(1), 4),
-            weight: TensorRef::Weight { layer: 0, kind: WeightKind::LmHead },
+            weight: TensorRef::Weight {
+                layer: 0,
+                kind: WeightKind::LmHead,
+            },
             bias: None,
             dst: VSlice::full(VReg(2), 4),
             rows: 4,
@@ -246,7 +249,10 @@ mod tests {
             valid_cols: 4,
             scale: None,
             gelu: false,
-            reduce_max: ReduceMax::ArgMax { idx: SReg(4), max: SReg(5) },
+            reduce_max: ReduceMax::ArgMax {
+                idx: SReg(4),
+                max: SReg(5),
+            },
         });
         assert_eq!(instr_reads(&m), vec![RegId::V(1)]);
         let writes = instr_writes(&m);

@@ -256,11 +256,10 @@ impl TimingCore {
                 // Conventional-scheme ablation: Value reads pay a full
                 // on-chip transpose before the stream can feed the MACs.
                 let transpose = match m.weight {
-                    TensorRef::Kv { kind: dfx_isa::KvKind::Value, .. }
-                        if self.read_side_transpose =>
-                    {
-                        u64::from(m.rows) * u64::from(m.cols)
-                    }
+                    TensorRef::Kv {
+                        kind: dfx_isa::KvKind::Value,
+                        ..
+                    } if self.read_side_transpose => u64::from(m.rows) * u64::from(m.cols),
                     _ => 0,
                 };
                 InstrCost {
@@ -298,9 +297,7 @@ impl TimingCore {
                 // Chunk partials accumulate serially through one FP adder.
                 InstrCost {
                     unit: Unit::Vpu,
-                    occupancy: Cycles(
-                        chunks * u64::from(step_lat) + u64::from(p.vector_overhead),
-                    ),
+                    occupancy: Cycles(chunks * u64::from(step_lat) + u64::from(p.vector_overhead)),
                     latency: Cycles(u64::from(tree_lat) * u64::from(p.vpu_tree_depth())),
                 }
             }
@@ -443,7 +440,9 @@ mod tests {
         let b = ProgramBuilder::with_options(
             cfg,
             ParallelConfig::new(0, 1),
-            BuilderOptions { qkv_order: QkvOrder::ValueLast },
+            BuilderOptions {
+                qkv_order: QkvOrder::ValueLast,
+            },
         )
         .unwrap();
         let p = b.token_step(0, false);

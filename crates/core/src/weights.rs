@@ -85,7 +85,8 @@ impl CoreWeights {
     /// [`ParallelConfig::check`] first).
     pub fn partition(weights: &GptWeights<F16>, par: ParallelConfig) -> Self {
         let cfg = weights.config.clone();
-        par.check(&cfg).expect("model must divide across the cluster");
+        par.check(&cfg)
+            .expect("model must divide across the cluster");
         let part = par.emb_part(&cfg);
         let ffn_part = par.ffn_part(&cfg);
         let c0 = par.core_id * part;
@@ -359,10 +360,7 @@ mod tests {
         assert_eq!(p.vocab_offset as usize, v0);
         for r in [0usize, 5, 63] {
             for c in [0usize, 3, 7] {
-                assert_eq!(
-                    p.lm_head[(r, c)].to_bits(),
-                    w.wte[(v0 + c, r)].to_bits()
-                );
+                assert_eq!(p.lm_head[(r, c)].to_bits(), w.wte[(v0 + c, r)].to_bits());
             }
         }
     }
@@ -397,9 +395,17 @@ mod tests {
         store.head_mut(0, 0).push_value(&r);
         store.head_mut(0, 0).push_key(&r);
         store.head_mut(0, 0).push_value(&r);
-        let kt = store.stream_matrix(TensorRef::Kv { layer: 0, head: 0, kind: KvKind::Key });
+        let kt = store.stream_matrix(TensorRef::Kv {
+            layer: 0,
+            head: 0,
+            kind: KvKind::Key,
+        });
         assert_eq!(kt.shape(), (4, 2)); // dh x t
-        let v = store.stream_matrix(TensorRef::Kv { layer: 0, head: 0, kind: KvKind::Value });
+        let v = store.stream_matrix(TensorRef::Kv {
+            layer: 0,
+            head: 0,
+            kind: KvKind::Value,
+        });
         assert_eq!(v.shape(), (2, 4)); // t x dh
         assert_eq!(v[(1, 2)].to_f32(), 2.0);
     }

@@ -69,8 +69,7 @@ impl HbmModel {
             return Cycles::ZERO;
         }
         let per_cycle = self.peak_bytes_per_cycle() * self.stream_efficiency;
-        self.request_setup * requests.max(1)
-            + Cycles((bytes as f64 / per_cycle).ceil() as u64)
+        self.request_setup * requests.max(1) + Cycles((bytes as f64 / per_cycle).ceil() as u64)
     }
 }
 

@@ -301,7 +301,11 @@ mod tests {
     fn narrow_matrices_collapse_the_orders() {
         // For cols <= d all three orders coincide in buffering.
         let s = TileShape::PAPER;
-        for order in [WalkOrder::Horizontal, WalkOrder::Vertical, WalkOrder::Zigzag] {
+        for order in [
+            WalkOrder::Horizontal,
+            WalkOrder::Vertical,
+            WalkOrder::Zigzag,
+        ] {
             let a = order.analysis(s, 256, 48);
             assert!(a.partial_sum_groups <= 3, "{order:?}: {a:?}");
         }

@@ -16,8 +16,7 @@
 
 use crate::instr::{
     DmaDir, DmaInstr, Instr, MatrixInstr, MatrixKind, ReduceInstr, ReduceKind, ReduceMax,
-    RouterInstr, RouterOp, ScalarInstr, ScalarOpKind, VReg, VSlice, VectorInstr,
-    VectorOpKind,
+    RouterInstr, RouterOp, ScalarInstr, ScalarOpKind, VReg, VSlice, VectorInstr, VectorOpKind,
 };
 use crate::program::{OpClass, Program, StepMeta};
 use crate::tensor_ref::{EmbedTable, KvKind, LnParam, TensorRef, WeightKind};
@@ -112,7 +111,10 @@ impl ParallelConfig {
     /// Panics if `core_id >= num_cores` or `num_cores == 0`.
     pub fn new(core_id: usize, num_cores: usize) -> Self {
         assert!(num_cores > 0, "cluster must contain at least one core");
-        assert!(core_id < num_cores, "core_id {core_id} >= num_cores {num_cores}");
+        assert!(
+            core_id < num_cores,
+            "core_id {core_id} >= num_cores {num_cores}"
+        );
         ParallelConfig { core_id, num_cores }
     }
 
@@ -301,7 +303,9 @@ impl ProgramBuilder {
             OpClass::Embed,
             Instr::Dma(DmaInstr {
                 dir: DmaDir::Load,
-                tensor: TensorRef::Embed { table: EmbedTable::Wte },
+                tensor: TensorRef::Embed {
+                    table: EmbedTable::Wte,
+                },
                 row: 0,
                 reg: Some(VSlice::full(regs::WTE_ROW, emb)),
                 bytes,
@@ -312,7 +316,9 @@ impl ProgramBuilder {
             OpClass::Embed,
             Instr::Dma(DmaInstr {
                 dir: DmaDir::Load,
-                tensor: TensorRef::Embed { table: EmbedTable::Wpe },
+                tensor: TensorRef::Embed {
+                    table: EmbedTable::Wpe,
+                },
                 row: token_pos as u32,
                 reg: Some(VSlice::full(regs::WPE_ROW, emb)),
                 bytes,
@@ -552,8 +558,14 @@ impl ProgramBuilder {
         // -- LayerNorm 1 --------------------------------------------------
         self.emit_layer_norm(
             p,
-            TensorRef::Ln { layer, param: LnParam::Ln1Gamma },
-            TensorRef::Ln { layer, param: LnParam::Ln1Beta },
+            TensorRef::Ln {
+                layer,
+                param: LnParam::Ln1Gamma,
+            },
+            TensorRef::Ln {
+                layer,
+                param: LnParam::Ln1Beta,
+            },
             regs::RESIDUAL,
             regs::LNORM,
         );
@@ -584,9 +596,17 @@ impl ProgramBuilder {
                         OpClass::SelfAttention,
                         Instr::Dma(DmaInstr {
                             dir: DmaDir::Store,
-                            tensor: TensorRef::Kv { layer, head: h as u16, kind: kv_kind },
+                            tensor: TensorRef::Kv {
+                                layer,
+                                head: h as u16,
+                                kind: kv_kind,
+                            },
                             row: token_pos as u32,
-                            reg: Some(VSlice { reg: dst, offset: h as u32 * dh, len: dh }),
+                            reg: Some(VSlice {
+                                reg: dst,
+                                offset: h as u32 * dh,
+                                len: dh,
+                            }),
                             bytes: u64::from(dh) * 2,
                             transpose,
                         }),
@@ -616,8 +636,16 @@ impl ProgramBuilder {
                 OpClass::SelfAttention,
                 Instr::Matrix(MatrixInstr {
                     kind: MatrixKind::MaskedMm,
-                    src: VSlice { reg: regs::QUERY, offset: h32 * dh, len: dh },
-                    weight: TensorRef::Kv { layer, head: h as u16, kind: KvKind::Key },
+                    src: VSlice {
+                        reg: regs::QUERY,
+                        offset: h32 * dh,
+                        len: dh,
+                    },
+                    weight: TensorRef::Kv {
+                        layer,
+                        head: h as u16,
+                        kind: KvKind::Key,
+                    },
                     bias: None,
                     dst: VSlice::full(regs::SCORE, t),
                     rows: dh,
@@ -687,9 +715,17 @@ impl ProgramBuilder {
                 Instr::Matrix(MatrixInstr {
                     kind: MatrixKind::Mm,
                     src: VSlice::full(regs::PROBS, t),
-                    weight: TensorRef::Kv { layer, head: h as u16, kind: KvKind::Value },
+                    weight: TensorRef::Kv {
+                        layer,
+                        head: h as u16,
+                        kind: KvKind::Value,
+                    },
                     bias: None,
-                    dst: VSlice { reg: regs::ATTN, offset: h32 * dh, len: dh },
+                    dst: VSlice {
+                        reg: regs::ATTN,
+                        offset: h32 * dh,
+                        len: dh,
+                    },
                     rows: t,
                     cols: dh,
                     valid_cols: dh,
@@ -741,8 +777,14 @@ impl ProgramBuilder {
         // -- LayerNorm 2 ----------------------------------------------------
         self.emit_layer_norm(
             p,
-            TensorRef::Ln { layer, param: LnParam::Ln2Gamma },
-            TensorRef::Ln { layer, param: LnParam::Ln2Beta },
+            TensorRef::Ln {
+                layer,
+                param: LnParam::Ln2Gamma,
+            },
+            TensorRef::Ln {
+                layer,
+                param: LnParam::Ln2Beta,
+            },
             regs::RES1,
             regs::LNORM2,
         );
@@ -801,8 +843,14 @@ impl ProgramBuilder {
         let last_layer = cfg.num_layers as u16; // ln_f stored past the layers
         self.emit_layer_norm(
             p,
-            TensorRef::Ln { layer: last_layer, param: LnParam::LnFGamma },
-            TensorRef::Ln { layer: last_layer, param: LnParam::LnFBeta },
+            TensorRef::Ln {
+                layer: last_layer,
+                param: LnParam::LnFGamma,
+            },
+            TensorRef::Ln {
+                layer: last_layer,
+                param: LnParam::LnFBeta,
+            },
             regs::RESIDUAL,
             regs::LM_HIDDEN,
         );
@@ -813,7 +861,10 @@ impl ProgramBuilder {
             Instr::Matrix(MatrixInstr {
                 kind: MatrixKind::Mm,
                 src: VSlice::full(regs::LM_HIDDEN, emb),
-                weight: TensorRef::Weight { layer: 0, kind: WeightKind::LmHead },
+                weight: TensorRef::Weight {
+                    layer: 0,
+                    kind: WeightKind::LmHead,
+                },
                 bias: None,
                 dst: VSlice::full(regs::LOGITS, vocab_part),
                 rows: emb,
@@ -869,7 +920,8 @@ mod tests {
             let b = builder(cores);
             for pos in [0, 3, 7] {
                 let p = b.token_step(pos, true);
-                p.validate().unwrap_or_else(|e| panic!("{cores} cores pos {pos}: {e}"));
+                p.validate()
+                    .unwrap_or_else(|e| panic!("{cores} cores pos {pos}: {e}"));
             }
         }
     }
@@ -878,7 +930,11 @@ mod tests {
     fn four_syncs_per_layer_in_multicore_mode() {
         let b = builder(2);
         let p = b.token_step(0, false);
-        let syncs = p.op_class_histogram().get(&OpClass::Sync).copied().unwrap_or(0);
+        let syncs = p
+            .op_class_histogram()
+            .get(&OpClass::Sync)
+            .copied()
+            .unwrap_or(0);
         assert_eq!(
             syncs,
             4 * b.config().num_layers,

@@ -84,7 +84,6 @@ impl Reader {
     }
 }
 
-
 fn put_vslice(buf: &mut BytesMut, s: VSlice) {
     buf.put_u8(s.reg.0);
     buf.put_u32_le(s.offset);
@@ -364,7 +363,14 @@ fn decode_instr(buf: &mut Reader) -> Result<AnnotatedInstr, String> {
             };
             let dst = VReg(buf.u8()?);
             let len = buf.u32()?;
-            Instr::Vector(VectorInstr { op, a, b, s, dst, len })
+            Instr::Vector(VectorInstr {
+                op,
+                a,
+                b,
+                s,
+                dst,
+                len,
+            })
         }
         2 => {
             let kind = match buf.u8()? {
@@ -413,7 +419,14 @@ fn decode_instr(buf: &mut Reader) -> Result<AnnotatedInstr, String> {
             };
             let bytes = buf.u64()?;
             let transpose = buf.u8()? == 1;
-            Instr::Dma(DmaInstr { dir, tensor, row, reg, bytes, transpose })
+            Instr::Dma(DmaInstr {
+                dir,
+                tensor,
+                row,
+                reg,
+                bytes,
+                transpose,
+            })
         }
         5 => {
             let op = match buf.u8()? {
@@ -432,7 +445,14 @@ fn decode_instr(buf: &mut Reader) -> Result<AnnotatedInstr, String> {
                 r => Some(SReg(r)),
             };
             let bytes = buf.u64()?;
-            Instr::Router(RouterInstr { op, src, dst, idx, max, bytes })
+            Instr::Router(RouterInstr {
+                op,
+                src,
+                dst,
+                idx,
+                max,
+                bytes,
+            })
         }
         x => return Err(format!("bad instruction tag {x}")),
     };
@@ -482,8 +502,7 @@ pub fn decode_program(bytes: Bytes) -> Result<Program, DecodeError> {
         num_cores,
     });
     for i in 0..count {
-        let ai = decode_instr(&mut r)
-            .map_err(|m| fail(&r, format!("instruction {i}: {m}")))?;
+        let ai = decode_instr(&mut r).map_err(|m| fail(&r, format!("instruction {i}: {m}")))?;
         program.push(ai.class, ai.instr);
     }
     Ok(program)

@@ -55,7 +55,11 @@ pub struct VSlice {
 impl VSlice {
     /// A slice covering `reg[0..len]`.
     pub fn full(reg: VReg, len: u32) -> Self {
-        VSlice { reg, offset: 0, len }
+        VSlice {
+            reg,
+            offset: 0,
+            len,
+        }
     }
 }
 
@@ -64,7 +68,13 @@ impl std::fmt::Display for VSlice {
         if self.offset == 0 {
             write!(f, "{}[0..{}]", self.reg, self.len)
         } else {
-            write!(f, "{}[{}..{}]", self.reg, self.offset, self.offset + self.len)
+            write!(
+                f,
+                "{}[{}..{}]",
+                self.reg,
+                self.offset,
+                self.offset + self.len
+            )
         }
     }
 }
@@ -398,7 +408,11 @@ impl std::fmt::Display for Instr {
             }
             Instr::Router(r) => match r.op {
                 RouterOp::AllGather => {
-                    write!(f, "sync.allgather {} -> {} ({} B/core)", r.src, r.dst, r.bytes)
+                    write!(
+                        f,
+                        "sync.allgather {} -> {} ({} B/core)",
+                        r.src, r.dst, r.bytes
+                    )
                 }
                 RouterOp::AllReduceArgMax => write!(
                     f,
@@ -422,8 +436,14 @@ mod tests {
         let m = MatrixInstr {
             kind: MatrixKind::Conv1d,
             src: VSlice::full(VReg(1), 1536),
-            weight: TensorRef::Weight { layer: 0, kind: WeightKind::Ffn1 },
-            bias: Some(TensorRef::Bias { layer: 0, kind: WeightKind::Ffn1 }),
+            weight: TensorRef::Weight {
+                layer: 0,
+                kind: WeightKind::Ffn1,
+            },
+            bias: Some(TensorRef::Bias {
+                layer: 0,
+                kind: WeightKind::Ffn1,
+            }),
             dst: VSlice::full(VReg(2), 1536),
             rows: 1536,
             cols: 1536,
@@ -442,8 +462,16 @@ mod tests {
     fn display_masked_mm_with_mask_and_scale() {
         let m = MatrixInstr {
             kind: MatrixKind::MaskedMm,
-            src: VSlice { reg: VReg(4), offset: 64, len: 64 },
-            weight: TensorRef::Kv { layer: 3, head: 1, kind: KvKind::Key },
+            src: VSlice {
+                reg: VReg(4),
+                offset: 64,
+                len: 64,
+            },
+            weight: TensorRef::Kv {
+                layer: 3,
+                head: 1,
+                kind: KvKind::Key,
+            },
             bias: None,
             dst: VSlice::full(VReg(5), 16),
             rows: 64,

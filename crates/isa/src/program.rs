@@ -193,7 +193,9 @@ impl Program {
                     if m.kind != MatrixKind::MaskedMm && m.valid_cols != m.cols {
                         return err(i, "masking is only defined for maskedmm".into());
                     }
-                    if m.kind == MatrixKind::Conv1d && matches!(m.reduce_max, ReduceMax::ArgMax { .. }) {
+                    if m.kind == MatrixKind::Conv1d
+                        && matches!(m.reduce_max, ReduceMax::ArgMax { .. })
+                    {
                         return err(i, "argmax fusion is for mm (LM head)".into());
                     }
                     if m.bias.is_some() && m.kind != MatrixKind::Conv1d {
@@ -330,7 +332,10 @@ mod tests {
             Instr::Matrix(MatrixInstr {
                 kind: MatrixKind::Conv1d,
                 src: VSlice::full(VReg(0), 100),
-                weight: TensorRef::Weight { layer: 0, kind: WeightKind::Ffn1 },
+                weight: TensorRef::Weight {
+                    layer: 0,
+                    kind: WeightKind::Ffn1,
+                },
                 bias: None,
                 dst: VSlice::full(VReg(1), 64),
                 rows: 128, // mismatch with src.len
@@ -370,7 +375,10 @@ mod tests {
             Instr::Matrix(MatrixInstr {
                 kind: MatrixKind::Conv1d,
                 src: VSlice::full(VReg(0), 8),
-                weight: TensorRef::Weight { layer: 0, kind: WeightKind::Ffn1 },
+                weight: TensorRef::Weight {
+                    layer: 0,
+                    kind: WeightKind::Ffn1,
+                },
                 bias: None,
                 dst: VSlice::full(VReg(1), 8),
                 rows: 8,

@@ -200,13 +200,13 @@ impl MemoryMap {
         let ffn_part = par.ffn_part(cfg) as u64;
         let (v0, v1) = par.vocab_range(cfg);
         let weight_bytes = [
-            e * part * 2,             // Query
-            e * part * 2,             // Key
-            e * part * 2,             // Value
-            e * part * 2,             // AttnProj
-            e * ffn_part * 2,         // Ffn1
+            e * part * 2,                  // Query
+            e * part * 2,                  // Key
+            e * part * 2,                  // Value
+            e * part * 2,                  // AttnProj
+            e * ffn_part * 2,              // Ffn1
             cfg.ffn_dim as u64 * part * 2, // Ffn2
-            e * (v1 - v0) as u64 * 2, // LmHead
+            e * (v1 - v0) as u64 * 2,      // LmHead
         ];
         let kv_region_bytes = cfg.max_seq_len as u64 * cfg.head_dim() as u64 * 2;
         MemoryMap::new(
@@ -238,8 +238,7 @@ impl MemoryMap {
                 u64::from(layer) * self.layer_weight_stride() + prior
             }
             TensorRef::Kv { layer, head, kind } => {
-                let weights_end =
-                    self.layer_weight_stride() * self.layers + self.weight_bytes[6];
+                let weights_end = self.layer_weight_stride() * self.layers + self.weight_bytes[6];
                 let per_layer = self.kv_region_bytes * self.heads * 2;
                 let kv_off = match kind {
                     KvKind::Key => 0,
@@ -274,9 +273,18 @@ mod tests {
     #[test]
     fn weight_addresses_are_disjoint_and_ordered() {
         let map = sample_map();
-        let q0 = map.hbm_addr(TensorRef::Weight { layer: 0, kind: WeightKind::Query });
-        let k0 = map.hbm_addr(TensorRef::Weight { layer: 0, kind: WeightKind::Key });
-        let q1 = map.hbm_addr(TensorRef::Weight { layer: 1, kind: WeightKind::Query });
+        let q0 = map.hbm_addr(TensorRef::Weight {
+            layer: 0,
+            kind: WeightKind::Query,
+        });
+        let k0 = map.hbm_addr(TensorRef::Weight {
+            layer: 0,
+            kind: WeightKind::Key,
+        });
+        let q1 = map.hbm_addr(TensorRef::Weight {
+            layer: 1,
+            kind: WeightKind::Query,
+        });
         assert_eq!(q0, 0);
         assert_eq!(k0, 100);
         assert_eq!(q1, 1200);
@@ -285,7 +293,10 @@ mod tests {
     #[test]
     fn lm_head_follows_all_layers() {
         let map = sample_map();
-        let lm = map.hbm_addr(TensorRef::Weight { layer: 0, kind: WeightKind::LmHead });
+        let lm = map.hbm_addr(TensorRef::Weight {
+            layer: 0,
+            kind: WeightKind::LmHead,
+        });
         assert_eq!(lm, 2400);
     }
 
@@ -293,10 +304,26 @@ mod tests {
     fn kv_regions_follow_weights_and_do_not_overlap() {
         let map = sample_map();
         let base = 2400 + 1000;
-        let k_l0_h0 = map.hbm_addr(TensorRef::Kv { layer: 0, head: 0, kind: KvKind::Key });
-        let k_l0_h1 = map.hbm_addr(TensorRef::Kv { layer: 0, head: 1, kind: KvKind::Key });
-        let v_l0_h0 = map.hbm_addr(TensorRef::Kv { layer: 0, head: 0, kind: KvKind::Value });
-        let k_l1_h0 = map.hbm_addr(TensorRef::Kv { layer: 1, head: 0, kind: KvKind::Key });
+        let k_l0_h0 = map.hbm_addr(TensorRef::Kv {
+            layer: 0,
+            head: 0,
+            kind: KvKind::Key,
+        });
+        let k_l0_h1 = map.hbm_addr(TensorRef::Kv {
+            layer: 0,
+            head: 1,
+            kind: KvKind::Key,
+        });
+        let v_l0_h0 = map.hbm_addr(TensorRef::Kv {
+            layer: 0,
+            head: 0,
+            kind: KvKind::Value,
+        });
+        let k_l1_h0 = map.hbm_addr(TensorRef::Kv {
+            layer: 1,
+            head: 0,
+            kind: KvKind::Key,
+        });
         assert_eq!(k_l0_h0, base);
         assert_eq!(k_l0_h1, base + 64);
         assert_eq!(v_l0_h0, base + 128);
@@ -313,9 +340,16 @@ mod tests {
 
     #[test]
     fn display_forms_are_readable() {
-        let t = TensorRef::Weight { layer: 3, kind: WeightKind::Ffn1 };
+        let t = TensorRef::Weight {
+            layer: 3,
+            kind: WeightKind::Ffn1,
+        };
         assert_eq!(t.to_string(), "hbm:wf1[L3]");
-        let kv = TensorRef::Kv { layer: 1, head: 2, kind: KvKind::Value };
+        let kv = TensorRef::Kv {
+            layer: 1,
+            head: 2,
+            kind: KvKind::Value,
+        };
         assert_eq!(kv.to_string(), "hbm:V[L1.h2]");
         assert!(!TensorRef::TokenIo.is_hbm());
     }

@@ -51,8 +51,10 @@ impl GptConfig {
         vocab_size: usize,
         max_seq_len: usize,
     ) -> Self {
-        assert!(num_heads > 0 && embedding_dim % num_heads == 0,
-            "embedding_dim {embedding_dim} must be divisible by num_heads {num_heads}");
+        assert!(
+            num_heads > 0 && embedding_dim % num_heads == 0,
+            "embedding_dim {embedding_dim} must be divisible by num_heads {num_heads}"
+        );
         GptConfig {
             name: name.into(),
             embedding_dim,
@@ -215,17 +217,32 @@ mod tests {
         // Paper Table I.
         let m345 = GptConfig::gpt2_345m();
         assert_eq!(
-            (m345.embedding_dim, m345.num_heads, m345.head_dim(), m345.num_layers),
+            (
+                m345.embedding_dim,
+                m345.num_heads,
+                m345.head_dim(),
+                m345.num_layers
+            ),
             (1024, 16, 64, 24)
         );
         let m774 = GptConfig::gpt2_774m();
         assert_eq!(
-            (m774.embedding_dim, m774.num_heads, m774.head_dim(), m774.num_layers),
+            (
+                m774.embedding_dim,
+                m774.num_heads,
+                m774.head_dim(),
+                m774.num_layers
+            ),
             (1280, 20, 64, 36)
         );
         let m15 = GptConfig::gpt2_1_5b();
         assert_eq!(
-            (m15.embedding_dim, m15.num_heads, m15.head_dim(), m15.num_layers),
+            (
+                m15.embedding_dim,
+                m15.num_heads,
+                m15.head_dim(),
+                m15.num_layers
+            ),
             (1536, 24, 64, 48)
         );
     }
@@ -237,12 +254,21 @@ mod tests {
             let got = got as f64;
             (got - want).abs() / want < 0.25
         };
-        assert!(close(GptConfig::gpt2_345m().num_parameters(), 345e6),
-            "345M count: {}", GptConfig::gpt2_345m().num_parameters());
-        assert!(close(GptConfig::gpt2_774m().num_parameters(), 774e6),
-            "774M count: {}", GptConfig::gpt2_774m().num_parameters());
-        assert!(close(GptConfig::gpt2_1_5b().num_parameters(), 1.5e9),
-            "1.5B count: {}", GptConfig::gpt2_1_5b().num_parameters());
+        assert!(
+            close(GptConfig::gpt2_345m().num_parameters(), 345e6),
+            "345M count: {}",
+            GptConfig::gpt2_345m().num_parameters()
+        );
+        assert!(
+            close(GptConfig::gpt2_774m().num_parameters(), 774e6),
+            "774M count: {}",
+            GptConfig::gpt2_774m().num_parameters()
+        );
+        assert!(
+            close(GptConfig::gpt2_1_5b().num_parameters(), 1.5e9),
+            "1.5B count: {}",
+            GptConfig::gpt2_1_5b().num_parameters()
+        );
     }
 
     #[test]

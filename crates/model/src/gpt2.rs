@@ -90,7 +90,9 @@ pub fn layer_norm<T: Scalar>(x: &[T], gamma: &[T], beta: &[T]) -> Vec<T> {
 /// Numerically stable softmax: `exp(x_i − max)/Σ exp(x_j − max)`, with the
 /// division realised as multiply-by-reciprocal (paper §IV-C).
 pub fn softmax<T: Scalar>(x: &[T]) -> Vec<T> {
-    let max = x.iter().fold(T::from_f64(f64::NEG_INFINITY), |m, &v| m.max_num(v));
+    let max = x
+        .iter()
+        .fold(T::from_f64(f64::NEG_INFINITY), |m, &v| m.max_num(v));
     let exps: Vec<T> = x.iter().map(|&v| v.sub(max).exp()).collect();
     let sum = exps.iter().fold(T::ZERO, |a, &b| a.add(b));
     let rsum = sum.recip();
@@ -257,7 +259,10 @@ impl<T: Scalar> Gpt2Model<T> {
     /// Panics if `input_tokens` is empty or the total sequence exceeds the
     /// model's maximum length.
     pub fn generate(&self, input_tokens: &[u32], output_len: usize) -> GenerationOutput {
-        assert!(!input_tokens.is_empty(), "context must contain at least one token");
+        assert!(
+            !input_tokens.is_empty(),
+            "context must contain at least one token"
+        );
         let total = input_tokens.len() + output_len;
         assert!(
             total <= self.weights.config.max_seq_len,
@@ -345,7 +350,10 @@ mod tests {
         let b = model.generate(&[5, 10, 15], 6);
         assert_eq!(a, b);
         assert_eq!(a.tokens.len(), 6);
-        assert!(a.tokens.iter().all(|&t| (t as usize) < model.config().vocab_size));
+        assert!(a
+            .tokens
+            .iter()
+            .all(|&t| (t as usize) < model.config().vocab_size));
     }
 
     #[test]
@@ -367,10 +375,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
         model.forward_token(2, 1, &mut cache);
         assert_eq!(cache.len(), 2);
-        assert_eq!(
-            cache.keys(0).shape(),
-            (2, model.config().embedding_dim)
-        );
+        assert_eq!(cache.keys(0).shape(), (2, model.config().embedding_dim));
     }
 
     #[test]

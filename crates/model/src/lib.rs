@@ -26,9 +26,7 @@ mod tokenizer;
 mod weights;
 
 pub use config::{GptConfig, Workload};
-pub use gpt2::{
-    argmax, layer_norm, softmax, GenerationOutput, Gpt2Model, KvCache, LAYER_NORM_EPS,
-};
+pub use gpt2::{argmax, layer_norm, softmax, GenerationOutput, Gpt2Model, KvCache, LAYER_NORM_EPS};
 pub use tensor::{dot, vec_add, vec_sub, Matrix};
 pub use tokenizer::Tokenizer;
 pub use weights::{GptWeights, LayerWeights};

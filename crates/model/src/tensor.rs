@@ -125,7 +125,9 @@ impl<T: Scalar> Matrix<T> {
     /// Extracts column `c` as an owned vector.
     pub fn col_vec(&self, c: usize) -> Vec<T> {
         assert!(c < self.cols, "col {c} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns the transposed matrix.
@@ -230,7 +232,10 @@ impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -238,7 +243,10 @@ impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

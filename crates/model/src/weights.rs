@@ -238,11 +238,7 @@ mod tests {
     fn weight_scale_is_fp16_friendly() {
         let cfg = GptConfig::tiny();
         let w = GptWeights::synthetic(&cfg);
-        let max = w
-            .wte
-            .as_slice()
-            .iter()
-            .fold(0f32, |m, &x| m.max(x.abs()));
+        let max = w.wte.as_slice().iter().fold(0f32, |m, &x| m.max(x.abs()));
         assert!(max < 0.05, "init scale too large: {max}");
         // Casting to F16 must not lose any value to zero or infinity.
         let h: GptWeights<F16> = w.cast();

@@ -496,10 +496,7 @@ mod tests {
             "tie must round to even mantissa"
         );
         // Just above the tie rounds up.
-        assert_eq!(
-            F16::from_f64(tie + 1e-9).to_bits(),
-            F16::ONE.to_bits() + 1
-        );
+        assert_eq!(F16::from_f64(tie + 1e-9).to_bits(), F16::ONE.to_bits() + 1);
     }
 
     #[test]

@@ -152,7 +152,10 @@ mod tests {
     fn mac_tree_matches_dot_product() {
         let x = halves(&[1.0, 2.0, 3.0, 4.0]);
         let w = halves(&[0.5, 0.25, 1.0, -1.0]);
-        assert_eq!(mac_tree(&x, &w).to_f32(), 1.0 * 0.5 + 2.0 * 0.25 + 3.0 - 4.0);
+        assert_eq!(
+            mac_tree(&x, &w).to_f32(),
+            1.0 * 0.5 + 2.0 * 0.25 + 3.0 - 4.0
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::sfu;
 ///
 /// This trait is sealed: the simulator's numerics are only meaningful for
 /// the three concrete precisions provided here.
-pub trait Scalar: Copy + Clone + std::fmt::Debug + PartialOrd + Send + Sync + private::Sealed {
+pub trait Scalar:
+    Copy + Clone + std::fmt::Debug + PartialOrd + Send + Sync + private::Sealed
+{
     /// Additive identity.
     const ZERO: Self;
     /// Multiplicative identity.

@@ -36,9 +36,21 @@ pub struct AccuracyTask {
 /// The paper's three task sets at their published sizes.
 pub fn paper_tasks() -> Vec<AccuracyTask> {
     vec![
-        AccuracyTask { name: "WSC".into(), items: 273, context_len: 12 },
-        AccuracyTask { name: "CBT-CN".into(), items: 2_500, context_len: 16 },
-        AccuracyTask { name: "CBT-NE".into(), items: 2_500, context_len: 16 },
+        AccuracyTask {
+            name: "WSC".into(),
+            items: 273,
+            context_len: 12,
+        },
+        AccuracyTask {
+            name: "CBT-CN".into(),
+            items: 2_500,
+            context_len: 16,
+        },
+        AccuracyTask {
+            name: "CBT-NE".into(),
+            items: 2_500,
+            context_len: 16,
+        },
     ]
 }
 

@@ -203,8 +203,7 @@ impl Appliance {
     ) -> Result<Self, SimError> {
         let par = ParallelConfig::new(0, num_fpgas);
         Self::check_capacity(&cfg, par)?;
-        let builder =
-            ProgramBuilder::new(cfg.clone(), par).map_err(SimError::Partition)?;
+        let builder = ProgramBuilder::new(cfg.clone(), par).map_err(SimError::Partition)?;
         Ok(Appliance {
             cfg,
             num_fpgas,
@@ -224,8 +223,7 @@ impl Appliance {
     pub fn functional(weights: GptWeights<F16>, num_fpgas: usize) -> Result<Self, SimError> {
         let cfg = weights.config.clone();
         let par = ParallelConfig::new(0, num_fpgas);
-        let builder =
-            ProgramBuilder::new(cfg.clone(), par).map_err(SimError::Partition)?;
+        let builder = ProgramBuilder::new(cfg.clone(), par).map_err(SimError::Partition)?;
         let cluster = FunctionalCluster::new(weights, num_fpgas)?;
         Ok(Appliance {
             cfg,
@@ -253,7 +251,11 @@ impl Appliance {
     ///
     /// Returns [`SimError::InvalidRequest`] for empty or overlong
     /// workloads.
-    pub fn generate_timed(&self, input_len: usize, output_len: usize) -> Result<TimedRun, SimError> {
+    pub fn generate_timed(
+        &self,
+        input_len: usize,
+        output_len: usize,
+    ) -> Result<TimedRun, SimError> {
         let workload = Workload::new(input_len, output_len);
         self.check_workload(workload)?;
 
@@ -283,7 +285,11 @@ impl Appliance {
     ///
     /// Returns [`SimError::InvalidRequest`] in timing-only mode or for
     /// invalid workloads, and propagates cluster errors.
-    pub fn generate(&mut self, input: &[u32], output_len: usize) -> Result<GenerationRun, SimError> {
+    pub fn generate(
+        &mut self,
+        input: &[u32],
+        output_len: usize,
+    ) -> Result<GenerationRun, SimError> {
         let timed = self.generate_timed(input.len(), output_len)?;
         match &mut self.mode {
             Mode::TimingOnly => Err(SimError::InvalidRequest(
@@ -344,8 +350,7 @@ mod tests {
         assert!(run.summarization_ms() > 0.0);
         assert!(run.generation_ms() > 0.0);
         assert!(
-            (run.total_latency_ms() - run.summarization_ms() - run.generation_ms()).abs()
-                < 1e-9
+            (run.total_latency_ms() - run.summarization_ms() - run.generation_ms()).abs() < 1e-9
         );
         assert!(run.tokens_per_second() > 0.0);
     }

@@ -122,7 +122,10 @@ impl FunctionalCluster {
                     let mut partials = Vec::with_capacity(self.cores.len());
                     for (i, (at, ev)) in events.iter().enumerate() {
                         match ev {
-                            CoreEvent::AllGather { instr_index, partial } if *at == idx => {
+                            CoreEvent::AllGather {
+                                instr_index,
+                                partial,
+                            } if *at == idx => {
                                 debug_assert_eq!(*instr_index, idx);
                                 partials.push(partial.clone());
                             }
@@ -149,7 +152,11 @@ impl FunctionalCluster {
                     let mut candidates = Vec::with_capacity(self.cores.len());
                     for (i, (_, ev)) in events.iter().enumerate() {
                         match ev {
-                            CoreEvent::ArgMaxSync { local_idx, local_max, .. } => {
+                            CoreEvent::ArgMaxSync {
+                                local_idx,
+                                local_max,
+                                ..
+                            } => {
                                 candidates.push((*local_idx, local_max.to_f64()));
                             }
                             other => {

@@ -67,8 +67,7 @@ impl CostComparison {
 
     /// DFX's cost-effectiveness advantage (the paper reports 8.21×).
     pub fn dfx_advantage(&self) -> f64 {
-        self.dfx.tokens_per_second_per_million_usd()
-            / self.gpu.tokens_per_second_per_million_usd()
+        self.dfx.tokens_per_second_per_million_usd() / self.gpu.tokens_per_second_per_million_usd()
     }
 
     /// Upfront saving of DFX over the GPU appliance, USD (paper: $14,652).

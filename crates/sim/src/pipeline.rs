@@ -91,7 +91,8 @@ pub fn pipelined_generate_timed(
         transfer += hop * hops_per_pass;
     }
     for out in 1..workload.output_len {
-        compute.accumulate(&engine.time_step(&builder.token_step(workload.input_len + out - 1, true)));
+        compute
+            .accumulate(&engine.time_step(&builder.token_step(workload.input_len + out - 1, true)));
         transfer += hop * hops_per_pass + loopback;
     }
 

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let d = dfx.generate_timed(w.input_len, w.output_len)?;
             let g = gpu.run(w);
             let speedup = g.total_ms() / d.total_latency_ms();
-            let marker = if speedup >= 1.0 { "DFX wins" } else { "GPU wins" };
+            let marker = if speedup >= 1.0 {
+                "DFX wins"
+            } else {
+                "GPU wins"
+            };
             println!(
                 "{:<10} {:>12.1} {:>12.1} {:>9.2}x  {marker}",
                 w.to_string(),

@@ -73,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cost.dfx.tokens_per_second_per_million_usd(),
         cost.dfx.total_cost_usd()
     );
-    println!("  advantage    : {:.2}x (paper reports 8.21x)", cost.dfx_advantage());
+    println!(
+        "  advantage    : {:.2}x (paper reports 8.21x)",
+        cost.dfx_advantage()
+    );
     Ok(())
 }

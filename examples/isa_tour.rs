@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Token step 3 (context of 4 after this step), with the LM head.
     let program = builder.token_step(3, true);
-    program.validate().map_err(|e| std::io::Error::other(e.to_string()))?;
+    program
+        .validate()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
 
     println!(
         "model {} on core 0 of 2 | token position 3 | {} instructions\n",

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.timed.summarization_ms(),
         run.timed.generation_ms(),
     );
-    println!("throughput       : {:.1} tokens/s", run.timed.tokens_per_second());
+    println!(
+        "throughput       : {:.1} tokens/s",
+        run.timed.tokens_per_second()
+    );
     println!();
     println!("latency breakdown (decoder classes):");
     for (class, share) in run.timed.breakdown().fig15_shares() {
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Sanity: the reference model produces the same tokens.
     let reference = Gpt2Model::new(weights16);
     let expect = reference.generate(&input, 8);
-    assert_eq!(run.tokens, expect.tokens, "cluster must match the reference");
+    assert_eq!(
+        run.tokens, expect.tokens,
+        "cluster must match the reference"
+    );
     println!("\nverified: 2-FPGA cluster output matches the single-model reference");
     Ok(())
 }

@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_requests = 200;
     let requests: Vec<Workload> = (0..n_requests)
         .map(|_| {
-            let input = *[32usize, 48, 64, 96].as_slice().get(rng.gen_range(0..4)).unwrap();
-            let output = *[16usize, 32, 64, 96].as_slice().get(rng.gen_range(0..4)).unwrap();
+            let input = *[32usize, 48, 64, 96]
+                .as_slice()
+                .get(rng.gen_range(0..4))
+                .unwrap();
+            let output = *[16usize, 32, 64, 96]
+                .as_slice()
+                .get(rng.gen_range(0..4))
+                .unwrap();
             Workload::new(input, output)
         })
         .collect();

@@ -8,6 +8,46 @@ use dfx::model::{GptConfig, Workload};
 use dfx::sim::Appliance;
 
 #[test]
+fn headline_32_4_setup_is_finite_positive_and_stable() {
+    // The quickstart's headline configuration: GPT-2 1.5B on a 4-FPGA
+    // appliance at the [32:4] workload. The timing simulation is
+    // deterministic, so two runs of the same appliance must agree bit
+    // for bit, and every reported quantity must be a positive finite
+    // number.
+    let appliance = Appliance::timing_only(GptConfig::gpt2_1_5b(), 4).unwrap();
+    let first = appliance.generate_timed(32, 4).unwrap();
+    let second = appliance.generate_timed(32, 4).unwrap();
+
+    let total = first.total_latency_ms();
+    assert!(total.is_finite() && total > 0.0, "total latency: {total}");
+
+    let summ = first.summarization_ms();
+    let gen = first.generation_ms();
+    assert!(summ.is_finite() && summ > 0.0, "summarization: {summ}");
+    assert!(gen.is_finite() && gen > 0.0, "generation: {gen}");
+    assert!(
+        (summ + gen) <= total + 1e-9,
+        "stages exceed total: {summ} + {gen} > {total}"
+    );
+
+    let tps = first.tokens_per_second();
+    assert!(tps.is_finite() && tps > 0.0, "tokens/s: {tps}");
+
+    assert_eq!(
+        first.total_latency_ms().to_bits(),
+        second.total_latency_ms().to_bits(),
+        "timing must be deterministic across runs: {} vs {}",
+        first.total_latency_ms(),
+        second.total_latency_ms()
+    );
+    assert_eq!(
+        first.generation_ms().to_bits(),
+        second.generation_ms().to_bits(),
+        "generation stage must be deterministic across runs"
+    );
+}
+
+#[test]
 fn dfx_latency_is_linear_in_tokens() {
     // The matrix-vector dataflow processes every token at near-constant
     // cost: doubling output tokens should roughly double generation time.
@@ -34,7 +74,10 @@ fn gpu_wins_summarization_dfx_wins_generation() {
 
     let d_summ = dfx.generate_timed(128, 1).unwrap().total_latency_ms();
     let g_summ = gpu.run(Workload::new(128, 1)).total_ms();
-    assert!(g_summ < d_summ, "GPU should win [128:1]: {g_summ} vs {d_summ}");
+    assert!(
+        g_summ < d_summ,
+        "GPU should win [128:1]: {g_summ} vs {d_summ}"
+    );
 
     let d_gen = dfx.generate_timed(32, 64).unwrap().total_latency_ms();
     let g_gen = gpu.run(Workload::new(32, 64)).total_ms();

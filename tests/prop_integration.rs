@@ -10,18 +10,17 @@ use proptest::prelude::*;
 /// Random tiny-but-legal model geometries (head_dim stays 32/64-ish so
 /// programs remain small enough for debug-mode execution).
 fn arb_config() -> impl Strategy<Value = GptConfig> {
-    (1usize..=4, 1usize..=2, 6u8..=10)
-        .prop_map(|(heads, layers, vocab_pow)| {
-            let emb = heads * 32;
-            GptConfig::new(
-                format!("prop-{heads}h-{layers}l"),
-                emb,
-                heads,
-                layers,
-                1usize << vocab_pow,
-                64,
-            )
-        })
+    (1usize..=4, 1usize..=2, 6u8..=10).prop_map(|(heads, layers, vocab_pow)| {
+        let emb = heads * 32;
+        GptConfig::new(
+            format!("prop-{heads}h-{layers}l"),
+            emb,
+            heads,
+            layers,
+            1usize << vocab_pow,
+            64,
+        )
+    })
 }
 
 proptest! {

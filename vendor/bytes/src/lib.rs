@@ -1,0 +1,336 @@
+//! Minimal stand-in for the `bytes` crate (1.x API subset).
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] traits
+//! with the little-endian accessors the DFX binary program encoding uses.
+//! `Bytes` is a cheaply cloneable, sliceable view over shared immutable
+//! storage, as in the real crate; reading through [`Buf`] consumes from
+//! the front of the view.
+
+use std::sync::Arc;
+
+/// A cheaply cloneable contiguous slice of immutable bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Creates `Bytes` from a static slice. The stand-in copies (the
+    /// real crate borrows), which is semantically equivalent.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-view of `self` for the given range (relative to the
+    /// current view). Panics when the range is out of bounds, like the
+    /// real crate.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice index out of range: {lo}..{hi} of {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read access to a buffer of bytes, consuming from the front.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// The remaining bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes. Panics past the end.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte. Panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u16`. Panics on underflow.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`. Panics on underflow.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`. Panics on underflow.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+/// Write access to an append-only byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Converts into immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_accessors() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_f32_le(1.5);
+        let mut b = w.freeze();
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 4);
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.get_f32_le(), 1.5);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(s2.to_vec(), vec![3, 4]);
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal wall-clock stand-in for `criterion` 0.5.
+//!
+//! Supports the subset the workspace benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], per-group
+//! `sample_size`, `bench_function` with a [`Bencher`], and [`black_box`].
+//! Each benchmark is timed with `std::time::Instant` over a fixed
+//! per-sample time budget and the mean/min per-iteration time is printed.
+//! There is no statistical analysis, warm-up tuning or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_bench(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration pass: one iteration to estimate the per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~20 ms of work per sample, capped so huge routines still
+    // finish, with at least one iteration.
+    let budget = Duration::from_millis(20);
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / (iters as u32);
+        best = best.min(per);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let mean = total / (total_iters.max(1) as u32);
+    println!(
+        "{full_id:<40} mean {:>10}   best {:>10}   ({samples} samples x {iters} iters)",
+        format_time(mean),
+        format_time(best)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Defines and immediately runs an ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.into(), 10, &mut f);
+        self
+    }
+
+    /// Parses CLI configuration. The stand-in accepts and ignores all
+    /// arguments (so `cargo bench -- <filter>` does not error).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,156 @@
+//! The runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Deterministic per test (seeded from the
+/// test name) unless `PROPTEST_SEED` overrides the seed.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access the underlying `rand` generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Outcome of a single test case body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed: the property does not hold for the input.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: samples inputs and runs the body until
+/// `config.cases` cases pass, a case fails, or the rejection budget is
+/// exhausted.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        TestRunner {
+            config,
+            name,
+            rng: TestRng::from_seed(seed),
+            seed,
+        }
+    }
+
+    /// Runs the property. Panics (failing the surrounding `#[test]`) on
+    /// the first failing case, printing the sampled input.
+    pub fn run<S>(
+        &mut self,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            let described = format!("{value:?}");
+            match case(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections \
+                             ({rejected}) after {passed} passing cases",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed after {passed} passing cases \
+                         (seed {}): {msg}\n  input: {described}",
+                        self.name, self.seed
+                    );
+                }
+            }
+        }
+    }
+}

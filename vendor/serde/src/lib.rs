@@ -1,0 +1,21 @@
+//! Marker-only stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public report
+//! and config types so downstream users can persist them, but nothing in
+//! the tree serializes at runtime. This crate provides the two trait
+//! names (in the type namespace) and the no-op derive macros (in the
+//! macro namespace) so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.
+
+/// Marker for types that can be serialized.
+///
+/// The vendored stand-in has no methods; the derive expands to nothing.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+///
+/// The vendored stand-in has no methods; the derive expands to nothing.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

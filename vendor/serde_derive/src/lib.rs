@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace only uses serde derives as markers (nothing serializes at
+//! runtime — there is no `serde_json` in the tree), so the derives accept
+//! the container and all `#[serde(...)]` helper attributes and expand to
+//! an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`. Expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`. Expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
