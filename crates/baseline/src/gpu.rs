@@ -155,6 +155,11 @@ impl GpuModel {
         self.gpus
     }
 
+    /// The model configuration.
+    pub fn config(&self) -> &GptConfig {
+        &self.cfg
+    }
+
     /// Weight bytes streamed per layer per GPU for a batch-1 step.
     fn layer_gemv_bytes(&self) -> (f64, f64) {
         let e = self.cfg.embedding_dim as f64;

@@ -50,6 +50,11 @@ impl TpuModel {
         TpuModel { cfg }
     }
 
+    /// The model configuration.
+    pub fn config(&self) -> &GptConfig {
+        &self.cfg
+    }
+
     /// One generation step, ms.
     pub fn generation_step_ms(&self) -> f64 {
         calib::LAYER_US * self.cfg.num_layers as f64 / 1e3 + calib::HOST_ROUNDTRIP_MS

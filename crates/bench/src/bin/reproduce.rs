@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce <id> [--full] [--write <path>]
 //!   ids: table1 fig3 fig4 fig8 fig13 fig14 fig15 fig16 fig17 fig18
-//!        table2 accuracy all
+//!        table2 accuracy ablation serving all
 //!   --full   accuracy task sets at paper sizes (slow)
 //!   --write  also write the combined markdown to <path>
 //! ```
@@ -12,9 +12,9 @@ use dfx_bench::experiments;
 use dfx_bench::table::ExperimentReport;
 use std::io::Write as _;
 
-const IDS: [&str; 13] = [
+const IDS: [&str; 14] = [
     "table1", "fig3", "fig4", "fig8", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "table2", "accuracy", "ablation",
+    "table2", "accuracy", "ablation", "serving",
 ];
 
 fn run_one(id: &str, full: bool) -> ExperimentReport {
@@ -32,6 +32,7 @@ fn run_one(id: &str, full: bool) -> ExperimentReport {
         "table2" => experiments::table2(),
         "accuracy" => experiments::accuracy(full),
         "ablation" => experiments::ablation(),
+        "serving" => experiments::serving(),
         other => {
             eprintln!("unknown experiment `{other}`; known: {IDS:?} or `all`");
             std::process::exit(2);

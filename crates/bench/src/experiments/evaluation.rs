@@ -4,6 +4,7 @@ use crate::paper;
 use crate::table::{fmt, fmt_ratio, ExperimentReport, MdTable};
 use dfx_baseline::{GpuModel, TpuModel};
 use dfx_model::{GptConfig, Workload};
+use dfx_serve::{Backend, RunReport};
 use dfx_sim::{dfx_stage_gflops, Appliance, CostComparison};
 
 /// Figure 15: latency breakdown of 4 FPGAs on the 1.5B model.
@@ -45,7 +46,8 @@ pub fn fig16() -> ExperimentReport {
     let gpu = GpuModel::new(cfg.clone(), 4);
     let dfx = Appliance::timing_only(cfg, 4).expect("4-way split");
 
-    let rows: Vec<(Workload, f64, f64, f64, f64)> = std::thread::scope(|s| {
+    // Both platforms behind the unified Backend API: one report shape.
+    let rows: Vec<(RunReport, RunReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = paper::GRID
             .iter()
             .map(|&(input, output)| {
@@ -53,14 +55,9 @@ pub fn fig16() -> ExperimentReport {
                 let dfx = &dfx;
                 s.spawn(move || {
                     let w = Workload::new(input, output);
-                    let g = gpu.run(w);
-                    let d = dfx.generate_timed(input, output).expect("valid workload");
                     (
-                        w,
-                        g.tokens_per_second(w),
-                        d.tokens_per_second(),
-                        g.tokens_per_joule(w),
-                        d.tokens_per_joule(),
+                        gpu.serve(w).expect("valid workload"),
+                        dfx.serve(w).expect("valid workload"),
                     )
                 })
             })
@@ -85,16 +82,19 @@ pub fn fig16() -> ExperimentReport {
     );
     let mut tp_ratio_sum = 0.0;
     let mut en_ratio_sum = 0.0;
-    for (w, gtps, dtps, gtpj, dtpj) in &rows {
+    for (g, d) in &rows {
+        let (gtps, dtps) = (g.tokens_per_second(), d.tokens_per_second());
+        let gtpj = g.tokens_per_joule().expect("calibrated GPU power");
+        let dtpj = d.tokens_per_joule().expect("calibrated DFX power");
         tp_ratio_sum += dtps / gtps;
         en_ratio_sum += dtpj / gtpj;
         t.push_row(vec![
-            w.to_string(),
-            fmt(*gtps, 2),
-            fmt(*dtps, 2),
+            g.workload.to_string(),
+            fmt(gtps, 2),
+            fmt(dtps, 2),
             fmt_ratio(dtps / gtps),
-            fmt(*gtpj, 3),
-            fmt(*dtpj, 3),
+            fmt(gtpj, 3),
+            fmt(dtpj, 3),
             fmt_ratio(dtpj / gtpj),
         ]);
     }
@@ -196,7 +196,7 @@ pub fn fig18() -> ExperimentReport {
     for (i, fpgas) in [1usize, 2, 4].into_iter().enumerate() {
         let run = Appliance::timing_only(cfg.clone(), fpgas)
             .expect("divisible")
-            .generate_timed(64, 64)
+            .serve(Workload::chatbot())
             .expect("valid workload");
         let tps = run.tokens_per_second();
         let scale = prev.map(|p| tps / p);
@@ -222,10 +222,13 @@ pub fn table2() -> ExperimentReport {
     let mut report = ExperimentReport::new("table2", "Table II: Appliance cost analysis");
     let cfg = GptConfig::gpt2_1_5b();
     let w = Workload::chatbot();
-    let gpu_tps = GpuModel::new(cfg.clone(), 4).run(w).tokens_per_second(w);
+    let gpu_tps = GpuModel::new(cfg.clone(), 4)
+        .serve(w)
+        .expect("valid workload")
+        .tokens_per_second();
     let dfx_tps = Appliance::timing_only(cfg, 4)
         .expect("4-way split")
-        .generate_timed(w.input_len, w.output_len)
+        .serve(w)
         .expect("valid workload")
         .tokens_per_second();
     let cmp = CostComparison::from_throughput(gpu_tps, dfx_tps);

@@ -5,6 +5,7 @@ use crate::paper;
 use crate::table::{fmt, fmt_ratio, ExperimentReport, MdTable};
 use dfx_baseline::GpuModel;
 use dfx_model::{GptConfig, Workload};
+use dfx_serve::Backend;
 use dfx_sim::Appliance;
 
 /// One model's regenerated grid.
@@ -29,25 +30,18 @@ impl ModelGrid {
     }
 }
 
-/// Simulates the full grid for one model.
-pub fn run_model(cfg: GptConfig, devices: usize) -> ModelGrid {
-    let gpu = GpuModel::new(cfg.clone(), devices);
-    let dfx = Appliance::timing_only(cfg.clone(), devices).expect("partitionable");
-
-    // Workloads are independent; fan out across threads.
-    let points: Vec<(f64, f64)> = std::thread::scope(|s| {
+/// End-to-end latency of every grid point on one [`Backend`], ms.
+/// Workloads are independent; fan out across threads.
+pub fn grid_latencies_ms(backend: &(impl Backend + Sync)) -> Vec<f64> {
+    std::thread::scope(|s| {
         let handles: Vec<_> = paper::GRID
             .iter()
             .map(|&(input, output)| {
-                let gpu = &gpu;
-                let dfx = &dfx;
                 s.spawn(move || {
-                    let g = gpu.run(Workload::new(input, output)).total_ms();
-                    let d = dfx
-                        .generate_timed(input, output)
+                    backend
+                        .serve(Workload::new(input, output))
                         .expect("valid workload")
-                        .total_latency_ms();
-                    (g, d)
+                        .total_ms()
                 })
             })
             .collect();
@@ -55,13 +49,19 @@ pub fn run_model(cfg: GptConfig, devices: usize) -> ModelGrid {
             .into_iter()
             .map(|h| h.join().expect("worker"))
             .collect()
-    });
+    })
+}
+
+/// Simulates the full grid for one model.
+pub fn run_model(cfg: GptConfig, devices: usize) -> ModelGrid {
+    let gpu = GpuModel::new(cfg.clone(), devices);
+    let dfx = Appliance::timing_only(cfg.clone(), devices).expect("partitionable");
 
     ModelGrid {
         cfg,
         devices,
-        gpu_ms: points.iter().map(|p| p.0).collect(),
-        dfx_ms: points.iter().map(|p| p.1).collect(),
+        gpu_ms: grid_latencies_ms(&gpu),
+        dfx_ms: grid_latencies_ms(&dfx),
     }
 }
 

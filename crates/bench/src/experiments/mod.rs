@@ -5,11 +5,13 @@ mod design;
 mod evaluation;
 mod fig14;
 mod motivation;
+mod serving;
 mod tables;
 
 pub use ablation::run as ablation;
 pub use design::{fig13, fig8};
 pub use evaluation::{fig15, fig16, fig17, fig18, table2};
-pub use fig14::{run as fig14, run_model, ModelGrid};
+pub use fig14::{grid_latencies_ms, run as fig14, run_model, ModelGrid};
 pub use motivation::{fig3, fig4};
+pub use serving::{run as serving, run_setup as serving_setup};
 pub use tables::{accuracy, accuracy_with_tasks, table1};

@@ -77,6 +77,18 @@ fn ablation_experiment_produces_report() {
 }
 
 #[test]
+fn serving_experiment_produces_report_on_a_tiny_config() {
+    // The headline sweep (`reproduce serving`) runs the 1.5B appliance;
+    // this smoke config exercises the same engine/report machinery at
+    // test speed. The in-module 345M unit test covers the qualitative
+    // divergence shape.
+    let cfg = GptConfig::new("serving-smoke", 64, 2, 2, 512, 640);
+    let report = experiments::serving_setup(cfg, 1, 24, &[5.0, 50.0]);
+    assert_well_formed(&report, "serving");
+    assert_eq!(report.tables[0].rows.len(), 2);
+}
+
+#[test]
 fn fig14_grid_runs_on_a_tiny_config() {
     // The full fig14 report spans three paper-scale models; this tiny
     // model exercises the same grid machinery at test speed. The paper

@@ -235,7 +235,7 @@ impl FunctionalCore {
                     *slot = w[(i, c)];
                 }
                 let partial = reduce::mac_tree(&x[r..end], &wcol[..end - r]);
-                acc = acc + partial;
+                acc += partial;
                 r = end;
             }
             *o = acc;
@@ -244,7 +244,7 @@ impl FunctionalCore {
         if let Some(scale) = m.scale {
             let s = F16::from_f32(scale);
             for o in &mut out {
-                *o = *o * s;
+                *o *= s;
             }
         }
         if m.kind == MatrixKind::MaskedMm {

@@ -447,11 +447,8 @@ mod tests {
         .unwrap();
         let p = b.token_step(0, false);
         let normal = TimingCore::new(CoreParams::default(), 1).time_step(&p);
-        let mut slow = TimingCore::new(CoreParams::default(), 1);
         // Triple the per-element transpose penalty through the DMA model.
-        let mut engine_params = *slow.params();
-        engine_params.issue_interval = engine_params.issue_interval; // unchanged
-        slow = TimingCore::new(engine_params, 1);
+        let slow = TimingCore::new(CoreParams::default(), 1);
         let mut dma = slow.dma().clone();
         dma.transpose_elem_overhead = dfx_hw::Cycles(64);
         let slow = slow.with_dma(dma);

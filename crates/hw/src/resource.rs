@@ -34,9 +34,11 @@ pub struct Resources {
     pub dsp: f64,
 }
 
-impl Resources {
+impl std::ops::Add for Resources {
+    type Output = Resources;
+
     /// Elementwise sum.
-    pub fn add(self, other: Resources) -> Resources {
+    fn add(self, other: Resources) -> Resources {
         Resources {
             lut: self.lut + other.lut,
             ff: self.ff + other.ff,
@@ -45,7 +47,9 @@ impl Resources {
             dsp: self.dsp + other.dsp,
         }
     }
+}
 
+impl Resources {
     /// Elementwise utilisation percentage against a capacity.
     pub fn percent_of(self, cap: Resources) -> Resources {
         Resources {
@@ -213,7 +217,7 @@ impl ResourceModel {
     pub fn total(&self) -> Resources {
         self.components()
             .into_iter()
-            .fold(Resources::default(), |acc, c| acc.add(c.used))
+            .fold(Resources::default(), |acc, c| acc + c.used)
     }
 
     /// Checks the design fits the U280.

@@ -458,7 +458,7 @@ impl ProgramBuilder {
                 a: regs::LN_CENTERED,
                 b: None,
                 s: Some(regs::S_RSTD),
-                dst: dst,
+                dst,
                 len: emb,
             }),
         );
@@ -955,7 +955,7 @@ mod tests {
         let b = builder(2);
         let without = b.token_step(0, false);
         let with = b.token_step(0, true);
-        assert!(without.op_class_histogram().get(&OpClass::LmHead).is_none());
+        assert!(!without.op_class_histogram().contains_key(&OpClass::LmHead));
         assert!(with.op_class_histogram()[&OpClass::LmHead] >= 2);
         assert!(with.len() > without.len());
     }

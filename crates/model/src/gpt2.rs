@@ -280,15 +280,13 @@ impl<T: Scalar> Gpt2Model<T> {
         }
 
         let mut tokens = Vec::with_capacity(output_len);
-        let mut pos = input_tokens.len();
-        for _ in 0..output_len {
+        for pos in input_tokens.len()..input_tokens.len() + output_len {
             let next = self.next_token(&hidden);
             tokens.push(next);
             if tokens.len() == output_len {
                 break;
             }
             hidden = self.forward_token(next, pos, &mut cache);
-            pos += 1;
         }
         GenerationOutput { tokens }
     }

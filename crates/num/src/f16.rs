@@ -577,7 +577,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_negative_before_positive() {
-        let mut v = vec![
+        let mut v = [
             F16::ONE,
             F16::NEG_INFINITY,
             F16::ZERO,

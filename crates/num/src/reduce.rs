@@ -34,8 +34,7 @@ pub fn tree_sum(values: &[F16]) -> F16 {
         }
         _ => {
             let mut level: Vec<F16> = values.to_vec();
-            let reduced = tree_reduce_in_place(&mut level);
-            reduced
+            tree_reduce_in_place(&mut level)
         }
     }
 }

@@ -97,7 +97,10 @@ proptest! {
         let (idx, val) = reduce::reduce_max(&halves).unwrap();
         prop_assert_eq!(halves[idx].to_bits(), val.to_bits());
         for h in &halves {
-            prop_assert!(!(h > &val), "found {h} greater than reported max {val}");
+            prop_assert!(
+                h.partial_cmp(&val) != Some(std::cmp::Ordering::Greater),
+                "found {h} greater than reported max {val}"
+            );
         }
     }
 

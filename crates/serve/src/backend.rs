@@ -1,0 +1,252 @@
+//! The unified execution backend: one `serve` call, one report shape,
+//! for every platform the paper evaluates.
+//!
+//! Before this trait existed, `Appliance::generate_timed(in, out)`,
+//! `GpuModel::run(Workload)` and `TpuModel::run(Workload)` had three
+//! incompatible signatures and three incompatible report structs, so
+//! every experiment and example re-adapted them by hand. [`Backend`]
+//! collapses the three into `serve(Workload) -> RunReport`.
+
+use dfx_baseline::{gpu_calib, GpuModel, TpuModel};
+use dfx_model::Workload;
+use dfx_sim::{Appliance, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Platform-independent result of serving one request.
+///
+/// Carries the two paper stages plus enough metadata to derive every
+/// service-level metric (throughput, energy) without knowing which
+/// platform produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Human-readable backend description (e.g. `DFX (4x U280, gpt2-1.5b)`).
+    pub backend: String,
+    /// The workload this report timed.
+    pub workload: Workload,
+    /// Summarization-stage latency (first pass over the context), ms.
+    pub summarization_ms: f64,
+    /// Generation-stage latency (remaining output tokens), ms.
+    pub generation_ms: f64,
+    /// Accelerator cards the run occupied.
+    pub devices: usize,
+    /// Average board power across the appliance, W. `None` when the
+    /// platform has no calibrated power model (the cloud TPU).
+    pub power_w: Option<f64>,
+}
+
+impl RunReport {
+    /// End-to-end latency, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.summarization_ms + self.generation_ms
+    }
+
+    /// Output tokens per second (the paper's throughput metric: output
+    /// tokens over end-to-end latency, §VII-B).
+    pub fn tokens_per_second(&self) -> f64 {
+        self.workload.output_len as f64 / (self.total_ms() / 1e3)
+    }
+
+    /// Energy of the run in joules, if the platform models power.
+    pub fn energy_j(&self) -> Option<f64> {
+        self.power_w.map(|p| p * self.total_ms() / 1e3)
+    }
+
+    /// Output tokens per joule, if the platform models power.
+    pub fn tokens_per_joule(&self) -> Option<f64> {
+        self.power_w.map(|p| self.tokens_per_second() / p)
+    }
+}
+
+/// A text-generation execution platform with a uniform serving interface.
+///
+/// Implemented by the DFX [`Appliance`], the V100 [`GpuModel`] and the
+/// cloud [`TpuModel`]; the serving engine (and any experiment) drives all
+/// of them through this one shape.
+pub trait Backend {
+    /// Human-readable platform description.
+    fn name(&self) -> String;
+
+    /// Number of accelerator cards behind this backend.
+    fn device_count(&self) -> usize;
+
+    /// Nominal average board power of the whole backend at full datapath
+    /// activity, W. `None` when uncalibrated (the cloud TPU).
+    fn nominal_power_w(&self) -> Option<f64>;
+
+    /// Serves one request end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for zero-length workloads
+    /// (`input_len == 0` or `output_len == 0`) — enforced uniformly here
+    /// at the backend boundary instead of letting platform models emit
+    /// degenerate reports — and propagates platform-specific errors.
+    fn serve(&self, workload: Workload) -> Result<RunReport, SimError>;
+}
+
+/// Validates a workload at the [`Backend`] boundary.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidRequest`] if the workload has no context
+/// tokens or generates no output tokens.
+pub fn validate_workload(w: Workload) -> Result<(), SimError> {
+    if w.input_len == 0 {
+        return Err(SimError::InvalidRequest(
+            "workload has an empty context (input_len == 0)".into(),
+        ));
+    }
+    if w.output_len == 0 {
+        return Err(SimError::InvalidRequest(
+            "workload generates nothing (output_len == 0)".into(),
+        ));
+    }
+    Ok(())
+}
+
+impl Backend for Appliance {
+    fn name(&self) -> String {
+        format!("DFX ({}x U280, {})", self.num_fpgas(), self.config().name)
+    }
+
+    fn device_count(&self) -> usize {
+        self.num_fpgas()
+    }
+
+    fn nominal_power_w(&self) -> Option<f64> {
+        Some(dfx_hw::PowerModel::u280_dfx().average_watts(1.0) * self.num_fpgas() as f64)
+    }
+
+    fn serve(&self, workload: Workload) -> Result<RunReport, SimError> {
+        validate_workload(workload)?;
+        let run = self.generate_timed(workload.input_len, workload.output_len)?;
+        Ok(RunReport {
+            backend: Backend::name(self),
+            workload,
+            summarization_ms: run.summarization_ms(),
+            generation_ms: run.generation_ms(),
+            devices: self.num_fpgas(),
+            power_w: Some(run.power_w()),
+        })
+    }
+}
+
+impl Backend for GpuModel {
+    fn name(&self) -> String {
+        format!("GPU ({}x V100, {})", self.gpus(), self.config().name)
+    }
+
+    fn device_count(&self) -> usize {
+        self.gpus()
+    }
+
+    fn nominal_power_w(&self) -> Option<f64> {
+        Some(gpu_calib::GPU_POWER_W * self.gpus() as f64)
+    }
+
+    fn serve(&self, workload: Workload) -> Result<RunReport, SimError> {
+        validate_workload(workload)?;
+        let report = self.run(workload);
+        Ok(RunReport {
+            backend: Backend::name(self),
+            workload,
+            summarization_ms: report.summarization_ms,
+            generation_ms: report.generation_ms,
+            devices: self.gpus(),
+            power_w: Some(report.power_w),
+        })
+    }
+}
+
+impl Backend for TpuModel {
+    fn name(&self) -> String {
+        format!("TPU ({})", self.config().name)
+    }
+
+    fn device_count(&self) -> usize {
+        1
+    }
+
+    fn nominal_power_w(&self) -> Option<f64> {
+        // The paper reports TPU GFLOPS but never board power (§VII-C).
+        None
+    }
+
+    fn serve(&self, workload: Workload) -> Result<RunReport, SimError> {
+        validate_workload(workload)?;
+        let report = self.run(workload);
+        Ok(RunReport {
+            backend: Backend::name(self),
+            workload,
+            summarization_ms: report.summarization_ms,
+            generation_ms: report.generation_ms,
+            devices: 1,
+            power_w: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfx_model::GptConfig;
+
+    fn backends() -> (Appliance, GpuModel, TpuModel) {
+        let cfg = GptConfig::tiny();
+        (
+            Appliance::timing_only(cfg.clone(), 2).unwrap(),
+            GpuModel::new(cfg.clone(), 2),
+            TpuModel::new(cfg),
+        )
+    }
+
+    #[test]
+    fn all_three_platforms_serve_the_same_shape() {
+        let (dfx, gpu, tpu) = backends();
+        let w = Workload::new(8, 4);
+        for backend in [&dfx as &dyn Backend, &gpu, &tpu] {
+            let r = backend.serve(w).unwrap();
+            assert_eq!(r.workload, w);
+            assert_eq!(r.backend, backend.name());
+            assert_eq!(r.devices, backend.device_count());
+            assert!(r.summarization_ms > 0.0);
+            assert!(r.generation_ms > 0.0);
+            assert!(r.tokens_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_length_workloads_are_rejected_at_the_boundary() {
+        let (dfx, gpu, tpu) = backends();
+        for backend in [&dfx as &dyn Backend, &gpu, &tpu] {
+            for w in [Workload::new(0, 4), Workload::new(8, 0)] {
+                assert!(
+                    matches!(backend.serve(w), Err(SimError::InvalidRequest(_))),
+                    "{} accepted {w}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_matches_the_platform_specific_api() {
+        let (dfx, _, _) = backends();
+        let w = Workload::new(8, 4);
+        let unified = dfx.serve(w).unwrap();
+        let native = dfx.generate_timed(8, 4).unwrap();
+        assert_eq!(unified.total_ms(), native.total_latency_ms());
+        assert_eq!(unified.tokens_per_second(), native.tokens_per_second());
+        assert_eq!(unified.power_w, Some(native.power_w()));
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let (_, gpu, tpu) = backends();
+        let w = Workload::new(8, 4);
+        let r = gpu.serve(w).unwrap();
+        let e = r.energy_j().unwrap();
+        assert!((e - r.power_w.unwrap() * r.total_ms() / 1e3).abs() < 1e-12);
+        assert_eq!(tpu.serve(w).unwrap().energy_j(), None);
+    }
+}

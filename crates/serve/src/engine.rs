@@ -1,0 +1,537 @@
+//! The deterministic discrete-event request-serving simulator.
+//!
+//! [`ServingEngine`] pushes a stream of requests through one or more
+//! [`Backend`]s behind a single queue, under a pluggable
+//! [`Scheduler`], with arrivals drawn from a seeded
+//! [`ArrivalProcess`]. Everything is deterministic for fixed inputs, so
+//! service-level experiments reproduce bit-for-bit.
+
+use crate::arrivals::{ArrivalProcess, SubmissionPlan};
+use crate::backend::Backend;
+use crate::scheduler::{Fifo, Scheduler};
+use crate::stats;
+use dfx_model::Workload;
+use dfx_sim::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One request entering the service: a workload plus its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Submission index (also the index into the workload list).
+    pub id: u64,
+    /// What the request asks the backend to do.
+    pub workload: Workload,
+    /// Absolute arrival time, ms.
+    pub arrival_ms: f64,
+}
+
+/// One served request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request this response answers.
+    pub request: Request,
+    /// Index of the pool server that executed it.
+    pub server: usize,
+    /// When execution began, ms (never before the arrival).
+    pub start_ms: f64,
+    /// When execution finished, ms.
+    pub finish_ms: f64,
+}
+
+impl Response {
+    /// Pure execution time, ms.
+    pub fn service_ms(&self) -> f64 {
+        self.finish_ms - self.start_ms
+    }
+
+    /// Time spent waiting in the queue, ms.
+    pub fn wait_ms(&self) -> f64 {
+        self.start_ms - self.request.arrival_ms
+    }
+
+    /// Sojourn (queueing + service) time — what the user feels, ms.
+    pub fn sojourn_ms(&self) -> f64 {
+        self.finish_ms - self.request.arrival_ms
+    }
+}
+
+/// Service-level result of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Description of the backend pool.
+    pub backend: String,
+    /// Queue discipline used.
+    pub scheduler: String,
+    /// Pool size.
+    pub servers: usize,
+    /// Every served request, in dispatch order. Exactly one response per
+    /// submitted request.
+    pub responses: Vec<Response>,
+    /// Time from t=0 to the last completion, ms.
+    pub makespan_ms: f64,
+    /// Median sojourn time, ms.
+    pub p50_sojourn_ms: f64,
+    /// 95th-percentile sojourn time, ms.
+    pub p95_sojourn_ms: f64,
+    /// 99th-percentile sojourn time, ms.
+    pub p99_sojourn_ms: f64,
+    /// Time-weighted average number of waiting (not yet started)
+    /// requests.
+    pub mean_queue_depth: f64,
+    /// Peak number of waiting requests.
+    pub max_queue_depth: usize,
+    /// Fraction of total server time spent serving, in `[0, 1]`.
+    pub utilization: f64,
+    /// Output tokens delivered per second of makespan.
+    pub goodput_tps: f64,
+}
+
+impl ServiceReport {
+    /// Mean sojourn time, ms.
+    pub fn mean_sojourn_ms(&self) -> f64 {
+        self.responses.iter().map(Response::sojourn_ms).sum::<f64>() / self.responses.len() as f64
+    }
+
+    /// Arbitrary sojourn percentile (fraction in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Service`] for a fraction outside `[0, 1]`.
+    pub fn sojourn_percentile_ms(&self, p: f64) -> Result<f64, SimError> {
+        stats::percentile(&self.sorted_sojourns(), p)
+    }
+
+    fn sorted_sojourns(&self) -> Vec<f64> {
+        let mut s: Vec<f64> = self.responses.iter().map(Response::sojourn_ms).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sojourns"));
+        s
+    }
+}
+
+/// A deterministic discrete-event simulator serving a request stream on
+/// a pool of [`Backend`]s behind one queue.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_model::{GptConfig, Workload};
+/// use dfx_serve::{ArrivalProcess, ServingEngine};
+/// use dfx_sim::Appliance;
+///
+/// # fn main() -> Result<(), dfx_sim::SimError> {
+/// let appliance = Appliance::timing_only(GptConfig::tiny(), 2)?;
+/// let workloads = vec![Workload::new(8, 8); 20];
+/// let arrivals = ArrivalProcess::Poisson { rate_per_s: 5.0, seed: 1 };
+/// let report = ServingEngine::new(&appliance).run(&workloads, &arrivals)?;
+/// assert_eq!(report.responses.len(), 20);
+/// assert!(report.p99_sojourn_ms >= report.p50_sojourn_ms);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServingEngine<'a> {
+    servers: Vec<&'a dyn Backend>,
+    scheduler: Box<dyn Scheduler>,
+    /// Service times memoized by `(backend name, workload)`; persists
+    /// across `run` calls, so a rate sweep on one engine times each
+    /// distinct workload once. Keying by name (not pool index) lets
+    /// identical replicas share entries — [`Backend::name`] must
+    /// therefore identify the timing behaviour (model + cluster size),
+    /// which every built-in implementation's name does.
+    cache: HashMap<(String, Workload), f64>,
+}
+
+impl<'a> ServingEngine<'a> {
+    /// An engine over a single backend with the FIFO discipline.
+    pub fn new(backend: &'a dyn Backend) -> Self {
+        ServingEngine {
+            servers: vec![backend],
+            scheduler: Box::new(Fifo),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// An engine over a pool of backends sharing one queue (FIFO).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Service`] for an empty pool.
+    pub fn pool(servers: Vec<&'a dyn Backend>) -> Result<Self, SimError> {
+        if servers.is_empty() {
+            return Err(SimError::Service("backend pool is empty".into()));
+        }
+        Ok(ServingEngine {
+            servers,
+            scheduler: Box::new(Fifo),
+            cache: HashMap::new(),
+        })
+    }
+
+    /// Replaces the queue discipline.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Serves `workloads` with arrivals drawn from `arrivals`.
+    ///
+    /// Backend runs are memoized per `(backend name, workload)` and the
+    /// memo persists across calls — the platform models are
+    /// deterministic, so a rate sweep on one engine times each distinct
+    /// workload once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Service`] for an empty workload list or a
+    /// malformed arrival process, and propagates backend errors (e.g.
+    /// [`SimError::InvalidRequest`] for zero-length workloads).
+    pub fn run(
+        &mut self,
+        workloads: &[Workload],
+        arrivals: &ArrivalProcess,
+    ) -> Result<ServiceReport, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::Service("nothing to serve".into()));
+        }
+        let plan = arrivals.plan(workloads.len())?;
+        self.simulate(workloads, plan)
+    }
+
+    /// The shared discrete-event core. Requests become known either up
+    /// front (open loop) or as completions schedule the owning client's
+    /// next submission (closed loop); either way the queue holds every
+    /// request that has arrived by the dispatch instant, the scheduler
+    /// picks one, and it runs on the earliest-free server.
+    fn simulate(
+        &mut self,
+        workloads: &[Workload],
+        plan: SubmissionPlan,
+    ) -> Result<ServiceReport, SimError> {
+        let n = workloads.len();
+        let mut pending = match &plan {
+            SubmissionPlan::Open(times) => {
+                let mut p: Vec<(f64, usize)> = times.iter().copied().zip(0..n).collect();
+                // Ascending already (validated), but keep the invariant
+                // explicit: pending is always sorted by (time, id).
+                p.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+                p
+            }
+            SubmissionPlan::Closed { clients, .. } => {
+                (0..n.min(*clients)).map(|j| (0.0, j)).collect()
+            }
+        };
+
+        let mut free_at = vec![0.0f64; self.servers.len()];
+        let mut busy = vec![0.0f64; self.servers.len()];
+        let mut queue: Vec<Request> = Vec::new();
+        let mut responses: Vec<Response> = Vec::with_capacity(n);
+
+        while responses.len() < n {
+            if queue.is_empty() {
+                // Idle system: jump to the next submission.
+                let (arrival_ms, id) = pending.remove(0);
+                queue.push(Request {
+                    id: id as u64,
+                    workload: workloads[id],
+                    arrival_ms,
+                });
+                continue;
+            }
+
+            let server = (0..free_at.len())
+                .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite"))
+                .expect("non-empty pool");
+            let now = free_at[server].max(queue[0].arrival_ms);
+
+            // Everything that has arrived by the dispatch instant is
+            // visible to the scheduler.
+            while !pending.is_empty() && pending[0].0 <= now {
+                let (arrival_ms, id) = pending.remove(0);
+                let req = Request {
+                    id: id as u64,
+                    workload: workloads[id],
+                    arrival_ms,
+                };
+                let pos =
+                    queue.partition_point(|q| (q.arrival_ms, q.id) <= (arrival_ms, id as u64));
+                queue.insert(pos, req);
+            }
+
+            let picked = self.scheduler.pick(&queue, now);
+            if picked >= queue.len() {
+                return Err(SimError::Service(format!(
+                    "scheduler {} picked index {picked} from a queue of {}",
+                    self.scheduler.name(),
+                    queue.len()
+                )));
+            }
+            let request = queue.remove(picked);
+
+            let key = (self.servers[server].name(), request.workload);
+            let service_ms = match self.cache.get(&key) {
+                Some(&ms) => ms,
+                None => {
+                    let ms = self.servers[server].serve(request.workload)?.total_ms();
+                    self.cache.insert(key, ms);
+                    ms
+                }
+            };
+            let start_ms = free_at[server].max(request.arrival_ms);
+            let finish_ms = start_ms + service_ms;
+            free_at[server] = finish_ms;
+            busy[server] += service_ms;
+            responses.push(Response {
+                request,
+                server,
+                start_ms,
+                finish_ms,
+            });
+
+            if let SubmissionPlan::Closed {
+                clients,
+                think_time_ms,
+            } = &plan
+            {
+                // The owning client thinks, then submits its next
+                // round-robin request.
+                let next = request.id as usize + clients;
+                if next < n {
+                    let submit = finish_ms + think_time_ms;
+                    let pos = pending.partition_point(|p| (p.0, p.1) <= (submit, next));
+                    pending.insert(pos, (submit, next));
+                }
+            }
+        }
+
+        self.report(workloads, responses, &busy)
+    }
+
+    fn report(
+        &self,
+        workloads: &[Workload],
+        responses: Vec<Response>,
+        busy: &[f64],
+    ) -> Result<ServiceReport, SimError> {
+        let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
+
+        let mut sojourns: Vec<f64> = responses.iter().map(Response::sojourn_ms).collect();
+        sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite sojourns"));
+        let p50_sojourn_ms = stats::percentile(&sojourns, 0.50)?;
+        let p95_sojourn_ms = stats::percentile(&sojourns, 0.95)?;
+        let p99_sojourn_ms = stats::percentile(&sojourns, 0.99)?;
+
+        // Waiting-queue depth over time: +1 at arrival, -1 at start.
+        // Departures sort before arrivals at equal timestamps, so a
+        // request served the instant it arrives contributes no depth.
+        let mut events: Vec<(f64, i64)> = Vec::with_capacity(2 * responses.len());
+        for r in &responses {
+            events.push((r.request.arrival_ms, 1));
+            events.push((r.start_ms, -1));
+        }
+        events.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+        let (mut depth, mut max_depth, mut area, mut prev_t) = (0i64, 0i64, 0.0f64, 0.0f64);
+        for (t, delta) in events {
+            area += depth as f64 * (t - prev_t);
+            depth += delta;
+            max_depth = max_depth.max(depth);
+            prev_t = t;
+        }
+
+        let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
+        Ok(ServiceReport {
+            backend: self.pool_name(),
+            scheduler: self.scheduler.name().to_string(),
+            servers: self.servers.len(),
+            makespan_ms,
+            p50_sojourn_ms,
+            p95_sojourn_ms,
+            p99_sojourn_ms,
+            mean_queue_depth: if makespan_ms > 0.0 {
+                area / makespan_ms
+            } else {
+                0.0
+            },
+            max_queue_depth: max_depth as usize,
+            utilization: busy.iter().sum::<f64>()
+                / (self.servers.len() as f64 * makespan_ms.max(f64::MIN_POSITIVE)),
+            goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
+            responses,
+        })
+    }
+
+    fn pool_name(&self) -> String {
+        let first = self.servers[0].name();
+        if self.servers.len() == 1 {
+            first
+        } else if self.servers.iter().all(|s| s.name() == first) {
+            format!("{}x {first}", self.servers.len())
+        } else {
+            self.servers
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(" + ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{validate_workload, RunReport};
+    use crate::scheduler::ShortestJobFirst;
+
+    /// A backend with a closed-form service time: 1 ms per token.
+    struct Const {
+        label: &'static str,
+    }
+
+    impl Backend for Const {
+        fn name(&self) -> String {
+            self.label.to_string()
+        }
+        fn device_count(&self) -> usize {
+            1
+        }
+        fn nominal_power_w(&self) -> Option<f64> {
+            None
+        }
+        fn serve(&self, w: Workload) -> Result<RunReport, SimError> {
+            validate_workload(w)?;
+            Ok(RunReport {
+                backend: self.name(),
+                workload: w,
+                summarization_ms: w.input_len as f64,
+                generation_ms: w.output_len as f64,
+                devices: 1,
+                power_w: None,
+            })
+        }
+    }
+
+    const B: Const = Const { label: "unit" };
+
+    #[test]
+    fn every_request_is_served_once_and_in_fifo_order() {
+        let workloads = vec![Workload::new(10, 10); 12];
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 100.0,
+            seed: 3,
+        };
+        let r = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        assert_eq!(r.responses.len(), 12);
+        let mut ids: Vec<u64> = r.responses.iter().map(|x| x.request.id).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "FIFO reordered {ids:?}"
+        );
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+        for resp in &r.responses {
+            assert!(resp.start_ms >= resp.request.arrival_ms);
+            assert!((resp.service_ms() - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let workloads: Vec<Workload> = (0..20)
+            .map(|i| Workload::new(8 + i % 4, 4 + i % 8))
+            .collect();
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 40.0,
+            seed: 0xD15C,
+        };
+        let a = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        let b = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_pool_halves_the_queue() {
+        let workloads = vec![Workload::new(50, 50); 40];
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 15.0,
+            seed: 11,
+        };
+        let solo = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        let duo = ServingEngine::pool(vec![&B, &B])
+            .unwrap()
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(duo.servers, 2);
+        assert_eq!(duo.backend, "2x unit");
+        assert!(duo.p99_sojourn_ms < solo.p99_sojourn_ms / 2.0);
+        assert!(duo.responses.iter().any(|r| r.server == 1));
+    }
+
+    #[test]
+    fn closed_loop_never_queues_more_than_clients() {
+        let workloads = vec![Workload::new(10, 10); 30];
+        let arrivals = ArrivalProcess::ClosedLoop {
+            clients: 3,
+            think_time_ms: 5.0,
+        };
+        let r = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        assert_eq!(r.responses.len(), 30);
+        assert!(r.max_queue_depth <= 3, "{}", r.max_queue_depth);
+        // Work conserving: the single server is the bottleneck.
+        assert!(r.utilization > 0.5, "{}", r.utilization);
+    }
+
+    #[test]
+    fn trace_replay_uses_the_given_timestamps() {
+        let workloads = vec![Workload::new(5, 5); 3];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 100.0, 100.0]);
+        let r = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        assert_eq!(r.responses[0].start_ms, 0.0);
+        assert_eq!(r.responses[1].start_ms, 100.0);
+        assert_eq!(r.responses[2].start_ms, 110.0);
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs_under_backlog() {
+        // All arrive at once; SJF should serve ascending output lengths
+        // after the first pick.
+        let workloads = vec![
+            Workload::new(1, 50),
+            Workload::new(1, 10),
+            Workload::new(1, 30),
+            Workload::new(1, 20),
+        ];
+        let arrivals = ArrivalProcess::Trace(vec![0.0; 4]);
+        let r = ServingEngine::new(&B)
+            .with_scheduler(Box::new(ShortestJobFirst))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        let order: Vec<u64> = r.responses.iter().map(|x| x.request.id).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert_eq!(r.scheduler, "SJF(output_len)");
+    }
+
+    #[test]
+    fn utilization_and_goodput_are_consistent() {
+        let workloads = vec![Workload::new(10, 10); 10];
+        // Saturating arrivals: all at t=0.
+        let arrivals = ArrivalProcess::Trace(vec![0.0; 10]);
+        let r = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        assert!((r.utilization - 1.0).abs() < 1e-9, "{}", r.utilization);
+        assert!((r.makespan_ms - 200.0).abs() < 1e-9);
+        assert!((r.goodput_tps - 100.0 / 0.2).abs() < 1e-6);
+        assert_eq!(r.max_queue_depth, 9);
+    }
+
+    #[test]
+    fn empty_inputs_are_service_errors() {
+        let arrivals = ArrivalProcess::Trace(vec![]);
+        assert!(matches!(
+            ServingEngine::new(&B).run(&[], &arrivals),
+            Err(SimError::Service(_))
+        ));
+        assert!(matches!(
+            ServingEngine::pool(vec![]),
+            Err(SimError::Service(_))
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+//! # dfx-serve — one execution API, and a request-serving engine on top
+//!
+//! The paper's pitch is service-level (§III-A): datacenter text
+//! generation runs *non-batched* request streams, so what users feel is
+//! tail latency under load, not raw FLOPs. This crate supplies the two
+//! abstractions that view needs:
+//!
+//! - [`Backend`] — a uniform `serve(Workload) -> RunReport` over every
+//!   platform in the evaluation: the DFX [`Appliance`], the V100
+//!   [`GpuModel`] and the cloud [`TpuModel`]. One report shape
+//!   ([`RunReport`]) carries stage latencies, tokens/s and energy, so
+//!   callers stop pattern-matching on three platform-specific structs.
+//! - [`ServingEngine`] — a deterministic discrete-event simulator that
+//!   drives any backend (or a pool behind one queue) through a pluggable
+//!   [`Scheduler`] with seeded [`ArrivalProcess`] generators (Poisson,
+//!   closed-loop, trace replay), producing a [`ServiceReport`] with
+//!   p50/p95/p99 sojourn, queue depth, utilization and goodput.
+//!
+//! ```
+//! use dfx_model::{GptConfig, Workload};
+//! use dfx_serve::{ArrivalProcess, Backend, ServingEngine};
+//! use dfx_sim::Appliance;
+//!
+//! # fn main() -> Result<(), dfx_sim::SimError> {
+//! let appliance = Appliance::timing_only(GptConfig::tiny(), 2)?;
+//! // The unified per-request API...
+//! let report = appliance.serve(Workload::new(8, 8))?;
+//! assert!(report.tokens_per_second() > 0.0);
+//! // ...and the service-level view of the same backend.
+//! let stream = vec![Workload::new(8, 8); 16];
+//! let poisson = ArrivalProcess::Poisson { rate_per_s: 10.0, seed: 7 };
+//! let service = ServingEngine::new(&appliance).run(&stream, &poisson)?;
+//! assert!(service.p99_sojourn_ms >= service.p50_sojourn_ms);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Appliance`]: dfx_sim::Appliance
+//! [`GpuModel`]: dfx_baseline::GpuModel
+//! [`TpuModel`]: dfx_baseline::TpuModel
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod backend;
+mod engine;
+mod mix;
+mod scheduler;
+pub mod stats;
+
+pub use arrivals::ArrivalProcess;
+pub use backend::{validate_workload, Backend, RunReport};
+pub use engine::{Request, Response, ServiceReport, ServingEngine};
+pub use mix::chatbot_mix;
+pub use scheduler::{Fifo, Scheduler, ShortestJobFirst};

@@ -1,0 +1,44 @@
+//! Canonical request mixes for service-level experiments.
+
+use dfx_model::Workload;
+
+/// The chatbot-mix request stream the serving experiments and examples
+/// share: four sizes around the paper's 64:64 point, cycled
+/// deterministically.
+///
+/// Workloads exceeding `max_seq_len` are replaced by a
+/// `max_seq_len/2 : max_seq_len/4` point so short-context smoke
+/// configurations stay valid.
+pub fn chatbot_mix(n_requests: usize, max_seq_len: usize) -> Vec<Workload> {
+    let sizes = [16usize, 32, 64, 96];
+    (0..n_requests)
+        .map(|i| {
+            let w = Workload::new(2 * sizes[i % 4], sizes[(i / 4) % 4]);
+            if w.input_len + w.output_len > max_seq_len {
+                Workload::new(max_seq_len / 2, max_seq_len / 4)
+            } else {
+                w
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_cycles_sixteen_distinct_sizes() {
+        let mix = chatbot_mix(64, 1024);
+        let distinct: std::collections::HashSet<Workload> = mix.iter().copied().collect();
+        assert_eq!(distinct.len(), 16);
+        assert!(mix.iter().all(|w| w.input_len + w.output_len <= 1024));
+    }
+
+    #[test]
+    fn short_contexts_are_clamped() {
+        let mix = chatbot_mix(32, 64);
+        assert!(mix.iter().all(|w| w.input_len + w.output_len <= 64));
+        assert!(mix.iter().all(|w| w.input_len > 0 && w.output_len > 0));
+    }
+}

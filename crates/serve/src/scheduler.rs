@@ -1,0 +1,57 @@
+//! Pluggable queue disciplines for the serving engine.
+
+use crate::engine::Request;
+
+/// A queue discipline: decides which waiting request a freed server
+/// takes next.
+///
+/// The engine keeps the queue in arrival order and calls [`pick`] with
+/// every request that has arrived by `now_ms`; the scheduler returns the
+/// index to dispatch. The trait is deliberately minimal so batching and
+/// priority disciplines slot in later without touching the engine.
+///
+/// [`pick`]: Scheduler::pick
+pub trait Scheduler {
+    /// Discipline name for reports.
+    fn name(&self) -> &str;
+
+    /// Index into `queue` (never empty, arrival order) of the request to
+    /// dispatch at `now_ms`.
+    fn pick(&mut self, queue: &[Request], now_ms: f64) -> usize;
+}
+
+/// First-in first-out: requests are served strictly in arrival order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn pick(&mut self, _queue: &[Request], _now_ms: f64) -> usize {
+        0
+    }
+}
+
+/// Shortest-job-first on the generated-output length: among everything
+/// queued, serve the request with the fewest output tokens (ties broken
+/// by arrival order). A deliberately simple second discipline proving
+/// the scheduler seam is real; it trades worst-case sojourn for mean.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst;
+
+impl Scheduler for ShortestJobFirst {
+    fn name(&self) -> &str {
+        "SJF(output_len)"
+    }
+
+    fn pick(&mut self, queue: &[Request], _now_ms: f64) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.workload.output_len)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,121 @@
+//! Small statistics helpers for service-level reports.
+//!
+//! Promoted out of `examples/service_sim.rs` so every consumer (the
+//! engine, experiments, examples) shares one audited implementation.
+
+use dfx_sim::SimError;
+use rand::RngCore;
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// `p` is a fraction in `[0, 1]`: `percentile(&s, 0.99)` is the p99.
+///
+/// # Errors
+///
+/// Returns [`SimError::Service`] for an empty sample, a `p` outside
+/// `[0, 1]`, or input that is not ascending (callers must sort first —
+/// silently mis-ranking an unsorted sample is how tail latencies lie).
+pub fn percentile(sorted: &[f64], p: f64) -> Result<f64, SimError> {
+    if sorted.is_empty() {
+        return Err(SimError::Service("percentile of an empty sample".into()));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SimError::Service(format!(
+            "percentile fraction {p} outside [0, 1]"
+        )));
+    }
+    if sorted.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SimError::Service(
+            "percentile input is not sorted ascending".into(),
+        ));
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Ok(sorted[idx])
+}
+
+/// One exponential inter-arrival gap of a Poisson process with the given
+/// rate, in seconds.
+///
+/// Inverse-CDF sampling on a uniform draw from `[EPSILON, 1)`, so the
+/// gap is always finite and positive.
+///
+/// # Panics
+///
+/// Panics unless `rate_per_s` is finite and positive (a rate is a
+/// caller-side constant, so a bad one is a programming error;
+/// [`ArrivalProcess`](crate::ArrivalProcess) validates user-supplied
+/// rates into `Result`s before reaching this).
+pub fn exp_sample<R: RngCore>(rng: &mut R, rate_per_s: f64) -> f64 {
+    use rand::Rng;
+    assert!(
+        rate_per_s.is_finite() && rate_per_s > 0.0,
+        "exponential rate must be finite and positive, got {rate_per_s}"
+    );
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], p).unwrap(), 42.0);
+        }
+    }
+
+    #[test]
+    fn p0_and_p100_are_the_extremes() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&s, 1.0).unwrap(), 5.0);
+        assert_eq!(percentile(&s, 0.5).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_rejected() {
+        let err = percentile(&[2.0, 1.0], 0.5).unwrap_err();
+        assert!(matches!(err, SimError::Service(m) if m.contains("not sorted")));
+    }
+
+    #[test]
+    fn empty_sample_and_bad_fraction_are_rejected() {
+        assert!(matches!(percentile(&[], 0.5), Err(SimError::Service(_))));
+        assert!(matches!(percentile(&[1.0], 1.5), Err(SimError::Service(_))));
+        assert!(matches!(
+            percentile(&[1.0], -0.1),
+            Err(SimError::Service(_))
+        ));
+    }
+
+    #[test]
+    fn equal_neighbours_are_accepted() {
+        assert_eq!(percentile(&[1.0, 1.0, 2.0], 0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn exp_sample_rejects_a_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        exp_sample(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn exp_samples_are_positive_finite_and_mean_reverting() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = 4.0;
+        let n = 4096;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let s = exp_sample(&mut rng, rate);
+            assert!(s.is_finite() && s > 0.0);
+            sum += s;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.05 / rate, "mean {mean}");
+    }
+}

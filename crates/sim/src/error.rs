@@ -1,7 +1,12 @@
 //! Simulation errors.
 
 /// Error type of the simulation crate.
+///
+/// Marked `#[non_exhaustive]`: downstream crates (the serving engine in
+/// particular) gain new failure modes over time, so matches must carry a
+/// wildcard arm and adding a variant is not a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The model cannot be partitioned across the requested cluster.
     Partition(String),
@@ -9,6 +14,9 @@ pub enum SimError {
     LockstepViolation(String),
     /// Invalid workload or configuration.
     InvalidRequest(String),
+    /// The request-serving engine failed (bad arrival process, empty
+    /// backend pool, malformed statistics input, ...).
+    Service(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -17,6 +25,7 @@ impl std::fmt::Display for SimError {
             SimError::Partition(m) => write!(f, "partitioning failed: {m}"),
             SimError::LockstepViolation(m) => write!(f, "lockstep violation: {m}"),
             SimError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            SimError::Service(m) => write!(f, "serving failed: {m}"),
         }
     }
 }

@@ -1,0 +1,67 @@
+//! Horizontal scaling: N DFX appliances behind one shared queue.
+//!
+//! The paper scales one appliance *up* (more FPGAs per model instance,
+//! Fig 18); a datacenter also scales *out* by replicating appliances
+//! behind a load balancer. This example holds the arrival stream fixed
+//! and grows the pool, showing tail latency collapse once capacity
+//! clears the offered load — and the utilization/goodput trade the
+//! operator actually tunes.
+//!
+//! ```sh
+//! cargo run --release --example multi_appliance
+//! ```
+
+use dfx::model::{GptConfig, Workload};
+use dfx::serve::{ArrivalProcess, Backend, ServingEngine};
+use dfx::sim::Appliance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::gpt2_1_5b();
+    // Four identical 4-FPGA appliances; pools reuse references.
+    let appliances: Vec<Appliance> = (0..4)
+        .map(|_| Appliance::timing_only(cfg.clone(), 4))
+        .collect::<Result<_, _>>()?;
+
+    let stream = vec![Workload::chatbot(); 300];
+    // One appliance serves a 64:64 request in ~0.91 s (capacity ~1.1
+    // req/s); 2.2 req/s is twice that — saturating for one, the knee for
+    // two, comfortable for three or four.
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 2.2,
+        seed: 0xD0C5,
+    };
+
+    println!(
+        "300 chatbot requests at 2.2 req/s on a growing pool of {}\n",
+        appliances[0].name()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "appliances", "p50 ms", "p99 ms", "mean queue", "util %", "goodput t/s"
+    );
+    for n in 1..=appliances.len() {
+        let pool = ServingEngine::pool(
+            appliances
+                .iter()
+                .take(n)
+                .map(|a| a as &dyn Backend)
+                .collect(),
+        )?
+        .run(&stream, &arrivals)?;
+        println!(
+            "{:>10} {:>12.0} {:>12.0} {:>12.1} {:>12.1} {:>12.1}",
+            n,
+            pool.p50_sojourn_ms,
+            pool.p99_sojourn_ms,
+            pool.mean_queue_depth,
+            100.0 * pool.utilization,
+            pool.goodput_tps
+        );
+    }
+    println!(
+        "\nOne appliance is saturated (queue grows without bound over the run); two are\n\
+         still above the knee; three clear the offered load and p99 drops to roughly\n\
+         the per-request latency, after which extra appliances only buy idle capacity."
+    );
+    Ok(())
+}

@@ -1,109 +1,44 @@
-//! Datacenter service simulation: request streams on one DFX appliance.
+//! Datacenter service simulation: the same Poisson request stream on a
+//! DFX appliance and on the GPU appliance, through `dfx::serve`.
 //!
 //! The paper motivates DFX with datacenter text-generation services that
-//! run *non-batched* requests (SIII-A: gathering user inputs into batches
-//! adds latency, so "current datacenters prefer to run the model without
-//! fully gathering the input"). This example pushes a Poisson stream of
-//! chatbot requests through one 4-FPGA 1.5B appliance and one GPU
-//! appliance, and reports tail latency - the service-level view of the
-//! per-request speedups.
+//! run *non-batched* requests (§III-A), so tail latency under load — not
+//! per-request speed — is the user-visible metric.
 //!
 //! ```sh
 //! cargo run --release --example service_sim
 //! ```
 
 use dfx::baseline::GpuModel;
-use dfx::model::{GptConfig, Workload};
+use dfx::model::GptConfig;
+use dfx::serve::{chatbot_mix, ArrivalProcess, ServingEngine};
 use dfx::sim::Appliance;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Exponential inter-arrival sample (Poisson process).
-fn exp_sample(rng: &mut StdRng, rate_per_s: f64) -> f64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    -u.ln() / rate_per_s
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = GptConfig::gpt2_1_5b();
     let dfx = Appliance::timing_only(cfg.clone(), 4)?;
-    let gpu = GpuModel::new(cfg, 4);
+    let gpu = GpuModel::new(cfg.clone(), 4);
 
-    // Chatbot-style requests with some size variety.
-    let mut rng = StdRng::seed_from_u64(0x5EED);
-    let n_requests = 200;
-    let requests: Vec<Workload> = (0..n_requests)
-        .map(|_| {
-            let input = *[32usize, 48, 64, 96]
-                .as_slice()
-                .get(rng.gen_range(0..4))
-                .unwrap();
-            let output = *[16usize, 32, 64, 96]
-                .as_slice()
-                .get(rng.gen_range(0..4))
-                .unwrap();
-            Workload::new(input, output)
-        })
-        .collect();
-
-    // Pre-compute service times once per distinct workload.
-    let mut service = std::collections::HashMap::new();
-    for w in &requests {
-        service.entry(*w).or_insert_with(|| {
-            let d = dfx
-                .generate_timed(w.input_len, w.output_len)
-                .expect("valid workload")
-                .total_latency_ms();
-            let g = gpu.run(*w).total_ms();
-            (d, g)
-        });
-    }
+    let stream = chatbot_mix(200, cfg.max_seq_len);
+    let mut dfx_engine = ServingEngine::new(&dfx);
+    let mut gpu_engine = ServingEngine::new(&gpu);
 
     println!("200 chatbot requests, Poisson arrivals, single appliance, FIFO queue\n");
     println!(
         "{:>12} {:>14} {:>14} {:>14} {:>14}",
         "arrival/s", "DFX p50 ms", "DFX p99 ms", "GPU p50 ms", "GPU p99 ms"
     );
-    for rate in [0.25f64, 0.5, 1.0, 2.0] {
-        // Shared arrival trace for a fair comparison.
-        let mut t = 0.0;
-        let arrivals: Vec<f64> = (0..n_requests)
-            .map(|_| {
-                t += exp_sample(&mut rng, rate);
-                t * 1e3 // ms
-            })
-            .collect();
-
-        let run = |pick: fn(&(f64, f64)) -> f64| -> Vec<f64> {
-            let mut free_at = 0.0f64;
-            let mut sojourn: Vec<f64> = arrivals
-                .iter()
-                .zip(&requests)
-                .map(|(&arr, w)| {
-                    let start = free_at.max(arr);
-                    let svc = pick(&service[w]);
-                    free_at = start + svc;
-                    free_at - arr
-                })
-                .collect();
-            sojourn.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            sojourn
+    for rate_per_s in [0.25, 0.5, 1.0, 2.0] {
+        // Shared seed: both appliances see the identical arrival trace.
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s,
+            seed: 0x5EED,
         };
-
-        let d = run(|s| s.0);
-        let g = run(|s| s.1);
+        let d = dfx_engine.run(&stream, &arrivals)?;
+        let g = gpu_engine.run(&stream, &arrivals)?;
         println!(
             "{:>12.2} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
-            rate,
-            percentile(&d, 0.5),
-            percentile(&d, 0.99),
-            percentile(&g, 0.5),
-            percentile(&g, 0.99),
+            rate_per_s, d.p50_sojourn_ms, d.p99_sojourn_ms, g.p50_sojourn_ms, g.p99_sojourn_ms
         );
     }
     println!(

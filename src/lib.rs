@@ -20,6 +20,9 @@
 //! - [`sim`] — the multi-FPGA cluster and appliance API plus the
 //!   experiment harnesses (latency, breakdown, throughput, energy, cost,
 //!   accuracy).
+//! - [`serve`] — the unified [`Backend`](serve::Backend) trait over
+//!   DFX/GPU/TPU and the request-serving engine (schedulers, arrival
+//!   processes, tail-latency reports).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,26 @@
 //! # }
 //! ```
 //!
+//! ## Serving a request stream
+//!
+//! Every platform implements [`serve::Backend`]; the engine pushes a
+//! seeded arrival process through any of them and reports tail latency:
+//!
+//! ```
+//! use dfx::model::{GptConfig, Workload};
+//! use dfx::serve::{ArrivalProcess, ServingEngine};
+//! use dfx::sim::Appliance;
+//!
+//! # fn main() -> Result<(), dfx::sim::SimError> {
+//! let appliance = Appliance::timing_only(GptConfig::tiny(), 2)?;
+//! let stream = vec![Workload::new(8, 8); 16];
+//! let poisson = ArrivalProcess::Poisson { rate_per_s: 10.0, seed: 7 };
+//! let report = ServingEngine::new(&appliance).run(&stream, &poisson)?;
+//! println!("p99 sojourn: {:.1} ms", report.p99_sojourn_ms);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
 
@@ -45,4 +68,5 @@ pub use dfx_hw as hw;
 pub use dfx_isa as isa;
 pub use dfx_model as model;
 pub use dfx_num as num;
+pub use dfx_serve as serve;
 pub use dfx_sim as sim;

@@ -1,0 +1,152 @@
+//! Property-based tests of the `ServingEngine` discrete-event invariants.
+//!
+//! A synthetic closed-form backend keeps service times trivial so the
+//! properties stress the *engine* (queueing, scheduling, bookkeeping),
+//! not the cycle model; one case runs against a real tiny `Appliance` to
+//! tie the trait boundary together.
+
+use dfx::model::{GptConfig, Workload};
+use dfx::serve::{ArrivalProcess, Backend, RunReport, ServingEngine};
+use dfx::sim::SimError;
+use proptest::prelude::*;
+
+/// Closed-form backend: `input + output` ms per request.
+struct UnitBackend;
+
+impl Backend for UnitBackend {
+    fn name(&self) -> String {
+        "unit".into()
+    }
+    fn device_count(&self) -> usize {
+        1
+    }
+    fn nominal_power_w(&self) -> Option<f64> {
+        None
+    }
+    fn serve(&self, w: Workload) -> Result<RunReport, SimError> {
+        dfx::serve::validate_workload(w)?;
+        Ok(RunReport {
+            backend: self.name(),
+            workload: w,
+            summarization_ms: w.input_len as f64,
+            generation_ms: w.output_len as f64,
+            devices: 1,
+            power_w: None,
+        })
+    }
+}
+
+fn arb_workloads() -> impl Strategy<Value = Vec<Workload>> {
+    proptest::collection::vec((1usize..64, 1usize..64), 1..40)
+        .prop_map(|v| v.into_iter().map(|(i, o)| Workload::new(i, o)).collect())
+}
+
+fn arb_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (0.5f64..200.0, any::<u64>())
+            .prop_map(|(rate_per_s, seed)| { ArrivalProcess::Poisson { rate_per_s, seed } }),
+        (1usize..6, 0.0f64..50.0).prop_map(|(clients, think_time_ms)| {
+            ArrivalProcess::ClosedLoop {
+                clients,
+                think_time_ms,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted request appears exactly once, and none starts
+    /// before it arrived — under any arrival process and pool size.
+    #[test]
+    fn conservation_and_causality(
+        workloads in arb_workloads(),
+        arrivals in arb_arrivals(),
+        servers in 1usize..4,
+    ) {
+        let backends: Vec<UnitBackend> = (0..servers).map(|_| UnitBackend).collect();
+        let report = ServingEngine::pool(backends.iter().map(|b| b as &dyn Backend).collect())
+            .unwrap()
+            .run(&workloads, &arrivals)
+            .unwrap();
+
+        prop_assert_eq!(report.responses.len(), workloads.len());
+        let mut ids: Vec<u64> = report.responses.iter().map(|r| r.request.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..workloads.len() as u64).collect::<Vec<_>>());
+        for r in &report.responses {
+            prop_assert!(r.start_ms >= r.request.arrival_ms,
+                "request {} started {} before its arrival {}",
+                r.request.id, r.start_ms, r.request.arrival_ms);
+            prop_assert!(r.server < servers);
+            prop_assert_eq!(r.request.workload, workloads[r.request.id as usize]);
+            let expect = (r.request.workload.input_len + r.request.workload.output_len) as f64;
+            prop_assert!((r.service_ms() - expect).abs() < 1e-9);
+        }
+        prop_assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
+        prop_assert!(report.p50_sojourn_ms <= report.p95_sojourn_ms);
+        prop_assert!(report.p95_sojourn_ms <= report.p99_sojourn_ms);
+    }
+
+    /// FIFO never reorders: dispatch order equals arrival order (ids are
+    /// assigned in arrival order for open-loop processes), and start
+    /// times are monotone in it.
+    #[test]
+    fn fifo_never_reorders(
+        workloads in arb_workloads(),
+        rate_per_s in 0.5f64..200.0,
+        seed in any::<u64>(),
+        servers in 1usize..4,
+    ) {
+        let arrivals = ArrivalProcess::Poisson { rate_per_s, seed };
+        let backends: Vec<UnitBackend> = (0..servers).map(|_| UnitBackend).collect();
+        let report = ServingEngine::pool(backends.iter().map(|b| b as &dyn Backend).collect())
+            .unwrap()
+            .run(&workloads, &arrivals)
+            .unwrap();
+        let ids: Vec<u64> = report.responses.iter().map(|r| r.request.id).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "FIFO reordered: {:?}", ids);
+        let starts: Vec<f64> = report.responses.iter().map(|r| r.start_ms).collect();
+        prop_assert!(starts.windows(2).all(|w| w[0] <= w[1]), "starts not monotone: {:?}", starts);
+    }
+
+    /// Identical seeds reproduce identical reports; different seeds make
+    /// different arrival traces.
+    #[test]
+    fn seeded_runs_are_reproducible(
+        workloads in arb_workloads(),
+        rate_per_s in 0.5f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let arrivals = ArrivalProcess::Poisson { rate_per_s, seed };
+        let a = ServingEngine::new(&UnitBackend).run(&workloads, &arrivals).unwrap();
+        let b = ServingEngine::new(&UnitBackend).run(&workloads, &arrivals).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The same invariants hold end to end with a real cycle-model backend.
+#[test]
+fn invariants_hold_on_a_real_appliance() {
+    let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+    let workloads: Vec<Workload> = (0..10)
+        .map(|i| Workload::new(4 + i % 3, 2 + i % 4))
+        .collect();
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 2.0,
+        seed: 42,
+    };
+    let a = ServingEngine::new(&appliance)
+        .run(&workloads, &arrivals)
+        .unwrap();
+    let b = ServingEngine::new(&appliance)
+        .run(&workloads, &arrivals)
+        .unwrap();
+    assert_eq!(a, b, "real-backend runs must be deterministic");
+    assert_eq!(a.responses.len(), workloads.len());
+    for r in &a.responses {
+        assert!(r.start_ms >= r.request.arrival_ms);
+        assert!(r.service_ms() > 0.0);
+    }
+}
