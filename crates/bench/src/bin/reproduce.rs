@@ -1,47 +1,52 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce <id> [--full] [--write <path>]
-//!   ids: table1 fig3 fig4 fig8 fig13 fig14 fig15 fig16 fig17 fig18
-//!        table2 accuracy ablation serving all
+//! reproduce <id>... [--full] [--write <path>]
+//!   ids: see `reproduce --help` (driven by `experiments::CATALOG`),
+//!        or `all` to run everything
 //!   --full   accuracy task sets at paper sizes (slow)
 //!   --write  also write the combined markdown to <path>
 //! ```
 
-use dfx_bench::experiments;
+use dfx_bench::experiments::CATALOG;
 use dfx_bench::table::ExperimentReport;
 use std::io::Write as _;
 
-const IDS: [&str; 14] = [
-    "table1", "fig3", "fig4", "fig8", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "table2", "accuracy", "ablation", "serving",
-];
-
 fn run_one(id: &str, full: bool) -> ExperimentReport {
-    match id {
-        "table1" => experiments::table1(),
-        "fig3" => experiments::fig3(),
-        "fig4" => experiments::fig4(),
-        "fig8" => experiments::fig8(),
-        "fig13" => experiments::fig13(),
-        "fig14" => experiments::fig14(),
-        "fig15" => experiments::fig15(),
-        "fig16" => experiments::fig16(),
-        "fig17" => experiments::fig17(),
-        "fig18" => experiments::fig18(),
-        "table2" => experiments::table2(),
-        "accuracy" => experiments::accuracy(full),
-        "ablation" => experiments::ablation(),
-        "serving" => experiments::serving(),
-        other => {
-            eprintln!("unknown experiment `{other}`; known: {IDS:?} or `all`");
+    // Dispatch through the catalog, so an id cannot exist without a
+    // runner (and vice versa).
+    match CATALOG.iter().find(|e| e.id == id) {
+        Some(e) => (e.run)(full),
+        None => {
+            eprintln!("unknown experiment `{id}`; known ids:");
+            eprint_catalog();
             std::process::exit(2);
         }
     }
 }
 
+fn eprint_catalog() {
+    let width = CATALOG.iter().map(|e| e.id.len()).max().unwrap_or(0);
+    for e in CATALOG {
+        eprintln!("  {:width$}  {}", e.id, e.what);
+    }
+    eprintln!("  {:width$}  every id above, in order", "all");
+}
+
+fn usage() {
+    eprintln!("usage: reproduce <id|all>... [--full] [--write <path>]");
+    eprintln!("  --full   accuracy task sets at paper sizes (slow)");
+    eprintln!("  --write  also write the combined markdown to <path>");
+    eprintln!("known ids:");
+    eprint_catalog();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let write_path = args
         .iter()
@@ -53,13 +58,12 @@ fn main() {
         .filter(|a| !a.starts_with("--") && Some(a) != write_path.as_ref())
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: reproduce <id|all> [--full] [--write <path>]");
-        eprintln!("known ids: {IDS:?}");
+        usage();
         std::process::exit(2);
     }
 
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
-        IDS.to_vec()
+        CATALOG.iter().map(|e| e.id).collect()
     } else {
         ids.iter().map(String::as_str).collect()
     };

@@ -11,6 +11,11 @@
 //!    path the RAW/WAW dependencies account for (failure injection).
 //! 4. **Tiling direction** (§V-B, Fig 9): buffering vs input-reuse
 //!    trade-off of horizontal/vertical/zigzag weight traversal.
+//!
+//! No knobs — each ablation compares the paper's choice against its
+//! rejected alternative at a fixed operating point. Output shape: one
+//! table per ablation, one row per design variant, with latency (or
+//! buffer/reuse figures) and the ratio to the paper's design.
 
 use crate::table::{fmt, fmt_ratio, ExperimentReport, MdTable};
 use dfx_core::{CoreParams, TimingCore};

@@ -1,4 +1,14 @@
 //! Figure 8 (design-space exploration) and Figure 13 (resource table).
+//!
+//! [`fig8`] re-times the multi-head-attention microbenchmark across the
+//! paper's `(d, l)` datapath-geometry candidates (the knob: each
+//! candidate rebuilds the timing core via [`CoreParams::with_shape`])
+//! and emits one table with a row per geometry — attention latency,
+//! relative utilisation, and whether the paper's buffer budget admits
+//! it; the paper's chosen 64×16 must win. [`fig13`] regenerates the
+//! FPGA resource table: one row per component (MPU, VPU, DMA, router,
+//! …) with LUT/FF/BRAM/URAM/DSP counts against the Alveo U280 capacity,
+//! no knobs.
 
 use crate::paper;
 use crate::table::{fmt, ExperimentReport, MdTable};

@@ -1,4 +1,16 @@
-//! Figures 15–18: DFX evaluation experiments.
+//! Figures 15–18 and Table II: the DFX evaluation experiments.
+//!
+//! Each runner regenerates one artifact at the paper's operating point
+//! (GPT-2 1.5B or 345M at the 64:64 chatbot workload; the workload and
+//! cluster sizes are fixed by the figure, so there are no knobs):
+//! [`fig15`] — DFX latency shares over the five decoder op classes, one
+//! row per class against the paper's shares; [`fig16`] — tokens/s and
+//! tokens/J of DFX vs the GPU appliance per workload row; [`fig17`] —
+//! summarization/generation/total GFLOPS for GPU, TPU and DFX, one row
+//! per platform; [`fig18`] — latency and throughput across 1/2/4-FPGA
+//! clusters, one row per cluster size; [`table2`] — the cost analysis
+//! (USD, tokens/s, tokens/s per million USD) with the paper's 8.21×
+//! cost-effectiveness headline.
 
 use crate::paper;
 use crate::table::{fmt, fmt_ratio, ExperimentReport, MdTable};

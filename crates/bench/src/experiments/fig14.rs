@@ -1,5 +1,14 @@
 //! Figure 14: end-to-end inference latency, DFX vs the GPU appliance, on
 //! 345M/774M/1.5B with matched device counts.
+//!
+//! [`run`] walks the paper's 15-point workload grid (inputs {32, 64,
+//! 128} × outputs {1, 4, 16, 64, 256}) for each published model/cluster
+//! pairing (345M×1, 774M×2, 1.5B×4) and emits one table per model — a
+//! row per grid point with GPU ms, DFX ms and the speedup — plus the
+//! grid-average speedup against the paper's headline (~5.6× on 1.5B).
+//! [`run_model`] exposes the per-model grid as data ([`ModelGrid`]) with
+//! the model configuration and device count as knobs; the smoke tests
+//! drive it with a tiny configuration.
 
 use crate::paper;
 use crate::table::{fmt, fmt_ratio, ExperimentReport, MdTable};

@@ -1,4 +1,14 @@
 //! Figures 3 and 4: the motivation experiments on the GPU appliance.
+//!
+//! [`fig3`] regenerates Figure 3 — GPU text-generation latency as the
+//! input grows (`[128:1]`…`[32:1]`) and the output grows
+//! (`[32:2]`…`[32:4]`) on GPT-2 1.5B across 4 V100s; its only knob is
+//! the fixed [`Workload::fig3_sweep`] grid, and it emits one table with
+//! a row per workload split into summarization/generation/total ms.
+//! [`fig4`] regenerates Figure 4 — the per-layer latency shares of the
+//! four decoder op classes next to their FLOP shares, one table with a
+//! row per class (simulated share, paper share, FLOP share), showing the
+//! kernel-overhead domination that motivates DFX.
 
 use crate::paper;
 use crate::table::{fmt, ExperimentReport, MdTable};

@@ -5,7 +5,11 @@
 //! latency. This experiment closes the loop: the same seeded Poisson
 //! stream of chatbot-mix requests through the DFX appliance and the GPU
 //! appliance via the unified `Backend`/`ServingEngine` API, sweeping the
-//! arrival rate across the GPU appliance's saturation point.
+//! arrival rate across the GPU appliance's saturation point. Knobs
+//! ([`run_setup`]): model/cluster size, request count and the rate grid.
+//! Output shape: one table with a row per arrival rate carrying p50/p99
+//! sojourn and utilization for both appliances — the batch-1 reference
+//! the [`batching`](super::batching) experiment is measured against.
 
 use crate::table::{fmt, ExperimentReport, MdTable};
 use dfx_baseline::GpuModel;

@@ -1,4 +1,15 @@
 //! Table I (model configurations) and the §VII-A accuracy experiment.
+//!
+//! [`table1`] prints the GPT-2 configurations of Table I (one row per
+//! model: parameters, embedding dim, heads, head dim, layers) straight
+//! from [`GptConfig`]; no knobs — it is the contract the other
+//! experiments build on. [`accuracy`] reruns the §VII-A comparison: the
+//! bit-level FP16 functional simulator against the FP32 reference on
+//! the paper's task list (WSC, CBT-CN, CBT-NE, …), one row per task
+//! with both accuracies and their gap (paper: ≤0.1%). Knobs: `full`
+//! switches between quick (~500-item) and paper-size task sets, and
+//! [`accuracy_with_tasks`] accepts arbitrary [`AccuracyTask`] lists for
+//! the smoke tests.
 
 use crate::paper;
 use crate::table::{fmt, ExperimentReport, MdTable};

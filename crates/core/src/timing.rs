@@ -175,7 +175,38 @@ impl TimingCore {
     }
 
     /// Times one token-step program.
+    ///
+    /// Equivalent to [`time_step_batched`] with a batch of one — the two
+    /// entry points share one scheduling walk, so batch-1 results are
+    /// bit-identical by construction.
+    ///
+    /// [`time_step_batched`]: TimingCore::time_step_batched
     pub fn time_step(&self, program: &Program) -> StepTiming {
+        self.time_step_batched(program, 1)
+    }
+
+    /// Times one token-step program executed for `batch` requests at
+    /// once.
+    ///
+    /// The batched cost model (ROADMAP: batching scheduler prerequisite)
+    /// reuses the exact scheduling walk of the batch-1 path but charges
+    /// every instruction its batched cost ([`batched_instr_cost`]): the
+    /// per-request *work* (MAC passes, vector chunks, KV traffic,
+    /// activation synchronisation) scales with the batch, while the
+    /// *weight stream* is shared — the whole point of batching a
+    /// memory-bound decoder. With `batch == 1` every cost is identical to
+    /// [`instr_cost`], so this is a strict generalisation of
+    /// [`time_step`].
+    ///
+    /// [`batched_instr_cost`]: TimingCore::batched_instr_cost
+    /// [`instr_cost`]: TimingCore::instr_cost
+    /// [`time_step`]: TimingCore::time_step
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn time_step_batched(&self, program: &Program, batch: u32) -> StepTiming {
+        assert!(batch > 0, "batch must be at least 1");
         let mut sb = if self.scoreboard_enabled {
             Scoreboard::new()
         } else {
@@ -193,7 +224,7 @@ impl TimingCore {
         let mut makespan = Cycles::ZERO;
 
         for ai in program.instrs() {
-            let cost = self.instr_cost(&ai.instr);
+            let cost = self.batched_instr_cost(&ai.instr, batch);
             let mut ready = sb.ready_time(&ai.instr);
             if let Instr::Matrix(m) = &ai.instr {
                 if let Some(&region) = kv_ready.get(&m.weight) {
@@ -235,31 +266,75 @@ impl TimingCore {
     /// Cost of one instruction: the unit it occupies, the cycles it
     /// occupies it for, and the extra pipeline latency until its result
     /// is architecturally visible.
+    ///
+    /// Shorthand for [`batched_instr_cost`] with a batch of one.
+    ///
+    /// [`batched_instr_cost`]: TimingCore::batched_instr_cost
     pub fn instr_cost(&self, instr: &Instr) -> InstrCost {
+        self.batched_instr_cost(instr, 1)
+    }
+
+    /// Cost of one instruction executed for `batch` requests at once.
+    ///
+    /// The batch dimension scales exactly the per-request terms and
+    /// nothing else:
+    ///
+    /// - **Matrix**: the MAC array makes one pass over the operand tiles
+    ///   *per request* (activations differ), so compute scales with the
+    ///   batch — but a shared *weight* streams from HBM once, which is
+    ///   the amortisation that makes batched decoding pay. Per-request
+    ///   K/V operands (every request has its own cache) scale on both
+    ///   sides of the `max(compute, stream)` overlap.
+    /// - **Vector / Reduce / Scalar**: per-request activation work; the
+    ///   element count scales with the batch while the per-instruction
+    ///   overhead (operand collection, pipeline fill) is charged once.
+    /// - **DMA**: per-request token I/O, DDR vectors and K/V appends
+    ///   scale with the batch.
+    /// - **Router**: the ring carries every request's partial
+    ///   activations, so synchronisation bytes (and per-request argmax
+    ///   reductions) scale with the batch.
+    ///
+    /// With `batch == 1` this is exactly [`instr_cost`].
+    ///
+    /// [`instr_cost`]: TimingCore::instr_cost
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero, like [`time_step_batched`].
+    ///
+    /// [`time_step_batched`]: TimingCore::time_step_batched
+    pub fn batched_instr_cost(&self, instr: &Instr, batch: u32) -> InstrCost {
+        assert!(batch > 0, "batch must be at least 1");
         let p = &self.params;
         let vw = p.vpu_width;
+        let b = u64::from(batch);
         match instr {
             Instr::Matrix(m) => {
                 let tiles = p.shape.tile_count(m.rows, m.cols);
-                let compute = p.matrix_compute_cycles(tiles);
+                // One pass over the tiles per batch member.
+                let compute = p.matrix_compute_cycles(tiles) * b;
                 // Weights *and* K/V live in HBM as padded d × l tiles
                 // ("the DMA stores and loads tiled weights, Key, and
                 // Value", §V-B), so short operands stream padded bytes —
                 // the Fig 8a utilisation cliff at d > 64 / l > 64.
+                // Weight matrices are shared across the batch and stream
+                // once; K/V regions are per-request and stream per
+                // member.
                 let stream = match m.weight {
                     TensorRef::Kv { .. } => {
                         let bytes = tiles * u64::from(p.shape.macs_per_cycle()) * 2;
-                        self.dma.hbm.scattered_cycles(bytes, 1).0
+                        self.dma.hbm.scattered_cycles(bytes * b, b).0
                     }
                     _ => self.dma.weight_stream_cycles(m.rows, m.cols).0,
                 };
                 // Conventional-scheme ablation: Value reads pay a full
-                // on-chip transpose before the stream can feed the MACs.
+                // on-chip transpose before the stream can feed the MACs
+                // (per request — each member's V region is distinct).
                 let transpose = match m.weight {
                     TensorRef::Kv {
                         kind: dfx_isa::KvKind::Value,
                         ..
-                    } if self.read_side_transpose => u64::from(m.rows) * u64::from(m.cols),
+                    } if self.read_side_transpose => u64::from(m.rows) * u64::from(m.cols) * b,
                     _ => 0,
                 };
                 InstrCost {
@@ -271,7 +346,7 @@ impl TimingCore {
                 }
             }
             Instr::Vector(v) => {
-                let chunks = u64::from(v.len.div_ceil(vw));
+                let chunks = u64::from(v.len.div_ceil(vw)) * b;
                 let lat = match v.op {
                     VectorOpKind::Add
                     | VectorOpKind::Sub
@@ -289,7 +364,7 @@ impl TimingCore {
                 }
             }
             Instr::Reduce(r) => {
-                let chunks = u64::from(r.len.div_ceil(vw));
+                let chunks = u64::from(r.len.div_ceil(vw)) * b;
                 let (step_lat, tree_lat) = match r.kind {
                     ReduceKind::Sum => (p.fp_add_latency, p.fp_add_latency),
                     ReduceKind::Max => (6, 6), // comparator tree
@@ -309,23 +384,23 @@ impl TimingCore {
                 };
                 InstrCost {
                     unit: Unit::Vpu,
-                    occupancy: Cycles(8),
+                    occupancy: Cycles(8 * b),
                     latency: Cycles(u64::from(lat)),
                 }
             }
             Instr::Dma(dm) => {
                 let dur = match (dm.dir, dm.tensor) {
-                    (_, TensorRef::TokenIo) => self.dma.token_io_cycles(),
-                    (DmaDir::Load, _) => self.dma.ddr_vector_cycles((dm.bytes / 2) as u32),
+                    (_, TensorRef::TokenIo) => self.dma.token_io_cycles() * b,
+                    (DmaDir::Load, _) => self.dma.ddr_vector_cycles((dm.bytes / 2) as u32) * b,
                     (DmaDir::Store, TensorRef::Kv { .. }) => {
                         let head_dim = (dm.bytes / 2) as u32;
                         if dm.transpose {
-                            self.dma.kv_write_transposed_cycles(head_dim)
+                            self.dma.kv_write_transposed_cycles(head_dim) * b
                         } else {
-                            self.dma.kv_write_cycles(head_dim)
+                            self.dma.kv_write_cycles(head_dim) * b
                         }
                     }
-                    (DmaDir::Store, _) => self.dma.ddr_vector_cycles((dm.bytes / 2) as u32),
+                    (DmaDir::Store, _) => self.dma.ddr_vector_cycles((dm.bytes / 2) as u32) * b,
                 };
                 InstrCost {
                     unit: Unit::Dma,
@@ -335,8 +410,8 @@ impl TimingCore {
             }
             Instr::Router(r) => {
                 let dur = match r.op {
-                    RouterOp::AllGather => self.ring.allgather_cycles(r.bytes),
-                    RouterOp::AllReduceArgMax => self.ring.argmax_reduce_cycles(),
+                    RouterOp::AllGather => self.ring.allgather_cycles(r.bytes * b),
+                    RouterOp::AllReduceArgMax => self.ring.argmax_reduce_cycles() * b,
                 };
                 InstrCost {
                     unit: Unit::Router,
@@ -466,6 +541,70 @@ mod tests {
         let t = time(&GptConfig::tiny(), 2, 0, true);
         let a = t.activity();
         assert!(a > 0.0 && a <= 1.0, "{a}");
+    }
+
+    #[test]
+    fn batch_of_one_is_bit_identical_to_the_unbatched_path() {
+        let cfg = GptConfig::tiny();
+        let b = ProgramBuilder::new(cfg, ParallelConfig::new(0, 2)).unwrap();
+        let engine = TimingCore::new(CoreParams::default(), 2);
+        for pos in [0, 3, 7] {
+            let p = b.token_step(pos, pos == 7);
+            assert_eq!(engine.time_step(&p), engine.time_step_batched(&p, 1));
+            for ai in p.instrs() {
+                assert_eq!(
+                    engine.instr_cost(&ai.instr),
+                    engine.batched_instr_cost(&ai.instr, 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_step_cost_is_monotone_in_batch_size() {
+        let cfg = GptConfig::tiny();
+        let b = ProgramBuilder::new(cfg, ParallelConfig::new(0, 2)).unwrap();
+        let p = b.token_step(4, true);
+        let engine = TimingCore::new(CoreParams::default(), 2);
+        let mut prev = Cycles::ZERO;
+        for batch in 1..=16 {
+            let t = engine.time_step_batched(&p, batch);
+            assert!(
+                t.total >= prev,
+                "batch {batch} got cheaper: {} < {prev}",
+                t.total
+            );
+            prev = t.total;
+        }
+    }
+
+    #[test]
+    fn batching_amortises_the_weight_stream() {
+        // A production-geometry step is weight-stream bound, so a batch
+        // of B must cost far less than B independent steps: the whole
+        // point of the batched cost model.
+        let cfg = GptConfig::new("345m-1layer", 1024, 16, 2, 512, 64);
+        let b = ProgramBuilder::new(cfg, ParallelConfig::new(0, 1)).unwrap();
+        let p = b.token_step(0, false);
+        let engine = TimingCore::new(CoreParams::default(), 1);
+        let single = engine.time_step(&p).total.0;
+        let batched = engine.time_step_batched(&p, 8).total.0;
+        // Empirically ~4.5x: the shared weight stream amortises while the
+        // per-request vector work still scales, so the per-member cost
+        // drops to ~0.55x without ever reaching the full 8x.
+        assert!(
+            batched < 6 * single,
+            "batch-8 step ({batched}) should amortise well below 8x the batch-1 step ({single})"
+        );
+        assert!(batched > single, "more work cannot be free");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_panics() {
+        let b = ProgramBuilder::new(GptConfig::tiny(), ParallelConfig::new(0, 1)).unwrap();
+        let _ =
+            TimingCore::new(CoreParams::default(), 1).time_step_batched(&b.token_step(0, false), 0);
     }
 
     #[test]

@@ -12,6 +12,56 @@ use dfx_model::Workload;
 use dfx_sim::{Appliance, SimError};
 use serde::{Deserialize, Serialize};
 
+/// Platform-independent result of serving one coalesced batch of
+/// requests.
+///
+/// A coalesced batch completes as a unit: every member experiences the
+/// same [`total_ms`](BatchReport::total_ms), and throughput credits only
+/// the output tokens members actually asked for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Human-readable backend description.
+    pub backend: String,
+    /// The member workloads, in batch order.
+    pub workloads: Vec<Workload>,
+    /// Summarization-stage latency of the whole batch, ms.
+    pub summarization_ms: f64,
+    /// Generation-stage latency of the whole batch, ms.
+    pub generation_ms: f64,
+    /// Accelerator cards the run occupied.
+    pub devices: usize,
+    /// Average board power across the run, W (`None` when uncalibrated).
+    pub power_w: Option<f64>,
+}
+
+impl BatchReport {
+    /// Number of requests in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// End-to-end latency of the batch, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.summarization_ms + self.generation_ms
+    }
+
+    /// Output tokens requested across the batch.
+    pub fn output_tokens(&self) -> usize {
+        self.workloads.iter().map(|w| w.output_len).sum()
+    }
+
+    /// Aggregate throughput: credited output tokens over the batch
+    /// latency.
+    pub fn tokens_per_second(&self) -> f64 {
+        self.output_tokens() as f64 / (self.total_ms() / 1e3)
+    }
+
+    /// Energy of the batch in joules, if the platform models power.
+    pub fn energy_j(&self) -> Option<f64> {
+        self.power_w.map(|p| p * self.total_ms() / 1e3)
+    }
+}
+
 /// Platform-independent result of serving one request.
 ///
 /// Carries the two paper stages plus enough metadata to derive every
@@ -82,6 +132,43 @@ pub trait Backend {
     /// at the backend boundary instead of letting platform models emit
     /// degenerate reports — and propagates platform-specific errors.
     fn serve(&self, workload: Workload) -> Result<RunReport, SimError>;
+
+    /// Serves one coalesced batch of requests as a unit.
+    ///
+    /// The default implementation is a *sequential fallback*: it serves
+    /// the members one after another and sums the stage latencies, so
+    /// every backend — including ones written before batching existed —
+    /// keeps working behind a batching scheduler, just without a batching
+    /// win. Platforms with a real batched cost model ([`Appliance`],
+    /// [`GpuModel`]) override it; the cloud [`TpuModel`] keeps the
+    /// fallback (the paper publishes no batched TPU data to calibrate
+    /// against). `serve_batch(&[w])` always agrees with `serve(w)` on
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for an empty batch or any
+    /// zero-length member, and propagates platform-specific errors.
+    fn serve_batch(&self, batch: &[Workload]) -> Result<BatchReport, SimError> {
+        if batch.is_empty() {
+            return Err(SimError::InvalidRequest("empty batch".into()));
+        }
+        let mut summarization_ms = 0.0;
+        let mut generation_ms = 0.0;
+        for &w in batch {
+            let r = self.serve(w)?;
+            summarization_ms += r.summarization_ms;
+            generation_ms += r.generation_ms;
+        }
+        Ok(BatchReport {
+            backend: self.name(),
+            workloads: batch.to_vec(),
+            summarization_ms,
+            generation_ms,
+            devices: self.device_count(),
+            power_w: self.nominal_power_w(),
+        })
+    }
 }
 
 /// Validates a workload at the [`Backend`] boundary.
@@ -129,6 +216,21 @@ impl Backend for Appliance {
             power_w: Some(run.power_w()),
         })
     }
+
+    fn serve_batch(&self, batch: &[Workload]) -> Result<BatchReport, SimError> {
+        for &w in batch {
+            validate_workload(w)?;
+        }
+        let run = self.generate_batch_timed(batch)?;
+        Ok(BatchReport {
+            backend: Backend::name(self),
+            workloads: batch.to_vec(),
+            summarization_ms: run.summarization_ms(),
+            generation_ms: run.generation_ms(),
+            devices: self.num_fpgas(),
+            power_w: Some(run.power_w()),
+        })
+    }
 }
 
 impl Backend for GpuModel {
@@ -150,6 +252,24 @@ impl Backend for GpuModel {
         Ok(RunReport {
             backend: Backend::name(self),
             workload,
+            summarization_ms: report.summarization_ms,
+            generation_ms: report.generation_ms,
+            devices: self.gpus(),
+            power_w: Some(report.power_w),
+        })
+    }
+
+    fn serve_batch(&self, batch: &[Workload]) -> Result<BatchReport, SimError> {
+        if batch.is_empty() {
+            return Err(SimError::InvalidRequest("empty batch".into()));
+        }
+        for &w in batch {
+            validate_workload(w)?;
+        }
+        let report = self.run_batch(batch);
+        Ok(BatchReport {
+            backend: Backend::name(self),
+            workloads: batch.to_vec(),
             summarization_ms: report.summarization_ms,
             generation_ms: report.generation_ms,
             devices: self.gpus(),
@@ -238,6 +358,68 @@ mod tests {
         assert_eq!(unified.total_ms(), native.total_latency_ms());
         assert_eq!(unified.tokens_per_second(), native.tokens_per_second());
         assert_eq!(unified.power_w, Some(native.power_w()));
+    }
+
+    #[test]
+    fn serve_batch_of_one_matches_serve_on_every_platform() {
+        let (dfx, gpu, tpu) = backends();
+        let w = Workload::new(8, 4);
+        for backend in [&dfx as &dyn Backend, &gpu, &tpu] {
+            let single = backend.serve(w).unwrap();
+            let batch = backend.serve_batch(&[w]).unwrap();
+            assert_eq!(batch.batch_size(), 1);
+            assert_eq!(batch.total_ms(), single.total_ms(), "{}", backend.name());
+            assert_eq!(batch.tokens_per_second(), single.tokens_per_second());
+        }
+    }
+
+    #[test]
+    fn batched_platforms_beat_the_sequential_fallback() {
+        // DFX and GPU override serve_batch with a real batched cost
+        // model, so a 4-way batch must finish faster than serving the
+        // four members back to back.
+        let (dfx, gpu, _) = backends();
+        let batch = vec![Workload::new(8, 4); 4];
+        for backend in [&dfx as &dyn Backend, &gpu] {
+            let batched = backend.serve_batch(&batch).unwrap().total_ms();
+            let sequential: f64 = batch
+                .iter()
+                .map(|&w| backend.serve(w).unwrap().total_ms())
+                .sum();
+            assert!(
+                batched < sequential,
+                "{}: batch {batched} !< sequential {sequential}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn the_tpu_keeps_the_sequential_fallback() {
+        let (_, _, tpu) = backends();
+        let batch = vec![Workload::new(8, 4); 3];
+        let batched = tpu.serve_batch(&batch).unwrap().total_ms();
+        let sequential: f64 = batch
+            .iter()
+            .map(|&w| tpu.serve(w).unwrap().total_ms())
+            .sum();
+        assert!((batched - sequential).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_at_the_boundary() {
+        let (dfx, gpu, tpu) = backends();
+        for backend in [&dfx as &dyn Backend, &gpu, &tpu] {
+            assert!(
+                matches!(backend.serve_batch(&[]), Err(SimError::InvalidRequest(_))),
+                "{} accepted an empty batch",
+                backend.name()
+            );
+            assert!(matches!(
+                backend.serve_batch(&[Workload::new(8, 4), Workload::new(0, 4)]),
+                Err(SimError::InvalidRequest(_))
+            ));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::arrivals::{ArrivalProcess, SubmissionPlan};
 use crate::backend::Backend;
-use crate::scheduler::{Fifo, Scheduler};
+use crate::scheduler::{BatchDecision, Fifo, Scheduler};
 use crate::stats;
 use dfx_model::Workload;
 use dfx_sim::SimError;
@@ -85,12 +85,22 @@ pub struct ServiceReport {
     pub utilization: f64,
     /// Output tokens delivered per second of makespan.
     pub goodput_tps: f64,
+    /// Backend invocations made (each dispatch serves one coalesced
+    /// batch; with a single-dispatch discipline this equals
+    /// `responses.len()`).
+    pub dispatches: usize,
 }
 
 impl ServiceReport {
     /// Mean sojourn time, ms.
     pub fn mean_sojourn_ms(&self) -> f64 {
         self.responses.iter().map(Response::sojourn_ms).sum::<f64>() / self.responses.len() as f64
+    }
+
+    /// Average realized batch size: requests served per backend
+    /// invocation (1.0 under a single-dispatch discipline).
+    pub fn mean_batch_size(&self) -> f64 {
+        self.responses.len() as f64 / self.dispatches.max(1) as f64
     }
 
     /// Arbitrary sojourn percentile (fraction in `[0, 1]`).
@@ -132,13 +142,14 @@ impl ServiceReport {
 pub struct ServingEngine<'a> {
     servers: Vec<&'a dyn Backend>,
     scheduler: Box<dyn Scheduler>,
-    /// Service times memoized by `(backend name, workload)`; persists
-    /// across `run` calls, so a rate sweep on one engine times each
-    /// distinct workload once. Keying by name (not pool index) lets
+    /// Service times memoized by `(backend name, batch workloads)` — a
+    /// single request is the one-element batch; persists across `run`
+    /// calls, so a rate sweep on one engine times each distinct workload
+    /// (or batch composition) once. Keying by name (not pool index) lets
     /// identical replicas share entries — [`Backend::name`] must
     /// therefore identify the timing behaviour (model + cluster size),
     /// which every built-in implementation's name does.
-    cache: HashMap<(String, Workload), f64>,
+    cache: HashMap<(String, Vec<Workload>), f64>,
 }
 
 impl<'a> ServingEngine<'a> {
@@ -176,10 +187,10 @@ impl<'a> ServingEngine<'a> {
 
     /// Serves `workloads` with arrivals drawn from `arrivals`.
     ///
-    /// Backend runs are memoized per `(backend name, workload)` and the
-    /// memo persists across calls — the platform models are
+    /// Backend runs are memoized per `(backend name, batch workloads)`
+    /// and the memo persists across calls — the platform models are
     /// deterministic, so a rate sweep on one engine times each distinct
-    /// workload once.
+    /// workload (or batch composition) once.
     ///
     /// # Errors
     ///
@@ -202,7 +213,10 @@ impl<'a> ServingEngine<'a> {
     /// front (open loop) or as completions schedule the owning client's
     /// next submission (closed loop); either way the queue holds every
     /// request that has arrived by the dispatch instant, the scheduler
-    /// picks one, and it runs on the earliest-free server.
+    /// picks a batch (usually of one), and it runs as a unit on the
+    /// earliest-free server. A scheduler may also *wait* — hold the free
+    /// server until a batch fills or its deadline passes — which advances
+    /// the decision instant without dispatching.
     fn simulate(
         &mut self,
         workloads: &[Workload],
@@ -226,6 +240,12 @@ impl<'a> ServingEngine<'a> {
         let mut busy = vec![0.0f64; self.servers.len()];
         let mut queue: Vec<Request> = Vec::new();
         let mut responses: Vec<Response> = Vec::with_capacity(n);
+        let mut dispatches = 0usize;
+        // Floor on the next decision instant, set by a `Wait` decision.
+        let mut wake_ms = 0.0f64;
+        // Consecutive decisions that neither dispatched nor saw a new
+        // arrival: a scheduler stalling past its own deadline.
+        let mut stalls = 0u32;
 
         while responses.len() < n {
             if queue.is_empty() {
@@ -242,10 +262,11 @@ impl<'a> ServingEngine<'a> {
             let server = (0..free_at.len())
                 .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite"))
                 .expect("non-empty pool");
-            let now = free_at[server].max(queue[0].arrival_ms);
+            let now = free_at[server].max(queue[0].arrival_ms).max(wake_ms);
 
             // Everything that has arrived by the dispatch instant is
             // visible to the scheduler.
+            let mut admitted = false;
             while !pending.is_empty() && pending[0].0 <= now {
                 let (arrival_ms, id) = pending.remove(0);
                 let req = Request {
@@ -256,55 +277,108 @@ impl<'a> ServingEngine<'a> {
                 let pos =
                     queue.partition_point(|q| (q.arrival_ms, q.id) <= (arrival_ms, id as u64));
                 queue.insert(pos, req);
+                admitted = true;
+            }
+            if admitted {
+                stalls = 0;
             }
 
-            let picked = self.scheduler.pick(&queue, now);
-            if picked >= queue.len() {
+            let picked = match self.scheduler.pick_batch(&queue, now) {
+                BatchDecision::Dispatch(picked) => picked,
+                BatchDecision::Wait(until_ms) => {
+                    if !until_ms.is_finite() || until_ms <= now {
+                        return Err(SimError::Service(format!(
+                            "scheduler {} asked to wait until {until_ms} ms at {now} ms",
+                            self.scheduler.name()
+                        )));
+                    }
+                    stalls += 1;
+                    if stalls > 2 {
+                        return Err(SimError::Service(format!(
+                            "scheduler {} keeps waiting without dispatching",
+                            self.scheduler.name()
+                        )));
+                    }
+                    // Wake at the requested time, or earlier if a new
+                    // arrival lands first and may complete the batch.
+                    wake_ms = match pending.first() {
+                        Some(&(arrival_ms, _)) if arrival_ms < until_ms => arrival_ms,
+                        _ => until_ms,
+                    };
+                    continue;
+                }
+            };
+            let mut picked = picked;
+            picked.sort_unstable();
+            let in_range = picked.last().is_some_and(|&i| i < queue.len());
+            if !in_range || picked.windows(2).any(|w| w[0] == w[1]) {
                 return Err(SimError::Service(format!(
-                    "scheduler {} picked index {picked} from a queue of {}",
+                    "scheduler {} picked invalid batch {picked:?} from a queue of {}",
                     self.scheduler.name(),
                     queue.len()
                 )));
             }
-            let request = queue.remove(picked);
+            stalls = 0;
+            wake_ms = 0.0;
 
-            let key = (self.servers[server].name(), request.workload);
+            // Extract in descending index order, then restore arrival
+            // order within the batch.
+            let mut batch: Vec<Request> = picked.iter().rev().map(|&i| queue.remove(i)).collect();
+            batch.reverse();
+            let batch_workloads: Vec<Workload> = batch.iter().map(|r| r.workload).collect();
+
+            let key = (self.servers[server].name(), batch_workloads);
             let service_ms = match self.cache.get(&key) {
                 Some(&ms) => ms,
                 None => {
-                    let ms = self.servers[server].serve(request.workload)?.total_ms();
+                    // A one-element batch goes through the single-request
+                    // path (bit-identical numbers to the pre-batching
+                    // engine); larger batches execute as one unit.
+                    let ms = match key.1.as_slice() {
+                        [single] => self.servers[server].serve(*single)?.total_ms(),
+                        many => self.servers[server].serve_batch(many)?.total_ms(),
+                    };
                     self.cache.insert(key, ms);
                     ms
                 }
             };
-            let start_ms = free_at[server].max(request.arrival_ms);
+            // `now` dominates the server's free time and the queue
+            // head's arrival, but not necessarily every member's: after
+            // a Wait-elevated round admits late arrivals, a different
+            // (earlier-free) server's `now` can lapse behind them, so
+            // clamp the start to the batch's newest arrival.
+            let start_ms = batch.iter().map(|r| r.arrival_ms).fold(now, f64::max);
             let finish_ms = start_ms + service_ms;
             free_at[server] = finish_ms;
             busy[server] += service_ms;
-            responses.push(Response {
-                request,
-                server,
-                start_ms,
-                finish_ms,
-            });
+            dispatches += 1;
 
-            if let SubmissionPlan::Closed {
-                clients,
-                think_time_ms,
-            } = &plan
-            {
-                // The owning client thinks, then submits its next
-                // round-robin request.
-                let next = request.id as usize + clients;
-                if next < n {
-                    let submit = finish_ms + think_time_ms;
-                    let pos = pending.partition_point(|p| (p.0, p.1) <= (submit, next));
-                    pending.insert(pos, (submit, next));
+            for request in batch {
+                responses.push(Response {
+                    request,
+                    server,
+                    start_ms,
+                    finish_ms,
+                });
+
+                if let SubmissionPlan::Closed {
+                    clients,
+                    think_time_ms,
+                } = &plan
+                {
+                    // The owning client thinks, then submits its next
+                    // round-robin request.
+                    let next = request.id as usize + clients;
+                    if next < n {
+                        let submit = finish_ms + think_time_ms;
+                        let pos = pending.partition_point(|p| (p.0, p.1) <= (submit, next));
+                        pending.insert(pos, (submit, next));
+                    }
                 }
             }
         }
 
-        self.report(workloads, responses, &busy)
+        self.report(workloads, responses, &busy, dispatches)
     }
 
     fn report(
@@ -312,6 +386,7 @@ impl<'a> ServingEngine<'a> {
         workloads: &[Workload],
         responses: Vec<Response>,
         busy: &[f64],
+        dispatches: usize,
     ) -> Result<ServiceReport, SimError> {
         let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
 
@@ -356,6 +431,7 @@ impl<'a> ServingEngine<'a> {
             utilization: busy.iter().sum::<f64>()
                 / (self.servers.len() as f64 * makespan_ms.max(f64::MIN_POSITIVE)),
             goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
+            dispatches,
             responses,
         })
     }
@@ -508,6 +584,169 @@ mod tests {
         let order: Vec<u64> = r.responses.iter().map(|x| x.request.id).collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
         assert_eq!(r.scheduler, "SJF(output_len)");
+    }
+
+    #[test]
+    fn batching_coalesces_a_backlog_into_one_dispatch() {
+        // Four requests queued at t=0 with max_batch 4: one backend
+        // invocation serves all of them, finishing together.
+        let workloads = vec![Workload::new(10, 10); 4];
+        let arrivals = ArrivalProcess::Trace(vec![0.0; 4]);
+        let r = ServingEngine::new(&B)
+            .with_scheduler(Box::new(crate::scheduler::Batching::new(4, 50.0)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.dispatches, 1);
+        assert!((r.mean_batch_size() - 4.0).abs() < 1e-12);
+        // The Const backend has no batched model, so the sequential
+        // fallback sums the four service times; all four share it.
+        for resp in &r.responses {
+            assert_eq!(resp.start_ms, 0.0);
+            assert!((resp.finish_ms - 80.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batching_waits_for_latecomers_within_the_timeout() {
+        // Second request arrives at 5 ms; the scheduler holds the free
+        // server (timeout 30 ms) and dispatches both together.
+        let workloads = vec![Workload::new(10, 10); 2];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 5.0]);
+        let r = ServingEngine::new(&B)
+            .with_scheduler(Box::new(crate::scheduler::Batching::new(2, 30.0)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.dispatches, 1);
+        assert_eq!(r.responses[0].start_ms, 5.0);
+        assert_eq!(r.responses[1].start_ms, 5.0);
+    }
+
+    #[test]
+    fn batching_flushes_a_partial_batch_at_the_timeout() {
+        // Nothing else ever arrives: the lone request must not wait past
+        // its 30 ms window.
+        let workloads = vec![Workload::new(10, 10)];
+        let arrivals = ArrivalProcess::Trace(vec![2.0]);
+        let r = ServingEngine::new(&B)
+            .with_scheduler(Box::new(crate::scheduler::Batching::new(8, 30.0)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.dispatches, 1);
+        assert_eq!(r.responses[0].start_ms, 32.0);
+    }
+
+    #[test]
+    fn batching_with_max_batch_one_matches_fifo_exactly() {
+        let workloads: Vec<Workload> = (0..20)
+            .map(|i| Workload::new(4 + i % 5, 2 + i % 7))
+            .collect();
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 60.0,
+            seed: 0xBA7C,
+        };
+        let fifo = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        let batch1 = ServingEngine::new(&B)
+            .with_scheduler(Box::new(crate::scheduler::Batching::new(1, 1_000.0)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(fifo.responses, batch1.responses);
+        assert_eq!(fifo.dispatches, batch1.dispatches);
+    }
+
+    #[test]
+    fn stalling_schedulers_are_rejected() {
+        /// Always waits, never dispatches.
+        struct Stall;
+        impl Scheduler for Stall {
+            fn name(&self) -> &str {
+                "stall"
+            }
+            fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
+                0
+            }
+            fn pick_batch(&mut self, _q: &[Request], now_ms: f64) -> BatchDecision {
+                BatchDecision::Wait(now_ms + 1.0)
+            }
+        }
+        let workloads = vec![Workload::new(5, 5)];
+        let arrivals = ArrivalProcess::Trace(vec![0.0]);
+        let err = ServingEngine::new(&B)
+            .with_scheduler(Box::new(Stall))
+            .run(&workloads, &arrivals)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Service(_)), "{err:?}");
+    }
+
+    #[test]
+    fn late_arrivals_in_a_custom_pick_never_start_before_they_arrive() {
+        // A scheduler may legally Wait past a second server's free time
+        // and then batch a late arrival with the queue head; the
+        // dispatch instant of the earlier-free server must not drag the
+        // late member's start before its own arrival.
+        struct SkipOldest {
+            calls: u32,
+        }
+        impl Scheduler for SkipOldest {
+            fn name(&self) -> &str {
+                "skip-oldest"
+            }
+            fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
+                0
+            }
+            fn pick_batch(&mut self, queue: &[Request], _now: f64) -> BatchDecision {
+                self.calls += 1;
+                match self.calls {
+                    // Hold the first server while arrivals trickle in.
+                    1 | 2 => BatchDecision::Wait(100.0),
+                    // Serve the middle request alone...
+                    3 => BatchDecision::Dispatch(vec![1]),
+                    // ...then batch the head with the latest arrival on
+                    // the still-free second server.
+                    _ => BatchDecision::Dispatch((0..queue.len()).collect()),
+                }
+            }
+        }
+        let workloads = vec![Workload::new(5, 5); 3];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 50.0, 60.0]);
+        let r = ServingEngine::pool(vec![&B, &B])
+            .unwrap()
+            .with_scheduler(Box::new(SkipOldest { calls: 0 }))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.responses.len(), 3);
+        for resp in &r.responses {
+            assert!(
+                resp.start_ms >= resp.request.arrival_ms,
+                "request {} started at {} before its arrival {}",
+                resp.request.id,
+                resp.start_ms,
+                resp.request.arrival_ms
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_batch_picks_are_service_errors() {
+        /// Dispatches a duplicated index.
+        struct Dup;
+        impl Scheduler for Dup {
+            fn name(&self) -> &str {
+                "dup"
+            }
+            fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
+                0
+            }
+            fn pick_batch(&mut self, _q: &[Request], _now: f64) -> BatchDecision {
+                BatchDecision::Dispatch(vec![0, 0])
+            }
+        }
+        let workloads = vec![Workload::new(5, 5); 2];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 0.0]);
+        let err = ServingEngine::new(&B)
+            .with_scheduler(Box::new(Dup))
+            .run(&workloads, &arrivals)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Service(_)), "{err:?}");
     }
 
     #[test]

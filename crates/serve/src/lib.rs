@@ -49,7 +49,13 @@ mod scheduler;
 pub mod stats;
 
 pub use arrivals::ArrivalProcess;
-pub use backend::{validate_workload, Backend, RunReport};
+pub use backend::{validate_workload, Backend, BatchReport, RunReport};
 pub use engine::{Request, Response, ServiceReport, ServingEngine};
 pub use mix::chatbot_mix;
-pub use scheduler::{Fifo, Scheduler, ShortestJobFirst};
+/// Queue disciplines for [`ServingEngine::with_scheduler`]: [`Fifo`]
+/// (arrival order), [`Batching`] (size-and-timeout coalescing;
+/// `max_batch == 1` is exactly FIFO) and [`ShortestJobFirst`] — note
+/// SJF's starvation caveat: with no aging mechanism, a long request can
+/// be overtaken indefinitely under sustained load, so use it for
+/// mean-latency studies, not service-level guarantees.
+pub use scheduler::{BatchDecision, Batching, Fifo, Scheduler, ShortestJobFirst};

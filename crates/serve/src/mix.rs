@@ -9,6 +9,15 @@ use dfx_model::Workload;
 /// Workloads exceeding `max_seq_len` are replaced by a
 /// `max_seq_len/2 : max_seq_len/4` point so short-context smoke
 /// configurations stay valid.
+///
+/// Note for batching experiments: the mix's longest context plus
+/// longest output is `192 + 96 = 288` tokens, so on any model with
+/// `max_seq_len >= 288` (every paper configuration) *any subset* of the
+/// stream can be coalesced into one padded batch without exceeding the
+/// appliance's sequence cap. Below 288 the per-request clamp keeps
+/// individual requests valid but a coalesced pair can still pad past
+/// the cap — see the feasibility note on
+/// [`Batching`](crate::Batching).
 pub fn chatbot_mix(n_requests: usize, max_seq_len: usize) -> Vec<Workload> {
     let sizes = [16usize, 32, 64, 96];
     (0..n_requests)

@@ -1,23 +1,70 @@
 //! Pluggable queue disciplines for the serving engine.
+//!
+//! A [`Scheduler`] decides *what a freed server executes next*: a single
+//! request ([`Scheduler::pick`]) or, through the batching-aware seam
+//! ([`Scheduler::pick_batch`]), a whole set of queued requests coalesced
+//! into one backend invocation — or nothing yet ([`BatchDecision::Wait`]),
+//! holding the server idle while a batch fills.
 
 use crate::engine::Request;
 
-/// A queue discipline: decides which waiting request a freed server
+/// What a scheduler tells the engine to do with a free server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchDecision {
+    /// Dispatch these queue indices as one coalesced batch (one
+    /// [`Backend::serve_batch`](crate::Backend::serve_batch) call). The
+    /// indices must be non-empty, unique and in range; the engine
+    /// dispatches the members in queue (arrival) order.
+    Dispatch(Vec<usize>),
+    /// Hold the server idle and ask again at this absolute time (ms) —
+    /// or earlier, if a new request arrives first. The time must lie
+    /// strictly in the future of the decision instant, and a scheduler
+    /// must make progress: the engine allows at most two consecutive
+    /// `Wait` decisions with no new arrival in between and rejects the
+    /// third with a service error, so a discipline must dispatch once
+    /// its own deadline passes (a deadline-at-a-time wait like
+    /// [`Batching`]'s never hits the limit: the engine wakes it at
+    /// `min(deadline, next arrival)`, where it either dispatches or has
+    /// admitted a new request).
+    Wait(f64),
+}
+
+/// A queue discipline: decides which waiting request(s) a freed server
 /// takes next.
 ///
-/// The engine keeps the queue in arrival order and calls [`pick`] with
-/// every request that has arrived by `now_ms`; the scheduler returns the
-/// index to dispatch. The trait is deliberately minimal so batching and
-/// priority disciplines slot in later without touching the engine.
+/// The engine keeps the queue sorted by `(arrival, id)` and calls
+/// [`pick_batch`] with every request that has arrived by `now_ms`. Most
+/// disciplines dispatch one request at a time and only implement
+/// [`pick`]; batching disciplines override [`pick_batch`] to coalesce
+/// several queued requests into one backend invocation, or to wait for a
+/// batch to fill.
 ///
 /// [`pick`]: Scheduler::pick
+/// [`pick_batch`]: Scheduler::pick_batch
 pub trait Scheduler {
     /// Discipline name for reports.
     fn name(&self) -> &str;
 
-    /// Index into `queue` (never empty, arrival order) of the request to
-    /// dispatch at `now_ms`.
+    /// Index into `queue` (never empty, sorted by arrival) of the single
+    /// request to dispatch at `now_ms`.
+    ///
+    /// This is the single-dispatch path: the default [`pick_batch`]
+    /// wraps the returned index in a one-element
+    /// [`BatchDecision::Dispatch`], so a discipline that never batches
+    /// only implements this method.
+    ///
+    /// [`pick_batch`]: Scheduler::pick_batch
     fn pick(&mut self, queue: &[Request], now_ms: f64) -> usize;
+
+    /// Batching-aware entry point the engine actually calls: returns the
+    /// *set* of queue indices to dispatch as one unit, or
+    /// [`BatchDecision::Wait`] to hold the free server until a batch
+    /// fills. Defaults to dispatching [`pick`]'s single choice.
+    ///
+    /// [`pick`]: Scheduler::pick
+    fn pick_batch(&mut self, queue: &[Request], now_ms: f64) -> BatchDecision {
+        BatchDecision::Dispatch(vec![self.pick(queue, now_ms)])
+    }
 }
 
 /// First-in first-out: requests are served strictly in arrival order.
@@ -38,6 +85,14 @@ impl Scheduler for Fifo {
 /// queued, serve the request with the fewest output tokens (ties broken
 /// by arrival order). A deliberately simple second discipline proving
 /// the scheduler seam is real; it trades worst-case sojourn for mean.
+///
+/// # Starvation caveat
+///
+/// SJF is not fair: under sustained load, a long request can be
+/// overtaken indefinitely as shorter requests keep arriving — its
+/// sojourn is unbounded even though the system is stable. Use it for
+/// mean-latency studies, not for service-level guarantees; there is no
+/// aging mechanism.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShortestJobFirst;
 
@@ -53,5 +108,161 @@ impl Scheduler for ShortestJobFirst {
             .min_by_key(|(_, r)| r.workload.output_len)
             .map(|(i, _)| i)
             .unwrap_or(0)
+    }
+}
+
+/// Size-and-timeout batching in arrival order: coalesce up to
+/// `max_batch` queued requests into one backend invocation, dispatching
+/// early once the oldest queued request has waited `max_wait_ms`.
+///
+/// The two knobs span the paper's trade-off space (§III-A): a large
+/// `max_batch` with a generous timeout is the GPU serving posture
+/// (throughput first), `max_batch == 1` collapses to [`Fifo`] exactly —
+/// making DFX's latency-first batch-1 service directly comparable in the
+/// same engine.
+///
+/// The timeout guarantee is conditional on a free server: a request's
+/// dispatch is delayed by the *scheduler* at most `max_wait_ms` past its
+/// arrival; time spent with every server busy counts against capacity,
+/// not against the batching window.
+///
+/// # Coalescing feasibility
+///
+/// A coalesced batch executes at the *padded* shape (the batch's
+/// longest context and longest output), so a backend with a hard
+/// sequence cap (the DFX appliance's `max_seq_len`) can reject a batch
+/// whose members are each individually valid: pairing a long-context
+/// member with a long-output member may pad past the cap, and the
+/// backend error aborts the engine run. This discipline does not
+/// inspect workload shapes; if a stream's longest context plus longest
+/// output can exceed the backend's cap, partition the stream by shape
+/// or keep `max_batch == 1` for the outsized requests.
+/// [`chatbot_mix`](crate::chatbot_mix) streams are jointly coalescible
+/// by construction.
+#[derive(Debug, Clone)]
+pub struct Batching {
+    max_batch: usize,
+    max_wait_ms: f64,
+    name: String,
+}
+
+impl Batching {
+    /// Creates the discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or `max_wait_ms` is negative or
+    /// non-finite.
+    pub fn new(max_batch: usize, max_wait_ms: f64) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            max_wait_ms.is_finite() && max_wait_ms >= 0.0,
+            "max_wait_ms must be finite and non-negative"
+        );
+        Batching {
+            max_batch,
+            max_wait_ms,
+            name: format!("Batching(max={max_batch}, wait={max_wait_ms}ms)"),
+        }
+    }
+
+    /// Maximum requests coalesced into one dispatch.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Longest the oldest queued request is held for batch-mates, ms.
+    pub fn max_wait_ms(&self) -> f64 {
+        self.max_wait_ms
+    }
+}
+
+impl Scheduler for Batching {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pick(&mut self, _queue: &[Request], _now_ms: f64) -> usize {
+        // Single-dispatch path (unused by the engine once `pick_batch`
+        // is overridden): arrival order.
+        0
+    }
+
+    fn pick_batch(&mut self, queue: &[Request], now_ms: f64) -> BatchDecision {
+        if queue.len() >= self.max_batch {
+            return BatchDecision::Dispatch((0..self.max_batch).collect());
+        }
+        // The queue is sorted by arrival, so index 0 is the oldest.
+        let deadline = queue[0].arrival_ms + self.max_wait_ms;
+        if now_ms >= deadline {
+            BatchDecision::Dispatch((0..queue.len()).collect())
+        } else {
+            BatchDecision::Wait(deadline)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfx_model::Workload;
+
+    fn queue(arrivals: &[f64]) -> Vec<Request> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &arrival_ms)| Request {
+                id: i as u64,
+                workload: Workload::new(8, 8),
+                arrival_ms,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_full_queue_dispatches_max_batch_in_arrival_order() {
+        let mut b = Batching::new(3, 100.0);
+        let q = queue(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            b.pick_batch(&q, 5.0),
+            BatchDecision::Dispatch(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn a_partial_queue_waits_until_the_oldest_deadline() {
+        let mut b = Batching::new(4, 100.0);
+        let q = queue(&[10.0, 12.0]);
+        assert_eq!(b.pick_batch(&q, 20.0), BatchDecision::Wait(110.0));
+        // At the deadline, flush whatever is queued.
+        assert_eq!(b.pick_batch(&q, 110.0), BatchDecision::Dispatch(vec![0, 1]));
+    }
+
+    #[test]
+    fn max_batch_one_never_waits() {
+        let mut b = Batching::new(1, 1_000.0);
+        let q = queue(&[0.0]);
+        assert_eq!(b.pick_batch(&q, 0.0), BatchDecision::Dispatch(vec![0]));
+    }
+
+    #[test]
+    fn zero_timeout_flushes_immediately() {
+        let mut b = Batching::new(8, 0.0);
+        let q = queue(&[5.0, 6.0]);
+        assert_eq!(b.pick_batch(&q, 6.0), BatchDecision::Dispatch(vec![0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_panics() {
+        let _ = Batching::new(0, 10.0);
+    }
+
+    #[test]
+    fn default_pick_batch_wraps_pick() {
+        let mut sjf = ShortestJobFirst;
+        let mut q = queue(&[0.0, 1.0]);
+        q[1].workload = Workload::new(8, 2);
+        assert_eq!(sjf.pick_batch(&q, 2.0), BatchDecision::Dispatch(vec![1]));
     }
 }

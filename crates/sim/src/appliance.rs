@@ -244,6 +244,17 @@ impl Appliance {
         self.num_fpgas
     }
 
+    /// The per-step program compiler (the batched path in `batch.rs`
+    /// drives it directly).
+    pub(crate) fn builder(&self) -> &ProgramBuilder {
+        &self.builder
+    }
+
+    /// The cycle model (shared with the batched path in `batch.rs`).
+    pub(crate) fn timing(&self) -> &TimingCore {
+        &self.timing
+    }
+
     /// Times one workload without executing data (available in both
     /// modes).
     ///
@@ -324,7 +335,7 @@ impl Appliance {
         Ok(())
     }
 
-    fn check_workload(&self, w: Workload) -> Result<(), SimError> {
+    pub(crate) fn check_workload(&self, w: Workload) -> Result<(), SimError> {
         if w.input_len == 0 {
             return Err(SimError::InvalidRequest("empty context".into()));
         }

@@ -23,6 +23,7 @@
 
 mod accuracy;
 mod appliance;
+mod batch;
 mod cluster;
 mod cost;
 mod error;
@@ -31,6 +32,7 @@ mod pipeline;
 
 pub use accuracy::{paper_tasks, quick_tasks, run_accuracy, AccuracyResult, AccuracyTask};
 pub use appliance::{Appliance, GenerationRun, LatencyBreakdown, TimedRun};
+pub use batch::BatchedRun;
 pub use cluster::FunctionalCluster;
 pub use cost::{ApplianceCost, CostComparison, U280_PRICE_USD, V100_PRICE_USD};
 pub use error::SimError;

@@ -1,0 +1,61 @@
+//! Batched serving: the latency/throughput trade-off of §III-A, live.
+//!
+//! A `Batching` scheduler (max batch size + max-wait timeout) coalesces
+//! queued requests into one backend invocation. The GPU appliance wins
+//! goodput from batching because its batch-1 decode is kernel-overhead
+//! bound; DFX starts at its latency floor, so batching buys it little —
+//! which is exactly why the paper ships a batch-1 appliance.
+//!
+//! ```sh
+//! cargo run --release --example batched_serving
+//! ```
+
+use dfx::baseline::GpuModel;
+use dfx::model::GptConfig;
+use dfx::serve::{chatbot_mix, ArrivalProcess, Backend, Batching, ServingEngine};
+use dfx::sim::Appliance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::gpt2_345m();
+    let dfx = Appliance::timing_only(cfg.clone(), 1)?;
+    let gpu = GpuModel::new(cfg.clone(), 1);
+
+    let stream = chatbot_mix(120, cfg.max_seq_len);
+    // A rate past the GPU appliance's batch-1 capacity (~0.4 req/s) but
+    // within reach of its batched capacity.
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 1.0,
+        seed: 0x5EED,
+    };
+    const MAX_WAIT_MS: f64 = 500.0;
+
+    println!(
+        "120 chatbot requests at 1.0 req/s, Batching scheduler ({} ms window)\n",
+        MAX_WAIT_MS
+    );
+    println!(
+        "{:>9} {:>10} {:>11} {:>11} {:>12} {:>15} {:>11}",
+        "appliance", "max batch", "p50 ms", "p99 ms", "util %", "goodput tok/s", "mean batch"
+    );
+    for (label, backend) in [("DFX", &dfx as &dyn Backend), ("GPU", &gpu)] {
+        for max_batch in [1usize, 2, 4, 8] {
+            let mut engine = ServingEngine::new(backend)
+                .with_scheduler(Box::new(Batching::new(max_batch, MAX_WAIT_MS)));
+            let r = engine.run(&stream, &arrivals)?;
+            println!(
+                "{label:>9} {max_batch:>10} {:>11.0} {:>11.0} {:>12.1} {:>15.1} {:>11.2}",
+                r.p50_sojourn_ms,
+                r.p99_sojourn_ms,
+                100.0 * r.utilization,
+                r.goodput_tps,
+                r.mean_batch_size(),
+            );
+        }
+    }
+    println!(
+        "\nBatching rescues the saturated GPU appliance: goodput climbs with the batch\n\
+         while every member pays the batch's padded latency plus the wait for batch-mates.\n\
+         DFX at max batch 1 is the paper's design point - already interactive at this rate."
+    );
+    Ok(())
+}

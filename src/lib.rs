@@ -21,8 +21,14 @@
 //!   experiment harnesses (latency, breakdown, throughput, energy, cost,
 //!   accuracy).
 //! - [`serve`] — the unified [`Backend`](serve::Backend) trait over
-//!   DFX/GPU/TPU and the request-serving engine (schedulers, arrival
-//!   processes, tail-latency reports).
+//!   DFX/GPU/TPU (single requests and coalesced batches) and the
+//!   request-serving engine (schedulers — including size-and-timeout
+//!   [`Batching`](serve::Batching) — arrival processes, tail-latency
+//!   reports).
+//!
+//! `ARCHITECTURE.md` at the repository root maps the paper's sections,
+//! figures and tables onto these crates and the `reproduce` ids that
+//! regenerate them.
 //!
 //! ## Quickstart
 //!
@@ -42,7 +48,12 @@
 //! ## Serving a request stream
 //!
 //! Every platform implements [`serve::Backend`]; the engine pushes a
-//! seeded arrival process through any of them and reports tail latency:
+//! seeded arrival process through any of them and reports tail latency.
+//! Swap the queue discipline with
+//! [`with_scheduler`](serve::ServingEngine::with_scheduler):
+//! [`serve::Batching`] coalesces requests into batched backend calls,
+//! and [`serve::ShortestJobFirst`] trades mean sojourn for worst-case —
+//! it has no aging, so long requests can starve under sustained load:
 //!
 //! ```
 //! use dfx::model::{GptConfig, Workload};
@@ -59,8 +70,9 @@
 //! # }
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `crates/bench` for the
-//! harness that regenerates every table and figure of the paper.
+//! See `examples/` for end-to-end scenarios, `crates/bench` for the
+//! harness that regenerates every table and figure of the paper, and
+//! `ARCHITECTURE.md` for the full paper-section ↔ crate map.
 
 pub use dfx_baseline as baseline;
 pub use dfx_core as core;

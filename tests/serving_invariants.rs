@@ -126,6 +126,113 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `Batching` discipline conserves requests, and — whenever a
+    /// server is free (guaranteed here by a pool as large as the
+    /// stream) — no request's dispatch is delayed past the scheduler's
+    /// `max_wait_ms` window.
+    #[test]
+    fn batching_conserves_and_never_waits_past_the_timeout(
+        workloads in proptest::collection::vec((1usize..64, 1usize..64), 1..12)
+            .prop_map(|v| v.into_iter().map(|(i, o)| Workload::new(i, o)).collect::<Vec<_>>()),
+        rate_per_s in 0.5f64..200.0,
+        seed in any::<u64>(),
+        max_batch in 1usize..6,
+        max_wait_ms in 0.0f64..100.0,
+    ) {
+        let arrivals = ArrivalProcess::Poisson { rate_per_s, seed };
+        let backends: Vec<UnitBackend> = workloads.iter().map(|_| UnitBackend).collect();
+        let report = ServingEngine::pool(backends.iter().map(|b| b as &dyn Backend).collect())
+            .unwrap()
+            .with_scheduler(Box::new(dfx::serve::Batching::new(max_batch, max_wait_ms)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+
+        prop_assert_eq!(report.responses.len(), workloads.len());
+        let mut ids: Vec<u64> = report.responses.iter().map(|r| r.request.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..workloads.len() as u64).collect::<Vec<_>>());
+        for r in &report.responses {
+            prop_assert!(r.start_ms >= r.request.arrival_ms);
+            prop_assert!(
+                r.wait_ms() <= max_wait_ms + 1e-9,
+                "request {} waited {} ms past a {} ms window with a free server",
+                r.request.id, r.wait_ms(), max_wait_ms
+            );
+        }
+        // Dispatches never exceed requests, and coalescing never exceeds
+        // the configured batch size on average.
+        prop_assert!(report.dispatches >= 1 && report.dispatches <= workloads.len());
+        prop_assert!(report.mean_batch_size() <= max_batch as f64 + 1e-12);
+    }
+
+    /// `Batching` with `max_batch == 1` is exactly FIFO — same responses,
+    /// same dispatch count — under any stream and arrival process.
+    #[test]
+    fn batching_with_max_batch_one_is_fifo(
+        workloads in arb_workloads(),
+        arrivals in arb_arrivals(),
+        max_wait_ms in 0.0f64..500.0,
+    ) {
+        let fifo = ServingEngine::new(&UnitBackend).run(&workloads, &arrivals).unwrap();
+        let batch1 = ServingEngine::new(&UnitBackend)
+            .with_scheduler(Box::new(dfx::serve::Batching::new(1, max_wait_ms)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        prop_assert_eq!(&fifo.responses, &batch1.responses);
+        prop_assert_eq!(fifo.dispatches, batch1.dispatches);
+    }
+}
+
+proptest! {
+    // Fewer cases: these run the real cycle model per case.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A batch of one goes through the batched cost model bit-for-bit
+    /// identically to the unbatched path, on the appliance and the GPU.
+    #[test]
+    fn batch_of_one_is_bit_identical_to_unbatched(
+        input_len in 1usize..24,
+        output_len in 1usize..16,
+    ) {
+        let w = Workload::new(input_len, output_len);
+        let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let batched = appliance.generate_batch_timed(&[w]).unwrap();
+        let single = appliance.generate_timed(input_len, output_len).unwrap();
+        prop_assert_eq!(batched.summarization, single.summarization);
+        prop_assert_eq!(batched.generation, single.generation);
+        prop_assert_eq!(batched.total_latency_ms(), single.total_latency_ms());
+
+        let gpu = dfx::baseline::GpuModel::new(GptConfig::tiny(), 2);
+        prop_assert_eq!(gpu.run_batch(&[w]), gpu.run(w));
+    }
+
+    /// Batch cost is monotone non-decreasing in batch size on both
+    /// batched cost models.
+    #[test]
+    fn batch_cost_is_monotone_in_batch_size(
+        input_len in 1usize..24,
+        output_len in 1usize..16,
+    ) {
+        let w = Workload::new(input_len, output_len);
+        let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let gpu = dfx::baseline::GpuModel::new(GptConfig::tiny(), 2);
+        let mut prev_dfx = 0.0;
+        let mut prev_gpu = 0.0;
+        for b in 1..=5 {
+            let batch = vec![w; b];
+            let dfx_ms = appliance.generate_batch_timed(&batch).unwrap().total_latency_ms();
+            prop_assert!(dfx_ms >= prev_dfx, "DFX batch {} got cheaper: {} < {}", b, dfx_ms, prev_dfx);
+            prev_dfx = dfx_ms;
+            let gpu_ms = gpu.run_batch(&batch).total_ms();
+            prop_assert!(gpu_ms >= prev_gpu, "GPU batch {} got cheaper: {} < {}", b, gpu_ms, prev_gpu);
+            prev_gpu = gpu_ms;
+        }
+    }
+}
+
 /// The same invariants hold end to end with a real cycle-model backend.
 #[test]
 fn invariants_hold_on_a_real_appliance() {
