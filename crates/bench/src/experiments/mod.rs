@@ -12,6 +12,7 @@ use crate::table::ExperimentReport;
 
 mod ablation;
 mod batching;
+mod continuous;
 mod design;
 mod evaluation;
 mod fig14;
@@ -21,6 +22,7 @@ mod tables;
 
 pub use ablation::run as ablation;
 pub use batching::{run as batching, run_setup as batching_setup};
+pub use continuous::{run as continuous, run_setup as continuous_setup};
 pub use design::{fig13, fig8};
 pub use evaluation::{fig15, fig16, fig17, fig18, table2};
 pub use fig14::{grid_latencies_ms, run as fig14, run_model, ModelGrid};
@@ -120,6 +122,11 @@ pub const CATALOG: &[CatalogEntry] = &[
         id: "batching",
         what: "Batched serving: batch size x arrival rate, Batching scheduler on both appliances",
         run: |_| batching(),
+    },
+    CatalogEntry {
+        id: "continuous",
+        what: "Continuous batching: token-boundary scheduling vs static batching vs batch-1",
+        run: |_| continuous(),
     },
 ];
 

@@ -102,18 +102,46 @@ fn batching_experiment_produces_report_on_a_tiny_config() {
 }
 
 #[test]
+fn continuous_experiment_produces_report_on_a_tiny_config() {
+    // The headline sweep (`reproduce continuous`) runs the 1.5B
+    // appliance; this smoke config exercises the token-boundary
+    // engine/report machinery at test speed. The in-module tests cover
+    // the continuous batch-1 == `serving` identity and the
+    // continuous-dominates-static shape.
+    let cfg = GptConfig::new("continuous-smoke", 64, 2, 2, 512, 640);
+    let report = experiments::continuous_setup(cfg, 1, 24, &[1, 4], &[5.0, 50.0], 20.0);
+    assert_well_formed(&report, "continuous");
+    // 2 appliances x (1 batch-1 + 2x2 discipline/batch) x 2 rates.
+    assert_eq!(report.tables[0].rows.len(), 20);
+}
+
+#[test]
 fn every_catalog_id_is_runnable_and_vice_versa() {
     // The catalog is the single source of truth for `reproduce` — ids,
     // descriptions and dispatch live in one table, so an id cannot
     // exist without a runner. This pins the expected id set.
     let ids: Vec<&str> = experiments::CATALOG.iter().map(|e| e.id).collect();
     for required in [
-        "table1", "fig3", "fig4", "fig8", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-        "table2", "accuracy", "ablation", "serving", "batching",
+        "table1",
+        "fig3",
+        "fig4",
+        "fig8",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "table2",
+        "accuracy",
+        "ablation",
+        "serving",
+        "batching",
+        "continuous",
     ] {
         assert!(ids.contains(&required), "catalog is missing `{required}`");
     }
-    assert_eq!(ids.len(), 15, "unexpected catalog entries: {ids:?}");
+    assert_eq!(ids.len(), 16, "unexpected catalog entries: {ids:?}");
 }
 
 #[test]

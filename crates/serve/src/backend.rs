@@ -7,6 +7,7 @@
 //! every experiment and example re-adapted them by hand. [`Backend`]
 //! collapses the three into `serve(Workload) -> RunReport`.
 
+use crate::stepper::{ApplianceStepper, ContinuousStepper, GpuStepper};
 use dfx_baseline::{gpu_calib, GpuModel, TpuModel};
 use dfx_model::Workload;
 use dfx_sim::{Appliance, SimError};
@@ -169,6 +170,42 @@ pub trait Backend {
             power_w: self.nominal_power_w(),
         })
     }
+
+    /// Whether this backend can execute `batch` as one coalesced
+    /// *static* unit.
+    ///
+    /// A coalesced batch runs at the padded shape (the batch's longest
+    /// context and longest output), so a backend with a hard sequence
+    /// cap can reject a batch whose members are each individually valid.
+    /// Batching schedulers ([`Batching`](crate::Batching),
+    /// [`ContinuousBatching`](crate::ContinuousBatching) on its static
+    /// fallback) consult this hook while coalescing, so infeasible sets
+    /// are never dispatched. The default accepts everything — correct
+    /// for the sequential [`serve_batch`](Backend::serve_batch)
+    /// fallback, which never pads; the [`Appliance`] overrides it with
+    /// its `max_seq_len` check.
+    ///
+    /// Token-granular admission through a [`ContinuousStepper`] is *per
+    /// member* feasible and never consults this hook: between decode
+    /// steps there is no joint padded shape.
+    fn batch_feasible(&self, batch: &[Workload]) -> bool {
+        let _ = batch;
+        true
+    }
+
+    /// The token-granular execution capability: a stepper that admits
+    /// members with a prefill charge, decodes all live members one
+    /// token per [`step_token`](ContinuousStepper::step_token), and
+    /// exits members the moment they finish.
+    ///
+    /// Returns `None` for backends without an incremental cost model
+    /// (the cloud [`TpuModel`]); those keep serving through the static
+    /// [`serve_batch`](Backend::serve_batch) path, and the engine falls
+    /// back to static coalescing for them even under a continuous
+    /// discipline.
+    fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
+        None
+    }
 }
 
 /// Validates a workload at the [`Backend`] boundary.
@@ -231,6 +268,19 @@ impl Backend for Appliance {
             power_w: Some(run.power_w()),
         })
     }
+
+    fn batch_feasible(&self, batch: &[Workload]) -> bool {
+        // The padded shape is what a static batch executes at; it must
+        // fit the model's context window (the same check
+        // generate_batch_timed enforces).
+        let input = batch.iter().map(|w| w.input_len).max().unwrap_or(0);
+        let output = batch.iter().map(|w| w.output_len).max().unwrap_or(0);
+        !batch.is_empty() && input + output <= self.config().max_seq_len
+    }
+
+    fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
+        Some(Box::new(ApplianceStepper::new(self)))
+    }
 }
 
 impl Backend for GpuModel {
@@ -275,6 +325,10 @@ impl Backend for GpuModel {
             devices: self.gpus(),
             power_w: Some(report.power_w),
         })
+    }
+
+    fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
+        Some(Box::new(GpuStepper::new(self)))
     }
 }
 
@@ -420,6 +474,23 @@ mod tests {
                 Err(SimError::InvalidRequest(_))
             ));
         }
+    }
+
+    #[test]
+    fn feasibility_tracks_the_appliance_padded_cap() {
+        // tiny's max_seq_len is 128: each member fits alone, the padded
+        // pair does not. The GPU and TPU models have no hard cap.
+        let (dfx, gpu, tpu) = backends();
+        let long_ctx = Workload::new(100, 2);
+        let long_out = Workload::new(2, 100);
+        assert!(dfx.batch_feasible(&[long_ctx]));
+        assert!(dfx.batch_feasible(&[long_out]));
+        assert!(!dfx.batch_feasible(&[long_ctx, long_out]));
+        assert!(!Backend::batch_feasible(&dfx, &[]));
+        assert!(gpu.batch_feasible(&[long_ctx, long_out]));
+        assert!(tpu.batch_feasible(&[long_ctx, long_out]));
+        // The hook and the batched path agree.
+        assert!(dfx.serve_batch(&[long_ctx, long_out]).is_err());
     }
 
     #[test]

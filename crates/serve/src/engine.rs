@@ -5,11 +5,24 @@
 //! [`Scheduler`], with arrivals drawn from a seeded
 //! [`ArrivalProcess`]. Everything is deterministic for fixed inputs, so
 //! service-level experiments reproduce bit-for-bit.
+//!
+//! Two event granularities coexist:
+//!
+//! - the **static path** treats every backend call (a single request or
+//!   one coalesced batch) as one opaque busy interval, scheduling at
+//!   dispatch boundaries via [`Scheduler::pick_batch`];
+//! - the **token-boundary path** runs when a continuous discipline
+//!   ([`Scheduler::is_continuous`]) meets backends exposing a
+//!   [`ContinuousStepper`] ([`Backend::continuous`]): servers advance
+//!   one decode token at a time, members exit the moment they finish,
+//!   and the scheduler's admission seam ([`Scheduler::admit`]) can join
+//!   queued requests to a *running* batch between steps.
 
 use crate::arrivals::{ArrivalProcess, SubmissionPlan};
 use crate::backend::Backend;
-use crate::scheduler::{BatchDecision, Fifo, Scheduler};
+use crate::scheduler::{BatchDecision, Fifo, RunningMember, Scheduler};
 use crate::stats;
+use crate::stepper::ContinuousStepper;
 use dfx_model::Workload;
 use dfx_sim::SimError;
 use serde::{Deserialize, Serialize};
@@ -33,7 +46,8 @@ pub struct Response {
     pub request: Request,
     /// Index of the pool server that executed it.
     pub server: usize,
-    /// When execution began, ms (never before the arrival).
+    /// When execution began, ms (never before the arrival). On the
+    /// token-boundary path this is the start of the request's prefill.
     pub start_ms: f64,
     /// When execution finished, ms.
     pub finish_ms: f64,
@@ -65,7 +79,7 @@ pub struct ServiceReport {
     pub scheduler: String,
     /// Pool size.
     pub servers: usize,
-    /// Every served request, in dispatch order. Exactly one response per
+    /// Every served request, in event order. Exactly one response per
     /// submitted request.
     pub responses: Vec<Response>,
     /// Time from t=0 to the last completion, ms.
@@ -85,9 +99,10 @@ pub struct ServiceReport {
     pub utilization: f64,
     /// Output tokens delivered per second of makespan.
     pub goodput_tps: f64,
-    /// Backend invocations made (each dispatch serves one coalesced
-    /// batch; with a single-dispatch discipline this equals
-    /// `responses.len()`).
+    /// Backend invocations made. On the static path each dispatch
+    /// serves one coalesced batch (a single-dispatch discipline makes
+    /// one per response); on the token-boundary path every admission
+    /// prefill and every decode step counts as one invocation.
     pub dispatches: usize,
 }
 
@@ -97,8 +112,10 @@ impl ServiceReport {
         self.responses.iter().map(Response::sojourn_ms).sum::<f64>() / self.responses.len() as f64
     }
 
-    /// Average realized batch size: requests served per backend
-    /// invocation (1.0 under a single-dispatch discipline).
+    /// Average realized batch size on the *static* path: requests
+    /// served per backend invocation (1.0 under a single-dispatch
+    /// discipline). Not meaningful on the token-boundary path, where
+    /// [`dispatches`](ServiceReport::dispatches) counts token steps.
     pub fn mean_batch_size(&self) -> f64 {
         self.responses.len() as f64 / self.dispatches.max(1) as f64
     }
@@ -148,7 +165,9 @@ pub struct ServingEngine<'a> {
     /// (or batch composition) once. Keying by name (not pool index) lets
     /// identical replicas share entries — [`Backend::name`] must
     /// therefore identify the timing behaviour (model + cluster size),
-    /// which every built-in implementation's name does.
+    /// which every built-in implementation's name does. The
+    /// token-boundary path does not use it (step costs depend on batch
+    /// state); its steppers memoize per-run instead.
     cache: HashMap<(String, Vec<Workload>), f64>,
 }
 
@@ -187,10 +206,13 @@ impl<'a> ServingEngine<'a> {
 
     /// Serves `workloads` with arrivals drawn from `arrivals`.
     ///
-    /// Backend runs are memoized per `(backend name, batch workloads)`
-    /// and the memo persists across calls — the platform models are
-    /// deterministic, so a rate sweep on one engine times each distinct
-    /// workload (or batch composition) once.
+    /// A continuous discipline ([`Scheduler::is_continuous`]) on a pool
+    /// where every backend exposes a [`ContinuousStepper`] runs the
+    /// token-boundary event loop; everything else runs the static path,
+    /// where backend runs are memoized per `(backend name, batch
+    /// workloads)` and the memo persists across calls — the platform
+    /// models are deterministic, so a rate sweep on one engine times
+    /// each distinct workload (or batch composition) once.
     ///
     /// # Errors
     ///
@@ -206,10 +228,81 @@ impl<'a> ServingEngine<'a> {
             return Err(SimError::Service("nothing to serve".into()));
         }
         let plan = arrivals.plan(workloads.len())?;
-        self.simulate(workloads, plan)
+        if self.scheduler.is_continuous() && self.servers.iter().all(|s| s.continuous().is_some()) {
+            self.simulate_continuous(workloads, plan)
+        } else {
+            self.simulate(workloads, plan)
+        }
     }
 
-    /// The shared discrete-event core. Requests become known either up
+    /// The initial submission list: every open-loop arrival up front, or
+    /// one request per closed-loop client at t=0. Always sorted by
+    /// `(time, id)`.
+    fn initial_pending(plan: &SubmissionPlan, n: usize) -> Vec<(f64, usize)> {
+        match plan {
+            SubmissionPlan::Open(times) => {
+                let mut p: Vec<(f64, usize)> = times.iter().copied().zip(0..n).collect();
+                // Ascending already (validated), but keep the invariant
+                // explicit: pending is always sorted by (time, id).
+                p.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+                p
+            }
+            SubmissionPlan::Closed { clients, .. } => {
+                (0..n.min(*clients)).map(|j| (0.0, j)).collect()
+            }
+        }
+    }
+
+    /// Moves every pending submission with time `<= now_ms` into the
+    /// queue (kept sorted by `(arrival, id)`). Returns whether anything
+    /// arrived.
+    fn pull_arrivals(
+        pending: &mut Vec<(f64, usize)>,
+        queue: &mut Vec<Request>,
+        workloads: &[Workload],
+        now_ms: f64,
+    ) -> bool {
+        let mut admitted = false;
+        while !pending.is_empty() && pending[0].0 <= now_ms {
+            let (arrival_ms, id) = pending.remove(0);
+            let req = Request {
+                id: id as u64,
+                workload: workloads[id],
+                arrival_ms,
+            };
+            let pos = queue.partition_point(|q| (q.arrival_ms, q.id) <= (arrival_ms, id as u64));
+            queue.insert(pos, req);
+            admitted = true;
+        }
+        admitted
+    }
+
+    /// Closed-loop feedback: a completion schedules the owning client's
+    /// next round-robin submission. Open-loop plans do nothing.
+    fn schedule_next_submission(
+        plan: &SubmissionPlan,
+        pending: &mut Vec<(f64, usize)>,
+        n: usize,
+        finished_id: u64,
+        finish_ms: f64,
+    ) {
+        if let SubmissionPlan::Closed {
+            clients,
+            think_time_ms,
+        } = plan
+        {
+            // The owning client thinks, then submits its next
+            // round-robin request.
+            let next = finished_id as usize + clients;
+            if next < n {
+                let submit = finish_ms + think_time_ms;
+                let pos = pending.partition_point(|p| (p.0, p.1) <= (submit, next));
+                pending.insert(pos, (submit, next));
+            }
+        }
+    }
+
+    /// The static discrete-event core. Requests become known either up
     /// front (open loop) or as completions schedule the owning client's
     /// next submission (closed loop); either way the queue holds every
     /// request that has arrived by the dispatch instant, the scheduler
@@ -223,18 +316,7 @@ impl<'a> ServingEngine<'a> {
         plan: SubmissionPlan,
     ) -> Result<ServiceReport, SimError> {
         let n = workloads.len();
-        let mut pending = match &plan {
-            SubmissionPlan::Open(times) => {
-                let mut p: Vec<(f64, usize)> = times.iter().copied().zip(0..n).collect();
-                // Ascending already (validated), but keep the invariant
-                // explicit: pending is always sorted by (time, id).
-                p.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
-                p
-            }
-            SubmissionPlan::Closed { clients, .. } => {
-                (0..n.min(*clients)).map(|j| (0.0, j)).collect()
-            }
-        };
+        let mut pending = Self::initial_pending(&plan, n);
 
         let mut free_at = vec![0.0f64; self.servers.len()];
         let mut busy = vec![0.0f64; self.servers.len()];
@@ -266,24 +348,14 @@ impl<'a> ServingEngine<'a> {
 
             // Everything that has arrived by the dispatch instant is
             // visible to the scheduler.
-            let mut admitted = false;
-            while !pending.is_empty() && pending[0].0 <= now {
-                let (arrival_ms, id) = pending.remove(0);
-                let req = Request {
-                    id: id as u64,
-                    workload: workloads[id],
-                    arrival_ms,
-                };
-                let pos =
-                    queue.partition_point(|q| (q.arrival_ms, q.id) <= (arrival_ms, id as u64));
-                queue.insert(pos, req);
-                admitted = true;
-            }
-            if admitted {
+            if Self::pull_arrivals(&mut pending, &mut queue, workloads, now) {
                 stalls = 0;
             }
 
-            let picked = match self.scheduler.pick_batch(&queue, now) {
+            let servers = &self.servers;
+            let picked = match self.scheduler.pick_batch(&queue, now, &|ws: &[Workload]| {
+                servers[server].batch_feasible(ws)
+            }) {
                 BatchDecision::Dispatch(picked) => picked,
                 BatchDecision::Wait(until_ms) => {
                     if !until_ms.is_finite() || until_ms <= now {
@@ -360,20 +432,245 @@ impl<'a> ServingEngine<'a> {
                     start_ms,
                     finish_ms,
                 });
+                Self::schedule_next_submission(&plan, &mut pending, n, request.id, finish_ms);
+            }
+        }
 
-                if let SubmissionPlan::Closed {
-                    clients,
-                    think_time_ms,
-                } = &plan
-                {
-                    // The owning client thinks, then submits its next
-                    // round-robin request.
-                    let next = request.id as usize + clients;
-                    if next < n {
-                        let submit = finish_ms + think_time_ms;
-                        let pos = pending.partition_point(|p| (p.0, p.1) <= (submit, next));
-                        pending.insert(pos, (submit, next));
+        self.report(workloads, responses, &busy, dispatches)
+    }
+
+    /// The token-boundary event loop: every server owns a
+    /// [`ContinuousStepper`], decode advances one token at a time, and
+    /// at each boundary the scheduler's admission seam may join queued
+    /// requests to the running batch (each paying its prefill before
+    /// decode resumes). Members exit the moment they produce their last
+    /// token — no padding to the longest batch-mate.
+    fn simulate_continuous(
+        &mut self,
+        workloads: &[Workload],
+        plan: SubmissionPlan,
+    ) -> Result<ServiceReport, SimError> {
+        let n = workloads.len();
+        let mut pending = Self::initial_pending(&plan, n);
+        let mut queue: Vec<Request> = Vec::new();
+        let mut responses: Vec<Response> = Vec::with_capacity(n);
+        let mut busy = vec![0.0f64; self.servers.len()];
+        let mut dispatches = 0usize;
+
+        /// A live member: its request, when its prefill began, and how
+        /// many output tokens it has produced.
+        struct Active {
+            request: Request,
+            start_ms: f64,
+            tokens_done: usize,
+        }
+        /// One server's continuous run: the stepper, the live members,
+        /// and the server's timeline as `epoch + rel`. The epoch is the
+        /// absolute start of the current busy period and `rel` the time
+        /// charged since; keeping the busy period relative means a solo
+        /// member's finish is computed as `start + accumulated service`
+        /// — the same association the static FIFO path uses, so
+        /// `max_batch == 1` continuous batching reproduces it exactly.
+        struct Run<'b> {
+            stepper: Box<dyn ContinuousStepper + 'b>,
+            members: Vec<Active>,
+            epoch_ms: f64,
+            rel_ms: f64,
+        }
+        impl Run<'_> {
+            /// The absolute time the server has been simulated to: its
+            /// next token boundary while members are live, its free
+            /// time while idle.
+            fn clock_ms(&self) -> f64 {
+                self.epoch_ms + self.rel_ms
+            }
+        }
+
+        let servers = &self.servers;
+        let mut runs: Vec<Run<'_>> = servers
+            .iter()
+            .map(|s| Run {
+                stepper: s.continuous().expect("checked by run()"),
+                members: Vec::new(),
+                epoch_ms: 0.0,
+                rel_ms: 0.0,
+            })
+            .collect();
+
+        // Floor on the next idle-admission instant, set after a decline
+        // so a future arrival can change the scheduler's mind.
+        let mut wake_ms = 0.0f64;
+        // Consecutive boundaries where an idle server faced a non-empty
+        // queue and the scheduler admitted nobody.
+        let mut stalls = 0u32;
+
+        while responses.len() < n {
+            // Next token boundary among servers with live members.
+            let busy_next = runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.stepper.live() > 0)
+                .map(|(s, r)| (r.clock_ms(), s))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // Earliest instant the earliest-free idle server could meet
+            // the earliest known request.
+            let idle_next = runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.stepper.live() == 0)
+                .map(|(s, r)| (r.clock_ms(), s))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .and_then(|(clock, s)| {
+                    let req_t = queue
+                        .first()
+                        .map(|q| q.arrival_ms)
+                        .or_else(|| pending.first().map(|p| p.0));
+                    req_t.map(|t| (t.max(clock).max(wake_ms), s))
+                });
+            let (now, server) = match (busy_next, idle_next) {
+                (Some(b), Some(i)) if b.0 <= i.0 => b,
+                (Some(_), Some(i)) => i,
+                (Some(b), None) => b,
+                (None, Some(i)) => i,
+                (None, None) => {
+                    return Err(SimError::Service(
+                        "continuous loop ran out of events with requests unserved".into(),
+                    ))
+                }
+            };
+
+            let run = &mut runs[server];
+            if run.stepper.live() == 0 {
+                // A fresh busy period may start here: re-anchor the
+                // relative timeline at this instant (`now` never lies
+                // before the idle server's free time).
+                run.epoch_ms = now;
+                run.rel_ms = 0.0;
+            }
+            if Self::pull_arrivals(&mut pending, &mut queue, workloads, now) {
+                stalls = 0;
+            }
+
+            // The admission seam: queued requests may join the running
+            // batch at this boundary.
+            let mut admitted_any = false;
+            if !queue.is_empty() {
+                let running: Vec<RunningMember> = run
+                    .members
+                    .iter()
+                    .map(|m| RunningMember {
+                        id: m.request.id,
+                        workload: m.request.workload,
+                        tokens_done: m.tokens_done,
+                    })
+                    .collect();
+                let mut picks = self.scheduler.admit(&running, &queue, run.clock_ms());
+                picks.sort_unstable();
+                let in_range = picks.iter().all(|&i| i < queue.len());
+                if !in_range || picks.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(SimError::Service(format!(
+                        "scheduler {} admitted invalid indices {picks:?} from a queue of {}",
+                        self.scheduler.name(),
+                        queue.len()
+                    )));
+                }
+                if !picks.is_empty() {
+                    admitted_any = true;
+                    stalls = 0;
+                    wake_ms = 0.0;
+                    let mut joining: Vec<Request> =
+                        picks.iter().rev().map(|&i| queue.remove(i)).collect();
+                    joining.reverse();
+                    for request in joining {
+                        // Prefills run back to back: each member starts
+                        // (and is no longer "waiting") when its own
+                        // prefill begins.
+                        let start_ms = run.clock_ms();
+                        let ev = run.stepper.admit(request.id, request.workload)?;
+                        run.rel_ms += ev.ms;
+                        busy[server] += ev.ms;
+                        dispatches += 1;
+                        if ev.finished.contains(&request.id) {
+                            let finish_ms = run.clock_ms();
+                            responses.push(Response {
+                                request,
+                                server,
+                                start_ms,
+                                finish_ms,
+                            });
+                            Self::schedule_next_submission(
+                                &plan,
+                                &mut pending,
+                                n,
+                                request.id,
+                                finish_ms,
+                            );
+                        } else {
+                            run.members.push(Active {
+                                request,
+                                start_ms,
+                                tokens_done: 1,
+                            });
+                        }
                     }
+                }
+            }
+
+            if run.stepper.live() > 0 {
+                // One decode step over every live member; exits happen
+                // the moment a member has its last token.
+                let ev = run.stepper.step_token()?;
+                run.rel_ms += ev.ms;
+                busy[server] += ev.ms;
+                dispatches += 1;
+                for m in &mut run.members {
+                    m.tokens_done += 1;
+                }
+                let finish_ms = run.clock_ms();
+                for id in ev.finished {
+                    let pos = run
+                        .members
+                        .iter()
+                        .position(|m| m.request.id == id)
+                        .ok_or_else(|| {
+                            SimError::Service(format!("stepper finished unknown member {id}"))
+                        })?;
+                    let m = run.members.remove(pos);
+                    responses.push(Response {
+                        request: m.request,
+                        server,
+                        start_ms: m.start_ms,
+                        finish_ms,
+                    });
+                    Self::schedule_next_submission(&plan, &mut pending, n, m.request.id, finish_ms);
+                }
+                stalls = 0;
+            } else if !queue.is_empty() && !admitted_any {
+                // Idle server, queued work, nothing admitted: the
+                // scheduler may be holding out for a future arrival or
+                // for another server's token boundary (retirements and
+                // closed-loop completions both change the picture).
+                // Only a fully idle pool with neither is a hard stall.
+                match (pending.first(), busy_next) {
+                    (Some(&(arrival_ms, _)), _) => {
+                        wake_ms = arrival_ms;
+                        stalls += 1;
+                    }
+                    (None, Some((boundary_ms, _))) => {
+                        // Defer the idle retry past the next busy
+                        // boundary (ties prefer the busy event, so that
+                        // boundary processes first and resets the
+                        // counter if it makes progress).
+                        wake_ms = wake_ms.max(boundary_ms);
+                        stalls += 1;
+                    }
+                    (None, None) => stalls = 3,
+                }
+                if stalls > 2 {
+                    return Err(SimError::Service(format!(
+                        "scheduler {} declines to admit queued requests",
+                        self.scheduler.name()
+                    )));
                 }
             }
         }
@@ -456,11 +753,58 @@ impl<'a> ServingEngine<'a> {
 mod tests {
     use super::*;
     use crate::backend::{validate_workload, RunReport};
-    use crate::scheduler::ShortestJobFirst;
+    use crate::scheduler::{ContinuousBatching, ShortestJobFirst};
+    use crate::stepper::StepEvent;
 
     /// A backend with a closed-form service time: 1 ms per token.
+    /// `stepped` additionally exposes a matching [`ContinuousStepper`]
+    /// (prefill = `input_len` ms, 1 ms per decoded token), so solo
+    /// stepping reproduces `serve` exactly.
     struct Const {
         label: &'static str,
+        stepped: bool,
+    }
+
+    struct ConstStepper {
+        /// (id, workload, tokens emitted so far).
+        members: Vec<(u64, Workload, usize)>,
+    }
+
+    impl ContinuousStepper for ConstStepper {
+        fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError> {
+            validate_workload(workload)?;
+            self.members.push((id, workload, 0));
+            Ok(StepEvent {
+                ms: workload.input_len as f64,
+                live: self.members.len(),
+                finished: vec![],
+            })
+        }
+
+        fn step_token(&mut self) -> Result<StepEvent, SimError> {
+            if self.members.is_empty() {
+                return Err(SimError::InvalidRequest("no live members".into()));
+            }
+            let mut finished = Vec::new();
+            let mut i = 0;
+            while i < self.members.len() {
+                self.members[i].2 += 1;
+                if self.members[i].2 == self.members[i].1.output_len {
+                    finished.push(self.members.remove(i).0);
+                } else {
+                    i += 1;
+                }
+            }
+            Ok(StepEvent {
+                ms: 1.0,
+                live: self.members.len(),
+                finished,
+            })
+        }
+
+        fn live(&self) -> usize {
+            self.members.len()
+        }
     }
 
     impl Backend for Const {
@@ -484,9 +828,24 @@ mod tests {
                 power_w: None,
             })
         }
+        fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
+            self.stepped.then(|| {
+                Box::new(ConstStepper {
+                    members: Vec::new(),
+                }) as Box<dyn ContinuousStepper>
+            })
+        }
     }
 
-    const B: Const = Const { label: "unit" };
+    const B: Const = Const {
+        label: "unit",
+        stepped: false,
+    };
+    /// The same backend with the token-granular capability.
+    const S: Const = Const {
+        label: "unit",
+        stepped: true,
+    };
 
     #[test]
     fn every_request_is_served_once_and_in_fifo_order() {
@@ -578,12 +937,57 @@ mod tests {
         ];
         let arrivals = ArrivalProcess::Trace(vec![0.0; 4]);
         let r = ServingEngine::new(&B)
-            .with_scheduler(Box::new(ShortestJobFirst))
+            .with_scheduler(Box::new(ShortestJobFirst::new()))
             .run(&workloads, &arrivals)
             .unwrap();
         let order: Vec<u64> = r.responses.iter().map(|x| x.request.id).collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
         assert_eq!(r.scheduler, "SJF(output_len)");
+    }
+
+    #[test]
+    fn aged_sjf_bounds_starvation_under_sustained_short_arrivals() {
+        // One long job at t=0 under a steady stream of short jobs that
+        // would starve it forever: with aging it runs once it has
+        // waited the bound; without aging it finishes last.
+        let n_short = 30usize;
+        let mut workloads = vec![Workload::new(1, 49)];
+        workloads.extend(vec![Workload::new(1, 9); n_short]);
+        // Shorts arrive every 10 ms — exactly the short service time, so
+        // plain SJF always has a shorter job available.
+        let mut times = vec![0.0];
+        times.extend((0..n_short).map(|i| i as f64 * 10.0));
+        let arrivals = ArrivalProcess::Trace(times);
+
+        let plain = ServingEngine::new(&B)
+            .with_scheduler(Box::new(ShortestJobFirst::new()))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        let long_plain = plain.responses.iter().find(|r| r.request.id == 0).unwrap();
+        assert_eq!(
+            plain.responses.last().unwrap().request.id,
+            0,
+            "without aging the long job must finish last"
+        );
+
+        let aged = ServingEngine::new(&B)
+            .with_scheduler(Box::new(ShortestJobFirst::with_aging(40.0)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        let long_aged = aged.responses.iter().find(|r| r.request.id == 0).unwrap();
+        assert!(
+            long_aged.start_ms < long_plain.start_ms,
+            "aging must start the long job earlier: {} !< {}",
+            long_aged.start_ms,
+            long_plain.start_ms
+        );
+        // The long job runs as soon as it is stale and a server frees:
+        // well before the short stream drains.
+        assert!(
+            long_aged.start_ms <= 50.0,
+            "aged long-job start {} should be near the 40 ms bound",
+            long_aged.start_ms
+        );
     }
 
     #[test]
@@ -654,6 +1058,219 @@ mod tests {
     }
 
     #[test]
+    fn continuous_with_max_batch_one_matches_fifo_exactly() {
+        // The tentpole invariant: max_batch == 1 continuous batching is
+        // the FIFO single-dispatch path — same starts, same finishes,
+        // same percentiles (dispatch counting differs by design: the
+        // token loop counts steps).
+        let workloads: Vec<Workload> = (0..20)
+            .map(|i| Workload::new(4 + i % 5, 2 + i % 7))
+            .collect();
+        for arrivals in [
+            ArrivalProcess::Poisson {
+                rate_per_s: 60.0,
+                seed: 0xBA7C,
+            },
+            ArrivalProcess::ClosedLoop {
+                clients: 3,
+                think_time_ms: 4.0,
+            },
+        ] {
+            let fifo = ServingEngine::new(&S).run(&workloads, &arrivals).unwrap();
+            let cont = ServingEngine::new(&S)
+                .with_scheduler(Box::new(ContinuousBatching::new(1)))
+                .run(&workloads, &arrivals)
+                .unwrap();
+            assert_eq!(fifo.responses, cont.responses, "{arrivals:?}");
+            assert_eq!(fifo.p99_sojourn_ms, cont.p99_sojourn_ms);
+            assert_eq!(fifo.utilization, cont.utilization);
+            assert_eq!(fifo.makespan_ms, cont.makespan_ms);
+        }
+    }
+
+    #[test]
+    fn continuous_admits_latecomers_into_a_running_batch() {
+        // Request 1 arrives while request 0 decodes: it joins at the
+        // next token boundary instead of waiting for 0 to finish.
+        let workloads = vec![Workload::new(10, 20), Workload::new(5, 5)];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 12.0]);
+        let r = ServingEngine::new(&S)
+            .with_scheduler(Box::new(ContinuousBatching::new(2)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        let first = r.responses.iter().find(|x| x.request.id == 0).unwrap();
+        let second = r.responses.iter().find(|x| x.request.id == 1).unwrap();
+        // The latecomer starts (prefills) at the first boundary at or
+        // after its arrival, well before the long request finishes.
+        assert!(second.start_ms >= 12.0);
+        assert!(
+            second.start_ms < first.finish_ms,
+            "no admission happened: {} !< {}",
+            second.start_ms,
+            first.finish_ms
+        );
+        // Its 5 ms prefill stalls the running member's decode, so the
+        // long request finishes later than it would alone (10 + 20 ms),
+        // but far earlier than a static padded batch would allow.
+        assert!(first.finish_ms > 30.0);
+        // The short member exits early, before the long one.
+        assert!(second.finish_ms < first.finish_ms);
+    }
+
+    #[test]
+    fn continuous_early_exit_frees_slots_for_the_backlog() {
+        // max_batch 2 over four queued requests: as each short member
+        // exits, the next queued request is admitted at a token
+        // boundary — the batch never drains to empty before refilling.
+        let workloads = vec![
+            Workload::new(2, 12),
+            Workload::new(2, 3),
+            Workload::new(2, 3),
+            Workload::new(2, 3),
+        ];
+        let arrivals = ArrivalProcess::Trace(vec![0.0; 4]);
+        let r = ServingEngine::new(&S)
+            .with_scheduler(Box::new(ContinuousBatching::new(2)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.responses.len(), 4);
+        let long = r.responses.iter().find(|x| x.request.id == 0).unwrap();
+        // Every short request starts before the long member finishes:
+        // each slot handoff happens mid-flight.
+        for id in 1..4 {
+            let short = r.responses.iter().find(|x| x.request.id == id).unwrap();
+            assert!(
+                short.start_ms < long.finish_ms,
+                "request {id} waited for the long member"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_discipline_falls_back_to_static_without_a_stepper() {
+        // The Const backend without a stepper keeps the static path:
+        // ContinuousBatching acts as an immediate greedy coalescer.
+        let workloads = vec![Workload::new(10, 10); 4];
+        let arrivals = ArrivalProcess::Trace(vec![0.0; 4]);
+        let r = ServingEngine::new(&B)
+            .with_scheduler(Box::new(ContinuousBatching::new(4)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        // One coalesced dispatch through the sequential serve_batch
+        // fallback: all four finish together at the summed latency.
+        assert_eq!(r.dispatches, 1);
+        for resp in &r.responses {
+            assert_eq!(resp.start_ms, 0.0);
+            assert!((resp.finish_ms - 80.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_admissions_are_service_errors() {
+        /// Admits a duplicated index.
+        struct DupAdmit;
+        impl Scheduler for DupAdmit {
+            fn name(&self) -> &str {
+                "dup-admit"
+            }
+            fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
+                0
+            }
+            fn admit(
+                &mut self,
+                _running: &[RunningMember],
+                _queue: &[Request],
+                _now: f64,
+            ) -> Vec<usize> {
+                vec![0, 0]
+            }
+            fn is_continuous(&self) -> bool {
+                true
+            }
+        }
+        let workloads = vec![Workload::new(5, 5); 2];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 0.0]);
+        let err = ServingEngine::new(&S)
+            .with_scheduler(Box::new(DupAdmit))
+            .run(&workloads, &arrivals)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Service(_)), "{err:?}");
+    }
+
+    #[test]
+    fn declining_one_idle_server_defers_to_another_servers_boundary() {
+        // A packing discipline keeps every request on the first-seeded
+        // server: it declines admissions whenever the presented batch
+        // is empty (an idle server) after the first seed. With no
+        // future arrivals left, the engine must not call that a stall —
+        // the busy server's next token boundary presents a non-empty
+        // running batch and drains the queue.
+        struct PackFirst {
+            seeded: bool,
+        }
+        impl Scheduler for PackFirst {
+            fn name(&self) -> &str {
+                "pack-first"
+            }
+            fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
+                0
+            }
+            fn admit(
+                &mut self,
+                running: &[RunningMember],
+                queue: &[Request],
+                _now: f64,
+            ) -> Vec<usize> {
+                if running.is_empty() && self.seeded {
+                    return Vec::new();
+                }
+                self.seeded = true;
+                (0..queue.len()).collect()
+            }
+            fn is_continuous(&self) -> bool {
+                true
+            }
+        }
+        let workloads = vec![Workload::new(5, 5), Workload::new(5, 5)];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 6.0]);
+        let r = ServingEngine::pool(vec![&S, &S])
+            .unwrap()
+            .with_scheduler(Box::new(PackFirst { seeded: false }))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.responses.len(), 2);
+        // Both packed onto the seeded server; the latecomer joined at a
+        // token boundary after its arrival.
+        assert!(r.responses.iter().all(|resp| resp.server == 0));
+        let late = r.responses.iter().find(|x| x.request.id == 1).unwrap();
+        assert!(late.start_ms >= 6.0);
+    }
+
+    #[test]
+    fn admission_decliners_are_rejected_as_stalls() {
+        /// Continuous discipline that never admits anybody.
+        struct Decline;
+        impl Scheduler for Decline {
+            fn name(&self) -> &str {
+                "decline"
+            }
+            fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
+                0
+            }
+            fn is_continuous(&self) -> bool {
+                true
+            }
+        }
+        let workloads = vec![Workload::new(5, 5)];
+        let arrivals = ArrivalProcess::Trace(vec![0.0]);
+        let err = ServingEngine::new(&S)
+            .with_scheduler(Box::new(Decline))
+            .run(&workloads, &arrivals)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Service(_)), "{err:?}");
+    }
+
+    #[test]
     fn stalling_schedulers_are_rejected() {
         /// Always waits, never dispatches.
         struct Stall;
@@ -664,7 +1281,12 @@ mod tests {
             fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
                 0
             }
-            fn pick_batch(&mut self, _q: &[Request], now_ms: f64) -> BatchDecision {
+            fn pick_batch(
+                &mut self,
+                _q: &[Request],
+                now_ms: f64,
+                _feasible: &dyn Fn(&[Workload]) -> bool,
+            ) -> BatchDecision {
                 BatchDecision::Wait(now_ms + 1.0)
             }
         }
@@ -693,7 +1315,12 @@ mod tests {
             fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
                 0
             }
-            fn pick_batch(&mut self, queue: &[Request], _now: f64) -> BatchDecision {
+            fn pick_batch(
+                &mut self,
+                queue: &[Request],
+                _now: f64,
+                _feasible: &dyn Fn(&[Workload]) -> bool,
+            ) -> BatchDecision {
                 self.calls += 1;
                 match self.calls {
                     // Hold the first server while arrivals trickle in.
@@ -736,7 +1363,12 @@ mod tests {
             fn pick(&mut self, _q: &[Request], _now: f64) -> usize {
                 0
             }
-            fn pick_batch(&mut self, _q: &[Request], _now: f64) -> BatchDecision {
+            fn pick_batch(
+                &mut self,
+                _q: &[Request],
+                _now: f64,
+                _feasible: &dyn Fn(&[Workload]) -> bool,
+            ) -> BatchDecision {
                 BatchDecision::Dispatch(vec![0, 0])
             }
         }

@@ -47,15 +47,21 @@ mod engine;
 mod mix;
 mod scheduler;
 pub mod stats;
+mod stepper;
 
 pub use arrivals::ArrivalProcess;
 pub use backend::{validate_workload, Backend, BatchReport, RunReport};
 pub use engine::{Request, Response, ServiceReport, ServingEngine};
 pub use mix::chatbot_mix;
 /// Queue disciplines for [`ServingEngine::with_scheduler`]: [`Fifo`]
-/// (arrival order), [`Batching`] (size-and-timeout coalescing;
-/// `max_batch == 1` is exactly FIFO) and [`ShortestJobFirst`] — note
-/// SJF's starvation caveat: with no aging mechanism, a long request can
-/// be overtaken indefinitely under sustained load, so use it for
-/// mean-latency studies, not service-level guarantees.
-pub use scheduler::{BatchDecision, Batching, Fifo, Scheduler, ShortestJobFirst};
+/// (arrival order), [`Batching`] (size-and-timeout static coalescing;
+/// `max_batch == 1` is exactly FIFO), [`ContinuousBatching`]
+/// (token-boundary admission and early exit on backends with a
+/// [`ContinuousStepper`]; `max_batch == 1` is exactly FIFO) and
+/// [`ShortestJobFirst`] — plain SJF starves long requests under
+/// sustained load; [`ShortestJobFirst::with_aging`] bounds that by
+/// serving the oldest queued request once it has waited the age bound.
+pub use scheduler::{
+    BatchDecision, Batching, ContinuousBatching, Fifo, RunningMember, Scheduler, ShortestJobFirst,
+};
+pub use stepper::{ContinuousStepper, StepEvent};

@@ -15,9 +15,13 @@ use dfx_model::Workload;
 /// `max_seq_len >= 288` (every paper configuration) *any subset* of the
 /// stream can be coalesced into one padded batch without exceeding the
 /// appliance's sequence cap. Below 288 the per-request clamp keeps
-/// individual requests valid but a coalesced pair can still pad past
-/// the cap — see the feasibility note on
-/// [`Batching`](crate::Batching).
+/// individual requests valid while a coalesced pair can still pad past
+/// the cap — the batching disciplines handle that through the backend's
+/// [`batch_feasible`](crate::Backend::batch_feasible) hook, skipping
+/// members whose addition would make the padded set infeasible (see
+/// [`Batching`](crate::Batching)); token-granular admission
+/// ([`ContinuousBatching`](crate::ContinuousBatching) on a stepper
+/// backend) is per-member feasible and needs no such check.
 pub fn chatbot_mix(n_requests: usize, max_seq_len: usize) -> Vec<Workload> {
     let sizes = [16usize, 32, 64, 96];
     (0..n_requests)

@@ -1,12 +1,16 @@
 //! Pluggable queue disciplines for the serving engine.
 //!
 //! A [`Scheduler`] decides *what a freed server executes next*: a single
-//! request ([`Scheduler::pick`]) or, through the batching-aware seam
-//! ([`Scheduler::pick_batch`]), a whole set of queued requests coalesced
-//! into one backend invocation — or nothing yet ([`BatchDecision::Wait`]),
-//! holding the server idle while a batch fills.
+//! request ([`Scheduler::pick`]), a whole set of queued requests
+//! coalesced into one backend invocation ([`Scheduler::pick_batch`]) —
+//! or nothing yet ([`BatchDecision::Wait`]), holding the server idle
+//! while a batch fills. Continuous disciplines additionally implement
+//! the *admission seam* ([`Scheduler::admit`]): at every token boundary
+//! of a running batch, they decide which queued requests join the
+//! members already decoding.
 
 use crate::engine::Request;
+use dfx_model::Workload;
 
 /// What a scheduler tells the engine to do with a free server.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +33,18 @@ pub enum BatchDecision {
     Wait(f64),
 }
 
+/// A member currently decoding inside a continuous batch, as shown to
+/// [`Scheduler::admit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningMember {
+    /// The request id of the member.
+    pub id: u64,
+    /// The member's workload.
+    pub workload: Workload,
+    /// Output tokens the member has produced so far.
+    pub tokens_done: usize,
+}
+
 /// A queue discipline: decides which waiting request(s) a freed server
 /// takes next.
 ///
@@ -37,10 +53,14 @@ pub enum BatchDecision {
 /// disciplines dispatch one request at a time and only implement
 /// [`pick`]; batching disciplines override [`pick_batch`] to coalesce
 /// several queued requests into one backend invocation, or to wait for a
-/// batch to fill.
+/// batch to fill; continuous disciplines additionally return `true`
+/// from [`is_continuous`] and implement [`admit`], moving the engine to
+/// token-boundary scheduling on backends that support it.
 ///
 /// [`pick`]: Scheduler::pick
 /// [`pick_batch`]: Scheduler::pick_batch
+/// [`admit`]: Scheduler::admit
+/// [`is_continuous`]: Scheduler::is_continuous
 pub trait Scheduler {
     /// Discipline name for reports.
     fn name(&self) -> &str;
@@ -56,14 +76,49 @@ pub trait Scheduler {
     /// [`pick_batch`]: Scheduler::pick_batch
     fn pick(&mut self, queue: &[Request], now_ms: f64) -> usize;
 
-    /// Batching-aware entry point the engine actually calls: returns the
-    /// *set* of queue indices to dispatch as one unit, or
+    /// Batching-aware entry point the engine calls on the static path:
+    /// returns the *set* of queue indices to dispatch as one unit, or
     /// [`BatchDecision::Wait`] to hold the free server until a batch
     /// fills. Defaults to dispatching [`pick`]'s single choice.
     ///
+    /// `feasible` is the executing backend's
+    /// [`batch_feasible`](crate::Backend::batch_feasible) check: it
+    /// answers whether a candidate set can run as one coalesced padded
+    /// batch, so shape-aware disciplines ([`Batching`],
+    /// [`ContinuousBatching`]) never coalesce members the backend would
+    /// reject.
+    ///
     /// [`pick`]: Scheduler::pick
-    fn pick_batch(&mut self, queue: &[Request], now_ms: f64) -> BatchDecision {
+    fn pick_batch(
+        &mut self,
+        queue: &[Request],
+        now_ms: f64,
+        feasible: &dyn Fn(&[Workload]) -> bool,
+    ) -> BatchDecision {
+        let _ = feasible;
         BatchDecision::Dispatch(vec![self.pick(queue, now_ms)])
+    }
+
+    /// The continuous-batching admission seam: at a token boundary of
+    /// the batch running `running` members, returns the queue indices
+    /// to admit now (each pays its prefill before decoding resumes).
+    /// Indices must be unique and in range; an empty vector admits
+    /// nobody. Only consulted when [`is_continuous`] is true and the
+    /// backend has a stepper; the default admits nobody.
+    ///
+    /// [`is_continuous`]: Scheduler::is_continuous
+    fn admit(&mut self, running: &[RunningMember], queue: &[Request], now_ms: f64) -> Vec<usize> {
+        let _ = (running, queue, now_ms);
+        Vec::new()
+    }
+
+    /// Whether this discipline schedules at token boundaries via
+    /// [`admit`](Scheduler::admit). The engine runs the token-boundary
+    /// event loop only when this is true *and* every pooled backend has
+    /// a [`ContinuousStepper`](crate::ContinuousStepper); otherwise it
+    /// keeps the static [`pick_batch`](Scheduler::pick_batch) path.
+    fn is_continuous(&self) -> bool {
+        false
     }
 }
 
@@ -86,22 +141,67 @@ impl Scheduler for Fifo {
 /// by arrival order). A deliberately simple second discipline proving
 /// the scheduler seam is real; it trades worst-case sojourn for mean.
 ///
-/// # Starvation caveat
+/// # Starvation and aging
 ///
-/// SJF is not fair: under sustained load, a long request can be
-/// overtaken indefinitely as shorter requests keep arriving — its
-/// sojourn is unbounded even though the system is stable. Use it for
-/// mean-latency studies, not for service-level guarantees; there is no
-/// aging mechanism.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ShortestJobFirst;
+/// Plain SJF ([`ShortestJobFirst::new`]) is not fair: under sustained
+/// load, a long request can be overtaken indefinitely as shorter
+/// requests keep arriving — its sojourn is unbounded even though the
+/// system is stable. [`ShortestJobFirst::with_aging`] bounds that
+/// starvation: once the oldest queued request has waited `max_age_ms`,
+/// it is served next regardless of length, so no request waits more
+/// than `max_age_ms` behind the shortest-first order while a server is
+/// free.
+#[derive(Debug, Clone)]
+pub struct ShortestJobFirst {
+    max_age_ms: Option<f64>,
+    name: String,
+}
+
+impl Default for ShortestJobFirst {
+    fn default() -> Self {
+        ShortestJobFirst::new()
+    }
+}
+
+impl ShortestJobFirst {
+    /// Plain SJF, no aging (see the starvation caveat above).
+    pub fn new() -> Self {
+        ShortestJobFirst {
+            max_age_ms: None,
+            name: "SJF(output_len)".to_string(),
+        }
+    }
+
+    /// SJF with aging: the oldest queued request preempts the
+    /// shortest-first order once it has waited `max_age_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_age_ms` is negative or non-finite.
+    pub fn with_aging(max_age_ms: f64) -> Self {
+        assert!(
+            max_age_ms.is_finite() && max_age_ms >= 0.0,
+            "max_age_ms must be finite and non-negative"
+        );
+        ShortestJobFirst {
+            max_age_ms: Some(max_age_ms),
+            name: format!("SJF(output_len, age={max_age_ms}ms)"),
+        }
+    }
+}
 
 impl Scheduler for ShortestJobFirst {
     fn name(&self) -> &str {
-        "SJF(output_len)"
+        &self.name
     }
 
-    fn pick(&mut self, queue: &[Request], _now_ms: f64) -> usize {
+    fn pick(&mut self, queue: &[Request], now_ms: f64) -> usize {
+        // The queue is sorted by arrival, so index 0 is the oldest.
+        if let Some(max_age_ms) = self.max_age_ms {
+            if !queue.is_empty() && now_ms - queue[0].arrival_ms >= max_age_ms {
+                return 0;
+            }
+        }
         queue
             .iter()
             .enumerate()
@@ -129,16 +229,15 @@ impl Scheduler for ShortestJobFirst {
 /// # Coalescing feasibility
 ///
 /// A coalesced batch executes at the *padded* shape (the batch's
-/// longest context and longest output), so a backend with a hard
-/// sequence cap (the DFX appliance's `max_seq_len`) can reject a batch
-/// whose members are each individually valid: pairing a long-context
-/// member with a long-output member may pad past the cap, and the
-/// backend error aborts the engine run. This discipline does not
-/// inspect workload shapes; if a stream's longest context plus longest
-/// output can exceed the backend's cap, partition the stream by shape
-/// or keep `max_batch == 1` for the outsized requests.
-/// [`chatbot_mix`](crate::chatbot_mix) streams are jointly coalescible
-/// by construction.
+/// longest context and longest output), which a backend with a hard
+/// sequence cap (the DFX appliance's `max_seq_len`) can reject even
+/// when every member alone is valid. The discipline therefore grows
+/// each batch through the backend's
+/// [`batch_feasible`](crate::Backend::batch_feasible) hook: a member
+/// whose addition would make the set infeasible is skipped (it stays
+/// queued and anchors its own batch next round), so mixed streams like
+/// [`chatbot_mix`](crate::chatbot_mix) on short-context models dispatch
+/// without backend rejections.
 #[derive(Debug, Clone)]
 pub struct Batching {
     max_batch: usize,
@@ -177,6 +276,32 @@ impl Batching {
     }
 }
 
+/// Grows a batch from the queue head in arrival order, skipping members
+/// that would make the padded set infeasible for the backend. The head
+/// itself is always included: a single-member "batch" the backend
+/// rejects would be rejected as a lone dispatch too, and surfacing that
+/// error beats queueing it forever.
+fn grow_feasible(
+    queue: &[Request],
+    max_batch: usize,
+    feasible: &dyn Fn(&[Workload]) -> bool,
+) -> Vec<usize> {
+    let mut picked = vec![0];
+    let mut shapes = vec![queue[0].workload];
+    for (i, r) in queue.iter().enumerate().skip(1) {
+        if picked.len() == max_batch {
+            break;
+        }
+        shapes.push(r.workload);
+        if feasible(&shapes) {
+            picked.push(i);
+        } else {
+            shapes.pop();
+        }
+    }
+    picked
+}
+
 impl Scheduler for Batching {
     fn name(&self) -> &str {
         &self.name
@@ -188,17 +313,120 @@ impl Scheduler for Batching {
         0
     }
 
-    fn pick_batch(&mut self, queue: &[Request], now_ms: f64) -> BatchDecision {
-        if queue.len() >= self.max_batch {
-            return BatchDecision::Dispatch((0..self.max_batch).collect());
+    fn pick_batch(
+        &mut self,
+        queue: &[Request],
+        now_ms: f64,
+        feasible: &dyn Fn(&[Workload]) -> bool,
+    ) -> BatchDecision {
+        let picked = grow_feasible(queue, self.max_batch, feasible);
+        if picked.len() >= self.max_batch {
+            return BatchDecision::Dispatch(picked);
         }
         // The queue is sorted by arrival, so index 0 is the oldest.
         let deadline = queue[0].arrival_ms + self.max_wait_ms;
         if now_ms >= deadline {
-            BatchDecision::Dispatch((0..queue.len()).collect())
+            BatchDecision::Dispatch(picked)
         } else {
             BatchDecision::Wait(deadline)
         }
+    }
+}
+
+/// Continuous (iteration-level) batching: requests join and leave a
+/// running batch at token boundaries, the discipline of Orca/vLLM-style
+/// serving stacks.
+///
+/// On a backend with a [`ContinuousStepper`](crate::ContinuousStepper),
+/// the engine runs its token-boundary loop and consults
+/// [`admit`](Scheduler::admit) at every boundary: this discipline
+/// admits queued requests in arrival order whenever the live batch has
+/// a free slot (up to `max_batch`), *never* holding a server to let a
+/// batch fill — admission is greedy because a joining member costs only
+/// its own prefill, not a padded re-run of the whole batch. Members
+/// exit the moment they produce their last token.
+///
+/// With `max_batch == 1` the discipline degenerates to one request at a
+/// time in arrival order — exactly the [`Fifo`] single-dispatch path,
+/// which the serving invariants pin down.
+///
+/// On a backend *without* a stepper (the cloud TPU), the engine keeps
+/// the static path and this discipline acts as an immediate-dispatch
+/// coalescer: up to `max_batch` feasible requests per dispatch
+/// (consulting [`batch_feasible`](crate::Backend::batch_feasible)),
+/// zero batching window.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_model::{GptConfig, Workload};
+/// use dfx_serve::{ArrivalProcess, ContinuousBatching, ServingEngine};
+/// use dfx_sim::Appliance;
+///
+/// # fn main() -> Result<(), dfx_sim::SimError> {
+/// let appliance = Appliance::timing_only(GptConfig::tiny(), 2)?;
+/// let stream = vec![Workload::new(8, 8); 12];
+/// let arrivals = ArrivalProcess::Poisson { rate_per_s: 50.0, seed: 7 };
+/// let report = ServingEngine::new(&appliance)
+///     .with_scheduler(Box::new(ContinuousBatching::new(4)))
+///     .run(&stream, &arrivals)?;
+/// assert_eq!(report.responses.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousBatching {
+    max_batch: usize,
+    name: String,
+}
+
+impl ContinuousBatching {
+    /// Creates the discipline with at most `max_batch` members decoding
+    /// at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        ContinuousBatching {
+            max_batch,
+            name: format!("Continuous(max={max_batch})"),
+        }
+    }
+
+    /// Maximum members decoding at once.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
+impl Scheduler for ContinuousBatching {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pick(&mut self, _queue: &[Request], _now_ms: f64) -> usize {
+        0
+    }
+
+    fn pick_batch(
+        &mut self,
+        queue: &[Request],
+        _now_ms: f64,
+        feasible: &dyn Fn(&[Workload]) -> bool,
+    ) -> BatchDecision {
+        // Static fallback (no stepper): immediate greedy coalescing.
+        BatchDecision::Dispatch(grow_feasible(queue, self.max_batch, feasible))
+    }
+
+    fn admit(&mut self, running: &[RunningMember], queue: &[Request], _now_ms: f64) -> Vec<usize> {
+        let slots = self.max_batch.saturating_sub(running.len());
+        (0..queue.len().min(slots)).collect()
+    }
+
+    fn is_continuous(&self) -> bool {
+        true
     }
 }
 
@@ -219,12 +447,14 @@ mod tests {
             .collect()
     }
 
+    const ANY: fn(&[Workload]) -> bool = |_| true;
+
     #[test]
     fn a_full_queue_dispatches_max_batch_in_arrival_order() {
         let mut b = Batching::new(3, 100.0);
         let q = queue(&[0.0, 1.0, 2.0, 3.0, 4.0]);
         assert_eq!(
-            b.pick_batch(&q, 5.0),
+            b.pick_batch(&q, 5.0, &ANY),
             BatchDecision::Dispatch(vec![0, 1, 2])
         );
     }
@@ -233,23 +463,59 @@ mod tests {
     fn a_partial_queue_waits_until_the_oldest_deadline() {
         let mut b = Batching::new(4, 100.0);
         let q = queue(&[10.0, 12.0]);
-        assert_eq!(b.pick_batch(&q, 20.0), BatchDecision::Wait(110.0));
+        assert_eq!(b.pick_batch(&q, 20.0, &ANY), BatchDecision::Wait(110.0));
         // At the deadline, flush whatever is queued.
-        assert_eq!(b.pick_batch(&q, 110.0), BatchDecision::Dispatch(vec![0, 1]));
+        assert_eq!(
+            b.pick_batch(&q, 110.0, &ANY),
+            BatchDecision::Dispatch(vec![0, 1])
+        );
     }
 
     #[test]
     fn max_batch_one_never_waits() {
         let mut b = Batching::new(1, 1_000.0);
         let q = queue(&[0.0]);
-        assert_eq!(b.pick_batch(&q, 0.0), BatchDecision::Dispatch(vec![0]));
+        assert_eq!(
+            b.pick_batch(&q, 0.0, &ANY),
+            BatchDecision::Dispatch(vec![0])
+        );
     }
 
     #[test]
     fn zero_timeout_flushes_immediately() {
         let mut b = Batching::new(8, 0.0);
         let q = queue(&[5.0, 6.0]);
-        assert_eq!(b.pick_batch(&q, 6.0), BatchDecision::Dispatch(vec![0, 1]));
+        assert_eq!(
+            b.pick_batch(&q, 6.0, &ANY),
+            BatchDecision::Dispatch(vec![0, 1])
+        );
+    }
+
+    #[test]
+    fn infeasible_members_are_skipped_not_coalesced() {
+        // A feasibility oracle that rejects any pair containing both a
+        // long-context and a long-output member (the padded-cap shape).
+        let feasible = |ws: &[Workload]| {
+            let input = ws.iter().map(|w| w.input_len).max().unwrap_or(0);
+            let output = ws.iter().map(|w| w.output_len).max().unwrap_or(0);
+            input + output <= 100
+        };
+        let mut q = queue(&[0.0, 1.0, 2.0]);
+        q[0].workload = Workload::new(90, 2);
+        q[1].workload = Workload::new(2, 90); // pads past the cap with q[0]
+        q[2].workload = Workload::new(8, 8);
+        let mut b = Batching::new(3, 0.0);
+        assert_eq!(
+            b.pick_batch(&q, 5.0, &feasible),
+            BatchDecision::Dispatch(vec![0, 2])
+        );
+        // The skipped member anchors its own batch once it reaches the
+        // head.
+        let rest = vec![q[1]];
+        assert_eq!(
+            b.pick_batch(&rest, 6.0, &feasible),
+            BatchDecision::Dispatch(vec![0])
+        );
     }
 
     #[test]
@@ -260,9 +526,56 @@ mod tests {
 
     #[test]
     fn default_pick_batch_wraps_pick() {
-        let mut sjf = ShortestJobFirst;
+        let mut sjf = ShortestJobFirst::new();
         let mut q = queue(&[0.0, 1.0]);
         q[1].workload = Workload::new(8, 2);
-        assert_eq!(sjf.pick_batch(&q, 2.0), BatchDecision::Dispatch(vec![1]));
+        assert_eq!(
+            sjf.pick_batch(&q, 2.0, &ANY),
+            BatchDecision::Dispatch(vec![1])
+        );
+    }
+
+    #[test]
+    fn aged_sjf_prefers_the_oldest_once_it_is_stale() {
+        let mut sjf = ShortestJobFirst::with_aging(50.0);
+        let mut q = queue(&[0.0, 1.0]);
+        q[1].workload = Workload::new(8, 2);
+        // Fresh queue: shortest first.
+        assert_eq!(sjf.pick(&q, 10.0), 1);
+        // Past the age bound: the oldest wins regardless of length.
+        assert_eq!(sjf.pick(&q, 50.0), 0);
+        assert_eq!(sjf.name(), "SJF(output_len, age=50ms)");
+    }
+
+    #[test]
+    fn continuous_admits_up_to_the_free_slots_in_arrival_order() {
+        let mut c = ContinuousBatching::new(4);
+        let q = queue(&[0.0, 1.0, 2.0]);
+        let running = [RunningMember {
+            id: 9,
+            workload: Workload::new(8, 8),
+            tokens_done: 3,
+        }];
+        assert_eq!(c.admit(&running, &q, 5.0), vec![0, 1, 2]);
+        let full: Vec<RunningMember> = (0..4)
+            .map(|id| RunningMember {
+                id,
+                workload: Workload::new(8, 8),
+                tokens_done: 1,
+            })
+            .collect();
+        assert_eq!(c.admit(&full, &q, 5.0), Vec::<usize>::new());
+        assert!(c.is_continuous());
+    }
+
+    #[test]
+    fn continuous_static_fallback_dispatches_immediately() {
+        let mut c = ContinuousBatching::new(2);
+        let q = queue(&[0.0, 1.0, 2.0]);
+        // No waiting, capped at max_batch.
+        assert_eq!(
+            c.pick_batch(&q, 0.0, &ANY),
+            BatchDecision::Dispatch(vec![0, 1])
+        );
     }
 }

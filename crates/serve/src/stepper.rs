@@ -1,0 +1,275 @@
+//! Token-granular execution: the stepping seam continuous batching
+//! schedules against.
+//!
+//! A [`ContinuousStepper`] is the serving-layer view of an incremental
+//! batched executor ([`dfx_sim::BatchState`] on the appliance, a
+//! closed-form equivalent on the GPU): members are admitted with a
+//! prefill charge, every [`step_token`](ContinuousStepper::step_token)
+//! advances all live members by one output token at the live batch
+//! size, and members exit the moment they have produced their requested
+//! tokens — no padding to the longest batch-mate, no waiting for a
+//! batch to form. Backends advertise the capability through
+//! [`Backend::continuous`](crate::Backend::continuous); backends
+//! without it (the cloud TPU) keep serving through the static
+//! [`serve_batch`](crate::Backend::serve_batch) path.
+
+use crate::backend::validate_workload;
+use dfx_baseline::GpuModel;
+use dfx_model::Workload;
+use dfx_sim::{Appliance, BatchState, SimError};
+
+/// Result of one stepper operation (an admission's prefill or one
+/// decode step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEvent {
+    /// Time the operation added to the run's shared timeline, ms.
+    pub ms: f64,
+    /// Live members after the operation.
+    pub live: usize,
+    /// Member ids that produced their last token during the operation.
+    pub finished: Vec<u64>,
+}
+
+/// A backend executing requests token by token, with admissions between
+/// steps.
+///
+/// The contract the serving engine relies on:
+///
+/// - a member admitted into an *empty* stepper and stepped to
+///   completion accumulates
+///   [`Backend::serve`](crate::Backend::serve)'s latency for the same
+///   workload — exactly on backends whose per-step costs add without
+///   rounding (integer-millisecond test backends), and within float
+///   accumulation order otherwise (the built-in appliance/GPU steppers
+///   sum per-step milliseconds where `serve` sums per-stage totals, a
+///   ~1e-9 relative difference) — so continuous batching at
+///   `max_batch == 1` reproduces the single-dispatch FIFO numbers;
+/// - every [`step_token`](ContinuousStepper::step_token) produces one
+///   credited output token per live member, so token work is conserved
+///   under any admission/exit interleaving;
+/// - admission feasibility is per member (each workload is validated
+///   alone): the static path's joint padded-shape constraint
+///   ([`Backend::batch_feasible`](crate::Backend::batch_feasible)) does
+///   not apply between decode steps.
+pub trait ContinuousStepper {
+    /// Admits a member, charging its prefill to the shared timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for workloads the backend
+    /// rejects (zero-length, over the model's sequence cap) or a
+    /// duplicate id.
+    fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError>;
+
+    /// Advances every live member by one output token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] when no members are live.
+    fn step_token(&mut self) -> Result<StepEvent, SimError>;
+
+    /// Number of live (admitted, unfinished) members.
+    fn live(&self) -> usize;
+}
+
+/// The appliance stepper: a thin adapter over [`dfx_sim::BatchState`].
+pub(crate) struct ApplianceStepper<'a> {
+    state: BatchState<'a>,
+}
+
+impl<'a> ApplianceStepper<'a> {
+    pub(crate) fn new(appliance: &'a Appliance) -> Self {
+        ApplianceStepper {
+            state: appliance.batch_state(),
+        }
+    }
+}
+
+impl ContinuousStepper for ApplianceStepper<'_> {
+    fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError> {
+        validate_workload(workload)?;
+        let out = self.state.admit(id, workload)?;
+        self.state.retire();
+        Ok(StepEvent {
+            ms: out.prefill_ms,
+            live: self.state.live(),
+            finished: if out.finished { vec![id] } else { Vec::new() },
+        })
+    }
+
+    fn step_token(&mut self) -> Result<StepEvent, SimError> {
+        let out = self.state.step_token()?;
+        self.state.retire();
+        Ok(StepEvent {
+            ms: out.ms,
+            live: self.state.live(),
+            finished: out.finished,
+        })
+    }
+
+    fn live(&self) -> usize {
+        self.state.live()
+    }
+}
+
+struct GpuMember {
+    id: u64,
+    workload: Workload,
+    /// Output tokens produced so far (the prefill produces the first).
+    emitted: usize,
+}
+
+/// Closed-form continuous stepper for the GPU appliance: prefills cost
+/// [`GpuModel::summarization_pass_ms_batched`] at batch 1, decode steps
+/// cost [`GpuModel::generation_step_ms_batched`] at the live batch size
+/// and the largest live context — the same terms
+/// [`GpuModel::run_batch`] sums, so a solo member reproduces
+/// [`GpuModel::run`] exactly.
+pub(crate) struct GpuStepper<'a> {
+    gpu: &'a GpuModel,
+    members: Vec<GpuMember>,
+}
+
+impl<'a> GpuStepper<'a> {
+    pub(crate) fn new(gpu: &'a GpuModel) -> Self {
+        GpuStepper {
+            gpu,
+            members: Vec::new(),
+        }
+    }
+}
+
+impl ContinuousStepper for GpuStepper<'_> {
+    fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError> {
+        validate_workload(workload)?;
+        if self.members.iter().any(|m| m.id == id) {
+            return Err(SimError::InvalidRequest(format!(
+                "member id {id} is already in the batch"
+            )));
+        }
+        let ms = self
+            .gpu
+            .summarization_pass_ms_batched(workload.input_len, 1);
+        let finished = workload.output_len == 1;
+        if !finished {
+            self.members.push(GpuMember {
+                id,
+                workload,
+                emitted: 1,
+            });
+        }
+        Ok(StepEvent {
+            ms,
+            live: self.members.len(),
+            finished: if finished { vec![id] } else { Vec::new() },
+        })
+    }
+
+    fn step_token(&mut self) -> Result<StepEvent, SimError> {
+        if self.members.is_empty() {
+            return Err(SimError::InvalidRequest(
+                "no live members to step (admit first)".into(),
+            ));
+        }
+        // Mirrors run_batch's decode loop: generating output token
+        // `emitted + 1` costs a step at context `input_len + emitted`.
+        let t = self
+            .members
+            .iter()
+            .map(|m| m.workload.input_len + m.emitted)
+            .max()
+            .expect("non-empty batch");
+        let ms = self.gpu.generation_step_ms_batched(t, self.members.len());
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.members.len() {
+            self.members[i].emitted += 1;
+            if self.members[i].emitted == self.members[i].workload.output_len {
+                finished.push(self.members.remove(i).id);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(StepEvent {
+            ms,
+            live: self.members.len(),
+            finished,
+        })
+    }
+
+    fn live(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use dfx_baseline::TpuModel;
+    use dfx_model::GptConfig;
+
+    fn solo_ms(stepper: &mut dyn ContinuousStepper, w: Workload) -> f64 {
+        let mut total = stepper.admit(0, w).unwrap().ms;
+        while stepper.live() > 0 {
+            total += stepper.step_token().unwrap().ms;
+        }
+        total
+    }
+
+    #[test]
+    fn solo_stepping_matches_serve_on_both_continuous_backends() {
+        let cfg = GptConfig::tiny();
+        let dfx = Appliance::timing_only(cfg.clone(), 2).unwrap();
+        let gpu = GpuModel::new(cfg, 2);
+        for w in [
+            Workload::new(8, 4),
+            Workload::new(5, 1),
+            Workload::new(3, 9),
+        ] {
+            for backend in [&dfx as &dyn Backend, &gpu] {
+                let serve_ms = backend.serve(w).unwrap().total_ms();
+                let mut stepper = backend.continuous().expect("continuous backend");
+                let stepped_ms = solo_ms(stepper.as_mut(), w);
+                assert!(
+                    (stepped_ms - serve_ms).abs() < 1e-9 * serve_ms.max(1.0),
+                    "{} {w}: stepped {stepped_ms} vs serve {serve_ms}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_tpu_has_no_stepper() {
+        let tpu = TpuModel::new(GptConfig::tiny());
+        assert!(Backend::continuous(&tpu).is_none());
+    }
+
+    #[test]
+    fn gpu_members_exit_early_and_conserve_tokens() {
+        let gpu = GpuModel::new(GptConfig::tiny(), 1);
+        let mut s = GpuStepper::new(&gpu);
+        s.admit(0, Workload::new(8, 6)).unwrap();
+        s.admit(1, Workload::new(4, 2)).unwrap();
+        let mut tokens = 2; // two prefills, one token each
+        let mut exits = Vec::new();
+        while s.live() > 0 {
+            let ev = s.step_token().unwrap();
+            tokens += ev.finished.len() + ev.live;
+            exits.extend(ev.finished);
+        }
+        assert_eq!(exits, vec![1, 0]);
+        assert_eq!(tokens, 8);
+    }
+
+    #[test]
+    fn invalid_gpu_admissions_are_rejected() {
+        let gpu = GpuModel::new(GptConfig::tiny(), 1);
+        let mut s = GpuStepper::new(&gpu);
+        assert!(s.admit(0, Workload::new(0, 4)).is_err());
+        assert!(s.step_token().is_err());
+        s.admit(0, Workload::new(4, 4)).unwrap();
+        assert!(s.admit(0, Workload::new(4, 4)).is_err());
+    }
+}

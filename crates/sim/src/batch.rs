@@ -14,6 +14,11 @@
 //! the batch's summarization cost scales with the batch's token work
 //! while decode steps amortise weight streaming. A batch of one is
 //! bit-identical to [`Appliance::generate_timed`].
+//!
+//! For token-granular execution — members joining and leaving between
+//! decode steps instead of padding to the longest — see the incremental
+//! executor [`BatchState`](crate::BatchState), which continuous batching
+//! schedules against.
 
 use crate::appliance::Appliance;
 use crate::error::SimError;

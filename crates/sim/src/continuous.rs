@@ -1,0 +1,483 @@
+//! Token-granular batched execution: the incremental executor behind
+//! continuous (iteration-level) batching.
+//!
+//! [`Appliance::generate_batch_timed`] executes a *static* batch: every
+//! member is padded to the batch's longest context and longest output,
+//! and the whole batch completes as a unit. [`BatchState`] splits that
+//! whole-batch run into its token steps so a serving layer can make
+//! decisions *between* steps, the discipline of Orca/vLLM-style
+//! continuous batching:
+//!
+//! - [`BatchState::admit`] joins a new member, charging its prefill
+//!   (summarization) pass to the shared timeline;
+//! - [`BatchState::step_token`] advances every live member by one decode
+//!   token through [`dfx_core::TimingCore::time_step_batched`] at the
+//!   *current* live batch size — members with different output lengths
+//!   exit early instead of padding to the longest;
+//! - [`BatchState::retire`] drains members that have produced their last
+//!   token, freeing their slots for the next admission.
+//!
+//! A member that runs alone through this API costs exactly what
+//! [`Appliance::generate_timed`] charges (the per-step programs are
+//! identical), and each decode step produces one credited token per live
+//! member, so total token work is conserved no matter how admissions and
+//! early exits interleave.
+//!
+//! Decode steps at heterogeneous positions are charged at the *largest*
+//! live position (the attention shape the hardware would pad to within
+//! the step); per-member feasibility (`input_len + output_len` within
+//! the model's sequence cap) is sufficient for any admission mix, unlike
+//! the static path where the joint padded shape can exceed the cap even
+//! when every member alone fits.
+
+use crate::appliance::Appliance;
+use crate::error::SimError;
+use dfx_model::Workload;
+use std::collections::HashMap;
+
+/// Result of admitting one member into a running batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmitOutcome {
+    /// Time the member's prefill (summarization) pass added to the
+    /// shared timeline, ms. Decode of the other live members stalls for
+    /// this long — the admission cost a scheduler weighs against queue
+    /// wait.
+    pub prefill_ms: f64,
+    /// True when the prefill already produced the member's only output
+    /// token (`output_len == 1`): the member never decodes and is
+    /// immediately ready to [`retire`](BatchState::retire).
+    pub finished: bool,
+}
+
+/// Result of one decode step over every live member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenStepOutcome {
+    /// Time the step added to the shared timeline, ms.
+    pub ms: f64,
+    /// Live members the step advanced — also the number of output
+    /// tokens the step produced (one per live member, never padding).
+    pub batch: usize,
+    /// Ids of members that produced their last token in this step; they
+    /// are ready to [`retire`](BatchState::retire) and no longer count
+    /// as live.
+    pub finished: Vec<u64>,
+}
+
+/// A member drained by [`BatchState::retire`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetiredMember {
+    /// Caller-assigned id from [`BatchState::admit`].
+    pub id: u64,
+    /// The member's workload.
+    pub workload: Workload,
+    /// Output tokens the member produced — always exactly
+    /// `workload.output_len`: early exit means a member stops *when it
+    /// is done*, not that it is truncated.
+    pub tokens: usize,
+}
+
+struct Member {
+    id: u64,
+    workload: Workload,
+    /// Output tokens produced so far (the prefill produces the first).
+    emitted: usize,
+}
+
+/// Incremental batched executor over one [`Appliance`]: the
+/// token-granular API continuous batching schedules against.
+///
+/// Costs are charged through the same cycle model as the static paths:
+/// prefills replay [`Appliance::generate_timed`]'s summarization loop,
+/// decode steps run one `token_step` program through
+/// [`dfx_core::TimingCore::time_step_batched`] at the live batch size.
+/// Step costs are memoized by `(position, batch)` so long request
+/// streams re-time each distinct step shape once.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_model::{GptConfig, Workload};
+/// use dfx_sim::Appliance;
+///
+/// # fn main() -> Result<(), dfx_sim::SimError> {
+/// let appliance = Appliance::timing_only(GptConfig::tiny(), 2)?;
+/// let mut batch = appliance.batch_state();
+///
+/// // Admit one member, decode a token, then admit a second mid-flight.
+/// batch.admit(0, Workload::new(8, 4))?;
+/// let step = batch.step_token()?;
+/// assert_eq!(step.batch, 1);
+/// batch.admit(1, Workload::new(4, 2))?;
+/// let step = batch.step_token()?;
+/// assert_eq!(step.batch, 2);
+/// // The short member exits early; the long one keeps decoding.
+/// assert_eq!(step.finished, vec![1]);
+/// assert_eq!(batch.retire().len(), 1);
+/// assert_eq!(batch.live(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct BatchState<'a> {
+    appliance: &'a Appliance,
+    members: Vec<Member>,
+    finished: Vec<RetiredMember>,
+    elapsed_ms: f64,
+    /// Decode-step cost by `(program position, live batch)`.
+    step_cache: HashMap<(usize, u32), f64>,
+    /// Prefill cost by context length.
+    prefill_cache: HashMap<usize, f64>,
+}
+
+impl Appliance {
+    /// Creates an empty incremental batch executor over this appliance.
+    ///
+    /// See [`BatchState`] for the admit / step / retire cycle.
+    pub fn batch_state(&self) -> BatchState<'_> {
+        BatchState {
+            appliance: self,
+            members: Vec::new(),
+            finished: Vec::new(),
+            elapsed_ms: 0.0,
+            step_cache: HashMap::new(),
+            prefill_cache: HashMap::new(),
+        }
+    }
+}
+
+impl BatchState<'_> {
+    /// Number of live (admitted, not yet finished) members.
+    pub fn live(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total time charged to the shared timeline so far, ms (prefills
+    /// plus decode steps).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ms
+    }
+
+    /// Admits a member: validates the workload, charges its prefill
+    /// pass to the shared timeline and registers it for decode steps.
+    ///
+    /// The prefill replays the summarization stage of
+    /// [`Appliance::generate_timed`] (every context token, LM head on
+    /// the last), so a member admitted into an empty batch and stepped
+    /// to completion costs exactly the sequential run. Per-member
+    /// validity (`input_len + output_len` within the model cap) is the
+    /// only admission constraint — there is no joint padded shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for an empty context, a
+    /// workload exceeding the model's maximum sequence length, or an id
+    /// already live or awaiting retirement.
+    pub fn admit(&mut self, id: u64, workload: Workload) -> Result<AdmitOutcome, SimError> {
+        self.appliance.check_workload(workload)?;
+        if workload.output_len == 0 {
+            return Err(SimError::InvalidRequest(
+                "workload generates nothing (output_len == 0)".into(),
+            ));
+        }
+        if self.members.iter().any(|m| m.id == id) || self.finished.iter().any(|m| m.id == id) {
+            return Err(SimError::InvalidRequest(format!(
+                "member id {id} is already in the batch"
+            )));
+        }
+
+        let prefill_ms = match self.prefill_cache.get(&workload.input_len) {
+            Some(&ms) => ms,
+            None => {
+                let mut timing = dfx_core::StepTiming::zero();
+                for pos in 0..workload.input_len {
+                    let lm = pos + 1 == workload.input_len;
+                    let program = self.appliance.builder().token_step(pos, lm);
+                    timing.accumulate(&self.appliance.timing().time_step(&program));
+                }
+                let ms = timing.total.to_millis();
+                self.prefill_cache.insert(workload.input_len, ms);
+                ms
+            }
+        };
+        self.elapsed_ms += prefill_ms;
+
+        // The prefill's LM head produces the first output token.
+        let finished = workload.output_len == 1;
+        if finished {
+            self.finished.push(RetiredMember {
+                id,
+                workload,
+                tokens: 1,
+            });
+        } else {
+            self.members.push(Member {
+                id,
+                workload,
+                emitted: 1,
+            });
+        }
+        Ok(AdmitOutcome {
+            prefill_ms,
+            finished,
+        })
+    }
+
+    /// Advances every live member by one decode token.
+    ///
+    /// The step runs one `token_step` program through
+    /// [`dfx_core::TimingCore::time_step_batched`] at the live batch
+    /// size, positioned at the largest live member's context (the
+    /// attention shape the step pads to); every live member earns one
+    /// output token. Members reaching their requested length are moved
+    /// to the retirement list and returned in
+    /// [`TokenStepOutcome::finished`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] when no members are live.
+    pub fn step_token(&mut self) -> Result<TokenStepOutcome, SimError> {
+        if self.members.is_empty() {
+            return Err(SimError::InvalidRequest(
+                "no live members to step (admit first)".into(),
+            ));
+        }
+        let batch = self.members.len();
+        // Mirrors generate_timed's decode loop: generating output token
+        // `emitted + 1` runs token_step(input_len + emitted - 1, true).
+        let pos = self
+            .members
+            .iter()
+            .map(|m| m.workload.input_len + m.emitted - 1)
+            .max()
+            .expect("non-empty batch");
+        let ms = match self.step_cache.get(&(pos, batch as u32)) {
+            Some(&ms) => ms,
+            None => {
+                let program = self.appliance.builder().token_step(pos, true);
+                let ms = self
+                    .appliance
+                    .timing()
+                    .time_step_batched(&program, batch as u32)
+                    .total
+                    .to_millis();
+                self.step_cache.insert((pos, batch as u32), ms);
+                ms
+            }
+        };
+        self.elapsed_ms += ms;
+
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.members.len() {
+            self.members[i].emitted += 1;
+            if self.members[i].emitted == self.members[i].workload.output_len {
+                let m = self.members.remove(i);
+                finished.push(m.id);
+                self.finished.push(RetiredMember {
+                    id: m.id,
+                    workload: m.workload,
+                    tokens: m.emitted,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Ok(TokenStepOutcome {
+            ms,
+            batch,
+            finished,
+        })
+    }
+
+    /// Drains every member that has produced its last token, freeing
+    /// their slots for subsequent admissions.
+    pub fn retire(&mut self) -> Vec<RetiredMember> {
+        std::mem::take(&mut self.finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfx_model::GptConfig;
+
+    fn appliance() -> Appliance {
+        Appliance::timing_only(GptConfig::tiny(), 2).unwrap()
+    }
+
+    /// Runs one workload alone through the incremental API.
+    fn solo_ms(a: &Appliance, w: Workload) -> f64 {
+        let mut b = a.batch_state();
+        b.admit(0, w).unwrap();
+        while b.live() > 0 {
+            b.step_token().unwrap();
+        }
+        let retired = b.retire();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].tokens, w.output_len);
+        b.elapsed_ms()
+    }
+
+    #[test]
+    fn a_solo_member_costs_the_sequential_run() {
+        let a = appliance();
+        for w in [
+            Workload::new(8, 4),
+            Workload::new(3, 1),
+            Workload::new(5, 9),
+        ] {
+            let seq = a.generate_timed(w.input_len, w.output_len).unwrap();
+            let inc = solo_ms(&a, w);
+            assert!(
+                (inc - seq.total_latency_ms()).abs() < 1e-9 * seq.total_latency_ms().max(1.0),
+                "{w}: incremental {inc} vs sequential {}",
+                seq.total_latency_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn token_work_is_conserved_under_interleaving() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        let ws = [
+            Workload::new(8, 5),
+            Workload::new(4, 2),
+            Workload::new(6, 7),
+        ];
+        let mut tokens = 0usize;
+        b.admit(0, ws[0]).unwrap();
+        tokens += b.step_token().unwrap().batch;
+        b.admit(1, ws[1]).unwrap();
+        let mut admitted_third = false;
+        while b.live() > 0 {
+            tokens += b.step_token().unwrap().batch;
+            if !admitted_third {
+                b.admit(2, ws[2]).unwrap();
+                admitted_third = true;
+            }
+        }
+        let retired = b.retire();
+        assert_eq!(retired.len(), 3);
+        for r in &retired {
+            assert_eq!(r.tokens, r.workload.output_len, "member {} truncated", r.id);
+        }
+        // One token per member per step, plus the prefill's first token.
+        let expect: usize = ws.iter().map(|w| w.output_len).sum();
+        assert_eq!(tokens + ws.len(), expect);
+    }
+
+    #[test]
+    fn short_members_exit_before_long_ones() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        b.admit(0, Workload::new(8, 8)).unwrap();
+        b.admit(1, Workload::new(8, 3)).unwrap();
+        let mut exit_order = Vec::new();
+        while b.live() > 0 {
+            exit_order.extend(b.step_token().unwrap().finished);
+        }
+        assert_eq!(exit_order, vec![1, 0]);
+    }
+
+    #[test]
+    fn early_exit_frees_the_short_member_before_the_padded_batch_would() {
+        // In a static padded batch every member waits for the longest
+        // output; through the incremental API the short member is done
+        // the moment it has its own tokens.
+        let a = appliance();
+        let ws = [Workload::new(8, 24), Workload::new(8, 2)];
+        let padded = a.generate_batch_timed(&ws).unwrap().total_latency_ms();
+        let mut b = a.batch_state();
+        b.admit(0, ws[0]).unwrap();
+        b.admit(1, ws[1]).unwrap();
+        let mut short_done_ms = None;
+        while b.live() > 0 {
+            let step = b.step_token().unwrap();
+            if step.finished.contains(&1) {
+                short_done_ms = Some(b.elapsed_ms());
+            }
+        }
+        let short_done_ms = short_done_ms.expect("short member finished");
+        assert!(
+            short_done_ms < padded,
+            "short member at {short_done_ms} !< padded batch {padded}"
+        );
+    }
+
+    #[test]
+    fn admission_is_per_member_feasible_where_static_padding_is_not() {
+        // tiny's max_seq_len is 128: the pair pads past the cap as a
+        // static batch but runs fine through token-granular admission.
+        let a = appliance();
+        let long_ctx = Workload::new(100, 2);
+        let long_out = Workload::new(2, 100);
+        assert!(a.generate_batch_timed(&[long_ctx, long_out]).is_err());
+        let mut b = a.batch_state();
+        b.admit(0, long_ctx).unwrap();
+        b.admit(1, long_out).unwrap();
+        while b.live() > 0 {
+            b.step_token().unwrap();
+        }
+        assert_eq!(b.retire().len(), 2);
+    }
+
+    #[test]
+    fn invalid_admissions_are_rejected() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        assert!(matches!(
+            b.admit(0, Workload::new(0, 4)),
+            Err(SimError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            b.admit(0, Workload::new(4, 0)),
+            Err(SimError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            b.admit(0, Workload::new(200, 200)),
+            Err(SimError::InvalidRequest(_))
+        ));
+        b.admit(0, Workload::new(4, 4)).unwrap();
+        assert!(matches!(
+            b.admit(0, Workload::new(4, 4)),
+            Err(SimError::InvalidRequest(_))
+        ));
+        // Stepping an empty batch is an error, not a no-op.
+        let mut empty = a.batch_state();
+        assert!(matches!(
+            empty.step_token(),
+            Err(SimError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn output_len_one_finishes_at_admission() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        let out = b.admit(7, Workload::new(6, 1)).unwrap();
+        assert!(out.finished);
+        assert!(out.prefill_ms > 0.0);
+        assert_eq!(b.live(), 0);
+        let retired = b.retire();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].tokens, 1);
+        // Exactly the sequential cost: generate_timed(6, 1) has no
+        // generation stage either.
+        let seq = a.generate_timed(6, 1).unwrap().total_latency_ms();
+        assert!((b.elapsed_ms() - seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_costs_grow_with_the_live_batch() {
+        let a = appliance();
+        let w = Workload::new(8, 16);
+        let mut solo = a.batch_state();
+        solo.admit(0, w).unwrap();
+        let one = solo.step_token().unwrap().ms;
+        let mut duo = a.batch_state();
+        duo.admit(0, w).unwrap();
+        duo.admit(1, w).unwrap();
+        let two = duo.step_token().unwrap().ms;
+        assert!(two > one, "batch-2 step {two} !> batch-1 step {one}");
+    }
+}

@@ -25,6 +25,7 @@ mod accuracy;
 mod appliance;
 mod batch;
 mod cluster;
+mod continuous;
 mod cost;
 mod error;
 mod gflops;
@@ -34,6 +35,7 @@ pub use accuracy::{paper_tasks, quick_tasks, run_accuracy, AccuracyResult, Accur
 pub use appliance::{Appliance, GenerationRun, LatencyBreakdown, TimedRun};
 pub use batch::BatchedRun;
 pub use cluster::FunctionalCluster;
+pub use continuous::{AdmitOutcome, BatchState, RetiredMember, TokenStepOutcome};
 pub use cost::{ApplianceCost, CostComparison, U280_PRICE_USD, V100_PRICE_USD};
 pub use error::SimError;
 pub use gflops::{dfx_stage_gflops, StageGflops};

@@ -1,0 +1,72 @@
+//! Continuous batching: token-boundary scheduling, live.
+//!
+//! Static batching (`Batching`) coalesces queued requests into padded
+//! units: every member waits for the batch to form and then for its
+//! longest batch-mate to finish. Continuous batching
+//! (`ContinuousBatching`) schedules at *token* boundaries instead —
+//! requests join a running batch between decode steps (paying only
+//! their own prefill) and leave the moment they have their tokens. The
+//! same saturated stream runs here under batch-1 FIFO, static batching
+//! and continuous batching on both appliances.
+//!
+//! ```sh
+//! cargo run --release --example continuous_batching
+//! ```
+
+use dfx::baseline::GpuModel;
+use dfx::model::GptConfig;
+use dfx::serve::{
+    chatbot_mix, ArrivalProcess, Backend, Batching, ContinuousBatching, Fifo, Scheduler,
+    ServingEngine,
+};
+use dfx::sim::Appliance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::gpt2_345m();
+    let dfx = Appliance::timing_only(cfg.clone(), 1)?;
+    let gpu = GpuModel::new(cfg.clone(), 1);
+
+    let stream = chatbot_mix(120, cfg.max_seq_len);
+    // A rate past the GPU appliance's batch-1 capacity (~0.4 req/s) but
+    // within reach of its batched capacity.
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 1.0,
+        seed: 0x5EED,
+    };
+    const MAX_BATCH: usize = 8;
+    const MAX_WAIT_MS: f64 = 500.0;
+
+    println!(
+        "120 chatbot requests at 1.0 req/s, max batch {MAX_BATCH} \
+         (static window {MAX_WAIT_MS} ms)\n"
+    );
+    println!(
+        "{:>9} {:>12} {:>11} {:>11} {:>12} {:>15}",
+        "appliance", "discipline", "p50 ms", "p99 ms", "util %", "goodput tok/s"
+    );
+    for (label, backend) in [("DFX", &dfx as &dyn Backend), ("GPU", &gpu)] {
+        let disciplines: [(&str, Box<dyn Scheduler>); 3] = [
+            ("batch-1", Box::new(Fifo)),
+            ("static", Box::new(Batching::new(MAX_BATCH, MAX_WAIT_MS))),
+            ("continuous", Box::new(ContinuousBatching::new(MAX_BATCH))),
+        ];
+        for (name, scheduler) in disciplines {
+            let r = ServingEngine::new(backend)
+                .with_scheduler(scheduler)
+                .run(&stream, &arrivals)?;
+            println!(
+                "{label:>9} {name:>12} {:>11.0} {:>11.0} {:>12.1} {:>15.1}",
+                r.p50_sojourn_ms,
+                r.p99_sojourn_ms,
+                100.0 * r.utilization,
+                r.goodput_tps,
+            );
+        }
+    }
+    println!(
+        "\nContinuous batching keeps the static discipline's goodput without its sojourn:\n\
+         nobody waits for a batch to form, nobody pads to the longest batch-mate — the\n\
+         frontier modern serving stacks (Orca, vLLM, TGI) hold a batch-1 design against."
+    );
+    Ok(())
+}

@@ -21,10 +21,12 @@
 //!   experiment harnesses (latency, breakdown, throughput, energy, cost,
 //!   accuracy).
 //! - [`serve`] — the unified [`Backend`](serve::Backend) trait over
-//!   DFX/GPU/TPU (single requests and coalesced batches) and the
-//!   request-serving engine (schedulers — including size-and-timeout
-//!   [`Batching`](serve::Batching) — arrival processes, tail-latency
-//!   reports).
+//!   DFX/GPU/TPU (single requests, coalesced batches and token-granular
+//!   [`ContinuousStepper`](serve::ContinuousStepper)s) and the
+//!   request-serving engine (schedulers — size-and-timeout
+//!   [`Batching`](serve::Batching), token-boundary
+//!   [`ContinuousBatching`](serve::ContinuousBatching) — arrival
+//!   processes, tail-latency reports).
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's sections,
 //! figures and tables onto these crates and the `reproduce` ids that
@@ -51,9 +53,13 @@
 //! seeded arrival process through any of them and reports tail latency.
 //! Swap the queue discipline with
 //! [`with_scheduler`](serve::ServingEngine::with_scheduler):
-//! [`serve::Batching`] coalesces requests into batched backend calls,
-//! and [`serve::ShortestJobFirst`] trades mean sojourn for worst-case —
-//! it has no aging, so long requests can starve under sustained load:
+//! [`serve::Batching`] coalesces requests into static padded batches,
+//! [`serve::ContinuousBatching`] admits requests into a *running* batch
+//! at token boundaries (members exit the moment they finish), and
+//! [`serve::ShortestJobFirst`] trades mean sojourn for worst-case —
+//! plain SJF can starve long requests under sustained load;
+//! [`ShortestJobFirst::with_aging`](serve::ShortestJobFirst::with_aging)
+//! bounds that:
 //!
 //! ```
 //! use dfx::model::{GptConfig, Workload};

@@ -6,12 +6,62 @@
 //! tie the trait boundary together.
 
 use dfx::model::{GptConfig, Workload};
-use dfx::serve::{ArrivalProcess, Backend, RunReport, ServingEngine};
+use dfx::serve::{
+    ArrivalProcess, Backend, ContinuousBatching, ContinuousStepper, RunReport, ServingEngine,
+    StepEvent,
+};
 use dfx::sim::SimError;
 use proptest::prelude::*;
 
-/// Closed-form backend: `input + output` ms per request.
+/// Closed-form backend: `input + output` ms per request. It exposes a
+/// matching [`ContinuousStepper`] (prefill = `input_len` ms, 1 ms per
+/// decoded token), so a solo member stepped to completion accumulates
+/// exactly `serve`'s latency — in *integer* milliseconds, which f64
+/// adds exactly in any order, making the continuous ≡ FIFO comparison
+/// below bit-exact rather than approximate.
 struct UnitBackend;
+
+/// (id, workload, tokens emitted) per live member.
+struct UnitStepper {
+    members: Vec<(u64, Workload, usize)>,
+}
+
+impl ContinuousStepper for UnitStepper {
+    fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError> {
+        dfx::serve::validate_workload(workload)?;
+        self.members.push((id, workload, 0));
+        Ok(StepEvent {
+            ms: workload.input_len as f64,
+            live: self.members.len(),
+            finished: vec![],
+        })
+    }
+
+    fn step_token(&mut self) -> Result<StepEvent, SimError> {
+        if self.members.is_empty() {
+            return Err(SimError::InvalidRequest("no live members".into()));
+        }
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.members.len() {
+            self.members[i].2 += 1;
+            if self.members[i].2 == self.members[i].1.output_len {
+                finished.push(self.members.remove(i).0);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(StepEvent {
+            ms: 1.0,
+            live: self.members.len(),
+            finished,
+        })
+    }
+
+    fn live(&self) -> usize {
+        self.members.len()
+    }
+}
 
 impl Backend for UnitBackend {
     fn name(&self) -> String {
@@ -33,6 +83,11 @@ impl Backend for UnitBackend {
             devices: 1,
             power_w: None,
         })
+    }
+    fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
+        Some(Box::new(UnitStepper {
+            members: Vec::new(),
+        }))
     }
 }
 
@@ -187,8 +242,129 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Continuous batching with `max_batch == 1` is exactly the FIFO
+    /// single-dispatch path — same responses (starts, finishes,
+    /// servers) and same service statistics, under any stream and
+    /// arrival process. The UnitBackend's integer-millisecond costs add
+    /// exactly in f64, so the comparison is bit-exact.
+    #[test]
+    fn continuous_with_max_batch_one_is_fifo(
+        workloads in arb_workloads(),
+        arrivals in arb_arrivals(),
+    ) {
+        let fifo = ServingEngine::new(&UnitBackend).run(&workloads, &arrivals).unwrap();
+        let cont = ServingEngine::new(&UnitBackend)
+            .with_scheduler(Box::new(ContinuousBatching::new(1)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        prop_assert_eq!(&fifo.responses, &cont.responses);
+        prop_assert_eq!(fifo.p50_sojourn_ms, cont.p50_sojourn_ms);
+        prop_assert_eq!(fifo.p99_sojourn_ms, cont.p99_sojourn_ms);
+        prop_assert_eq!(fifo.utilization, cont.utilization);
+        prop_assert_eq!(fifo.makespan_ms, cont.makespan_ms);
+        prop_assert_eq!(fifo.goodput_tps, cont.goodput_tps);
+    }
+
+    /// Admission causality and conservation on the token-boundary path:
+    /// under a seeded Poisson mix every request is served exactly once,
+    /// no member's prefill starts before its arrival, and a member
+    /// never finishes before `output_len` decode milliseconds have
+    /// passed since its start.
+    #[test]
+    fn continuous_admissions_respect_arrival_causality(
+        workloads in arb_workloads(),
+        rate_per_s in 0.5f64..200.0,
+        seed in any::<u64>(),
+        max_batch in 1usize..6,
+        servers in 1usize..4,
+    ) {
+        let arrivals = ArrivalProcess::Poisson { rate_per_s, seed };
+        let backends: Vec<UnitBackend> = (0..servers).map(|_| UnitBackend).collect();
+        let report = ServingEngine::pool(backends.iter().map(|b| b as &dyn Backend).collect())
+            .unwrap()
+            .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+
+        prop_assert_eq!(report.responses.len(), workloads.len());
+        let mut ids: Vec<u64> = report.responses.iter().map(|r| r.request.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..workloads.len() as u64).collect::<Vec<_>>());
+        for r in &report.responses {
+            prop_assert!(r.start_ms >= r.request.arrival_ms,
+                "request {} started {} before its arrival {}",
+                r.request.id, r.start_ms, r.request.arrival_ms);
+            prop_assert!(r.server < servers);
+            // At minimum its own prefill plus one ms per output token;
+            // co-resident prefills can only stretch it.
+            let floor = (r.request.workload.input_len + r.request.workload.output_len) as f64;
+            prop_assert!(r.service_ms() >= floor - 1e-9,
+                "request {} served in {} ms, below its {} ms floor",
+                r.request.id, r.service_ms(), floor);
+        }
+        prop_assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
+        prop_assert!(report.p50_sojourn_ms <= report.p99_sojourn_ms);
+        // Determinism: the token-boundary loop reproduces bit-for-bit.
+        let again = ServingEngine::pool(backends.iter().map(|b| b as &dyn Backend).collect())
+            .unwrap()
+            .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        prop_assert_eq!(report, again);
+    }
+}
+
+proptest! {
     // Fewer cases: these run the real cycle model per case.
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Early-exit conservation on the real appliance's incremental
+    /// executor: however admissions interleave with decode steps, the
+    /// total tokens produced (one per prefill, one per live member per
+    /// step) equal the sum the members asked for, and every retired
+    /// member carries exactly its own `output_len` — early exit stops
+    /// members when they are done, it never truncates or pads.
+    #[test]
+    fn early_exit_conserves_tokens_against_the_sequential_sum(
+        specs in proptest::collection::vec((1usize..24, 1usize..16), 1..6),
+        stagger in 0usize..4,
+    ) {
+        let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let mut batch = appliance.batch_state();
+        let workloads: Vec<Workload> =
+            specs.into_iter().map(|(i, o)| Workload::new(i, o)).collect();
+
+        let mut tokens = 0usize;
+        let mut queued = workloads.iter().enumerate().collect::<Vec<_>>();
+        queued.reverse();
+        while batch.live() > 0 || !queued.is_empty() {
+            // Admit one member every `stagger` steps (all at once for 0).
+            while let Some(&(id, w)) = queued.last() {
+                batch.admit(id as u64, *w).unwrap();
+                tokens += 1; // the prefill's first token
+                queued.pop();
+                if stagger > 0 {
+                    break;
+                }
+            }
+            for _ in 0..stagger.max(1) {
+                if batch.live() == 0 {
+                    break;
+                }
+                tokens += batch.step_token().unwrap().batch;
+            }
+        }
+        let retired = batch.retire();
+        prop_assert_eq!(retired.len(), workloads.len());
+        for r in &retired {
+            prop_assert_eq!(r.tokens, r.workload.output_len,
+                "member {} produced {} of {} tokens", r.id, r.tokens, r.workload.output_len);
+        }
+        let expect: usize = workloads.iter().map(|w| w.output_len).sum();
+        prop_assert_eq!(tokens, expect);
+    }
 
     /// A batch of one goes through the batched cost model bit-for-bit
     /// identically to the unbatched path, on the appliance and the GPU.
@@ -230,6 +406,48 @@ proptest! {
             prop_assert!(gpu_ms >= prev_gpu, "GPU batch {} got cheaper: {} < {}", b, gpu_ms, prev_gpu);
             prev_gpu = gpu_ms;
         }
+    }
+}
+
+/// Token-boundary scheduling holds its invariants end to end on the
+/// real cycle-model appliance: deterministic, causal, and equivalent to
+/// FIFO at `max_batch == 1` (up to float accumulation order — the
+/// cycle model sums per-step milliseconds on the token path and
+/// per-stage cycle totals on the dispatch path).
+#[test]
+fn continuous_invariants_hold_on_a_real_appliance() {
+    let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+    let workloads: Vec<Workload> = (0..10)
+        .map(|i| Workload::new(4 + i % 3, 2 + i % 4))
+        .collect();
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 2.0,
+        seed: 42,
+    };
+    let run = |max_batch: usize| {
+        ServingEngine::new(&appliance)
+            .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
+            .run(&workloads, &arrivals)
+            .unwrap()
+    };
+    let a = run(3);
+    let b = run(3);
+    assert_eq!(a, b, "continuous real-backend runs must be deterministic");
+    assert_eq!(a.responses.len(), workloads.len());
+    for r in &a.responses {
+        assert!(r.start_ms >= r.request.arrival_ms);
+        assert!(r.service_ms() > 0.0);
+    }
+
+    let fifo = ServingEngine::new(&appliance)
+        .run(&workloads, &arrivals)
+        .unwrap();
+    let cont1 = run(1);
+    assert_eq!(fifo.responses.len(), cont1.responses.len());
+    for (f, c) in fifo.responses.iter().zip(&cont1.responses) {
+        assert_eq!(f.request, c.request);
+        assert!((f.start_ms - c.start_ms).abs() <= 1e-6 * f.start_ms.max(1.0));
+        assert!((f.finish_ms - c.finish_ms).abs() <= 1e-6 * f.finish_ms.max(1.0));
     }
 }
 
