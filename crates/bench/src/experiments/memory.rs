@@ -1,0 +1,343 @@
+//! Memory-subsystem experiment: HBM capacity as the continuous-batching
+//! admission constraint, and chunked prefill as the stall cure.
+//!
+//! Not a paper figure — the paper's appliance serves batch-1, so its 8 GB
+//! of HBM per U280 (§IV-A) only ever holds the weight shard plus *one*
+//! request's K/V cache. The moment the serving layer batches
+//! continuously, every live request claims `kv bytes/token × (input +
+//! output)` next to the weights, and capacity — not padded shape —
+//! bounds the live batch ([`Backend::memory`],
+//! [`dfx_sim::KvPool`](dfx_sim::KvPool)). This experiment measures that
+//! memory layer end to end on the DFX appliance, in three sweeps:
+//!
+//! 1. **HBM capacity × saturating backlog** — the peak live batch
+//!    tracks how many K/V claims fit next to the weight shard, not the
+//!    scheduler's max batch;
+//! 2. **prefill chunk budget × arrival rate** — chunking a joiner's
+//!    prefill into token budgets interleaved with decode
+//!    ([`ContinuousBatching::with_prefill_chunk`]) cuts the p99
+//!    inter-token stall running members feel, at equal goodput (the
+//!    same total work, redistributed);
+//! 3. **admission policy** — prefill-aware deferral
+//!    ([`ContinuousBatching::with_slo`]) vs greedy admission under
+//!    load: the guard refuses joins whose prefill stall would blow the
+//!    running members' deadlines.
+//!
+//! Knobs: model/devices, request count, the capacity grid (in
+//! concurrent chatbot-claims), the chunk-budget grid, the rate grid and
+//! the continuous max batch. With the real 8 GiB capacity and no chunk
+//! budget, every number in the `serving`/`batching`/`continuous`
+//! experiments is unchanged — the in-module identity test pins that.
+//!
+//! [`Backend::memory`]: dfx_serve::Backend::memory
+//! [`ContinuousBatching::with_prefill_chunk`]:
+//!     dfx_serve::ContinuousBatching::with_prefill_chunk
+//! [`ContinuousBatching::with_slo`]: dfx_serve::ContinuousBatching::with_slo
+
+use crate::table::{fmt, ExperimentReport, MdTable};
+use dfx_model::{GptConfig, Workload};
+use dfx_serve::{
+    chatbot_mix, ArrivalProcess, Backend, ContinuousBatching, Scheduler, ServingEngine,
+};
+use dfx_sim::Appliance;
+
+/// The uniform per-request shape of the capacity sweep: the paper's
+/// chatbot point, clamped for short-context smoke configurations.
+fn claim_point(cfg: &GptConfig) -> Workload {
+    let w = Workload::chatbot();
+    if w.input_len + w.output_len > cfg.max_seq_len {
+        Workload::new(cfg.max_seq_len / 2, cfg.max_seq_len / 4)
+    } else {
+        w
+    }
+}
+
+/// Runs the three sweeps on one model/cluster setup. `capacity_claims`
+/// lists HBM capacities as "weight shard + k concurrent chatbot-point
+/// K/V claims"; `chunk_budgets` the prefill chunk sizes (tokens) swept
+/// against unchunked admission; `max_batch` bounds the continuous live
+/// batch everywhere.
+pub fn run_setup(
+    cfg: GptConfig,
+    devices: usize,
+    n_requests: usize,
+    capacity_claims: &[usize],
+    chunk_budgets: &[usize],
+    rates_per_s: &[f64],
+    max_batch: usize,
+) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "memory",
+        "HBM/KV memory subsystem: capacity-bounded admission and chunked prefill",
+    );
+    let dfx = Appliance::timing_only(cfg.clone(), devices).expect("partitionable");
+    let memory = dfx.memory_model();
+    let point = claim_point(&cfg);
+    let claim_tokens = (point.input_len + point.output_len) as u64;
+    report.note(format!(
+        "{} per device: {:.0} MiB weight shard resident in {:.1} GiB of HBM, {:.1} KiB of K/V \
+         per context token ({} tokens of K/V budget). Every live request claims its full \
+         input+output K/V up front (admission fails when it does not fit), so capacity bounds \
+         the live batch; chunked prefill then bounds the decode stall an admission injects.",
+        Backend::name(&dfx),
+        memory.weight_bytes as f64 / (1 << 20) as f64,
+        memory.capacity_bytes as f64 / (1 << 30) as f64,
+        memory.kv_bytes_per_token as f64 / 1024.0,
+        memory.max_resident_tokens(),
+    ));
+
+    // --- 1. Capacity sweep: HBM size caps the live batch -------------
+    let mut cap_table = MdTable::new(
+        format!(
+            "Capacity sweep: {n_requests} saturating {point} requests, continuous max batch \
+             {max_batch}; the peak live batch tracks how many {claim_tokens}-token K/V claims \
+             fit next to the weight shard"
+        ),
+        &[
+            "HBM GiB",
+            "KV budget (tokens)",
+            "claims that fit",
+            "peak live batch",
+            "p99 ms",
+            "goodput tok/s",
+        ],
+    );
+    let stream = vec![point; n_requests];
+    let backlog = ArrivalProcess::Trace(vec![0.0; n_requests]);
+    for &claims in capacity_claims {
+        let capacity =
+            memory.weight_bytes + claims as u64 * claim_tokens * memory.kv_bytes_per_token;
+        let capped = Appliance::timing_only(cfg.clone(), devices)
+            .expect("partitionable")
+            .with_hbm_capacity(capacity)
+            .expect("capacity holds the shard");
+        let r = ServingEngine::new(&capped)
+            .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
+            .run(&stream, &backlog)
+            .expect("valid stream");
+        cap_table.push_row(vec![
+            fmt(capacity as f64 / (1 << 30) as f64, 3),
+            capped.memory_model().max_resident_tokens().to_string(),
+            claims.to_string(),
+            r.peak_live_batch.to_string(),
+            fmt(r.p99_sojourn_ms, 0),
+            fmt(r.goodput_tps, 1),
+        ]);
+    }
+    let r = ServingEngine::new(&dfx)
+        .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
+        .run(&stream, &backlog)
+        .expect("valid stream");
+    cap_table.push_row(vec![
+        fmt(memory.capacity_bytes as f64 / (1 << 30) as f64, 3),
+        memory.max_resident_tokens().to_string(),
+        "unbounded".into(),
+        r.peak_live_batch.to_string(),
+        fmt(r.p99_sojourn_ms, 0),
+        fmt(r.goodput_tps, 1),
+    ]);
+    report.table(cap_table);
+
+    // --- 2. Chunked prefill: stall vs goodput -------------------------
+    let mut chunk_table = MdTable::new(
+        format!(
+            "Chunked prefill: {n_requests} chatbot-mix requests at the default 8 GiB, \
+             continuous max batch {max_batch}; the p99 inter-token gap is the decode stall \
+             running members feel when a joiner prefills"
+        ),
+        &[
+            "arrival/s",
+            "prefill chunk",
+            "p99 token gap ms",
+            "p50 ms",
+            "p99 ms",
+            "goodput tok/s",
+        ],
+    );
+    let mix = chatbot_mix(n_requests, cfg.max_seq_len);
+    for &rate_per_s in rates_per_s {
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s,
+            seed: 0x5EED,
+        };
+        let mut sweep = |label: String, scheduler: Box<dyn Scheduler>| {
+            let r = ServingEngine::new(&dfx)
+                .with_scheduler(scheduler)
+                .run(&mix, &arrivals)
+                .expect("valid stream");
+            chunk_table.push_row(vec![
+                fmt(rate_per_s, 2),
+                label,
+                fmt(r.p99_token_gap_ms, 1),
+                fmt(r.p50_sojourn_ms, 0),
+                fmt(r.p99_sojourn_ms, 0),
+                fmt(r.goodput_tps, 1),
+            ]);
+        };
+        sweep("whole".into(), Box::new(ContinuousBatching::new(max_batch)));
+        for &chunk in chunk_budgets {
+            sweep(
+                chunk.to_string(),
+                Box::new(ContinuousBatching::new(max_batch).with_prefill_chunk(chunk)),
+            );
+        }
+    }
+    report.table(chunk_table);
+
+    // --- 3. Admission policy: greedy vs prefill-aware -----------------
+    let rate_per_s = rates_per_s.last().copied().unwrap_or(1.0);
+    let slo_ms = 4.0 * dfx.serve(point).expect("valid point").total_ms();
+    let mut policy_table = MdTable::new(
+        format!(
+            "Admission policy at {rate_per_s} req/s: greedy admission vs prefill-aware \
+             deferral (SLO {slo_ms:.0} ms from arrival) vs deferral + chunking"
+        ),
+        &[
+            "policy",
+            "p99 token gap ms",
+            "p50 ms",
+            "p99 ms",
+            "goodput tok/s",
+        ],
+    );
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s,
+        seed: 0x5EED,
+    };
+    let chunk = chunk_budgets.first().copied();
+    let mut policies: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("greedy", Box::new(ContinuousBatching::new(max_batch))),
+        (
+            "slo-deferral",
+            Box::new(ContinuousBatching::new(max_batch).with_slo(slo_ms)),
+        ),
+    ];
+    if let Some(chunk) = chunk {
+        policies.push((
+            "slo + chunk",
+            Box::new(
+                ContinuousBatching::new(max_batch)
+                    .with_slo(slo_ms)
+                    .with_prefill_chunk(chunk),
+            ),
+        ));
+    }
+    for (label, scheduler) in policies {
+        let r = ServingEngine::new(&dfx)
+            .with_scheduler(scheduler)
+            .run(&mix, &arrivals)
+            .expect("valid stream");
+        policy_table.push_row(vec![
+            label.into(),
+            fmt(r.p99_token_gap_ms, 1),
+            fmt(r.p50_sojourn_ms, 0),
+            fmt(r.p99_sojourn_ms, 0),
+            fmt(r.goodput_tps, 1),
+        ]);
+    }
+    report.table(policy_table);
+    report
+}
+
+/// The headline sweep: GPT-2 1.5B on 4 FPGAs — capacities holding 1 to
+/// 16 concurrent chatbot claims next to the ~0.7 GiB weight shard,
+/// prefill chunks of 16 and 64 tokens, the serving experiments' rate
+/// grid, continuous max batch 16.
+pub fn run() -> ExperimentReport {
+    run_setup(
+        GptConfig::gpt2_1_5b(),
+        4,
+        96,
+        &[1, 2, 4, 8, 16],
+        &[16, 64],
+        &[0.5, 1.0, 2.0],
+        16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> GptConfig {
+        GptConfig::new("memory-smoke", 64, 2, 2, 512, 640)
+    }
+
+    #[test]
+    fn the_peak_live_batch_tracks_the_hbm_capacity() {
+        // The acceptance shape of sweep 1: under a saturating backlog
+        // the peak live batch equals the number of claims that fit,
+        // up to the scheduler's max batch.
+        let report = run_setup(smoke_cfg(), 1, 12, &[1, 2, 4], &[8], &[50.0], 4);
+        let rows = &report.tables[0].rows;
+        assert_eq!(rows.len(), 4); // 3 capacities + unbounded
+        for (row, want) in rows.iter().zip(["1", "2", "4", "4"]) {
+            assert_eq!(row[3], want, "claims {} -> peak {}", row[2], row[3]);
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_cuts_the_stall_at_equal_goodput() {
+        // The acceptance criterion of sweep 2, asserted on the raw
+        // reports: a chunk budget strictly improves the p99 inter-token
+        // gap while goodput stays within 5%.
+        let cfg = smoke_cfg();
+        let dfx = Appliance::timing_only(cfg.clone(), 1).unwrap();
+        let mix = chatbot_mix(24, cfg.max_seq_len);
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 200.0,
+            seed: 0x5EED,
+        };
+        let run = |scheduler: Box<dyn Scheduler>| {
+            ServingEngine::new(&dfx)
+                .with_scheduler(scheduler)
+                .run(&mix, &arrivals)
+                .unwrap()
+        };
+        let whole = run(Box::new(ContinuousBatching::new(4)));
+        let chunked = run(Box::new(ContinuousBatching::new(4).with_prefill_chunk(8)));
+        assert!(
+            chunked.p99_token_gap_ms < whole.p99_token_gap_ms,
+            "chunked p99 gap {} !< whole {}",
+            chunked.p99_token_gap_ms,
+            whole.p99_token_gap_ms
+        );
+        assert!(
+            (chunked.goodput_tps - whole.goodput_tps).abs() < 0.05 * whole.goodput_tps,
+            "goodput moved: chunked {} vs whole {}",
+            chunked.goodput_tps,
+            whole.goodput_tps
+        );
+    }
+
+    #[test]
+    fn default_capacity_and_no_chunking_reproduce_the_pr4_rows() {
+        // The backwards-compatibility acceptance: at the real 8 GiB
+        // (where chatbot-scale claims never bind) with whole prefills,
+        // the memory-aware engine is bit-identical to the plain
+        // continuous discipline — so the `serving`/`batching`/
+        // `continuous` experiment rows are unchanged by this subsystem.
+        let cfg = smoke_cfg();
+        let dfx = Appliance::timing_only(cfg.clone(), 1).unwrap();
+        let huge = Appliance::timing_only(cfg.clone(), 1)
+            .unwrap()
+            .with_hbm_capacity(1 << 40)
+            .unwrap();
+        let mix = chatbot_mix(24, cfg.max_seq_len);
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 50.0,
+            seed: 0x5EED,
+        };
+        let a = ServingEngine::new(&dfx)
+            .with_scheduler(Box::new(ContinuousBatching::new(4)))
+            .run(&mix, &arrivals)
+            .unwrap();
+        let b = ServingEngine::new(&huge)
+            .with_scheduler(Box::new(ContinuousBatching::new(4)))
+            .run(&mix, &arrivals)
+            .unwrap();
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.p99_sojourn_ms, b.p99_sojourn_ms);
+        assert_eq!(a.goodput_tps, b.goodput_tps);
+    }
+}

@@ -16,6 +16,7 @@ mod continuous;
 mod design;
 mod evaluation;
 mod fig14;
+mod memory;
 mod motivation;
 mod serving;
 mod tables;
@@ -26,6 +27,7 @@ pub use continuous::{run as continuous, run_setup as continuous_setup};
 pub use design::{fig13, fig8};
 pub use evaluation::{fig15, fig16, fig17, fig18, table2};
 pub use fig14::{grid_latencies_ms, run as fig14, run_model, ModelGrid};
+pub use memory::{run as memory, run_setup as memory_setup};
 pub use motivation::{fig3, fig4};
 pub use serving::{run as serving, run_setup as serving_setup};
 pub use tables::{accuracy, accuracy_with_tasks, table1};
@@ -127,6 +129,11 @@ pub const CATALOG: &[CatalogEntry] = &[
         id: "continuous",
         what: "Continuous batching: token-boundary scheduling vs static batching vs batch-1",
         run: |_| continuous(),
+    },
+    CatalogEntry {
+        id: "memory",
+        what: "HBM/KV memory subsystem: capacity-bounded admission and chunked prefill",
+        run: |_| memory(),
     },
 ];
 

@@ -14,7 +14,7 @@
 use crate::paper;
 use crate::table::{fmt, ExperimentReport, MdTable};
 use dfx_model::GptConfig;
-use dfx_sim::{paper_tasks, quick_tasks, run_accuracy, AccuracyTask};
+use dfx_sim::{paper_tasks, quick_tasks, run_accuracy, AccuracyTask, Appliance};
 
 /// Table I: GPT-2 model configuration.
 pub fn table1() -> ExperimentReport {
@@ -49,6 +49,40 @@ pub fn table1() -> ExperimentReport {
          24-head adjustment.",
     );
     report.table(t);
+
+    // HBM provisioning at each model's published cluster size (§IV-A:
+    // 8 GB of HBM2 per U280), cross-checking the memory model the
+    // `memory` experiment builds on: the resident FP16 weight shard,
+    // the K/V bytes one context token costs per device, and how many
+    // context tokens of K/V the remaining budget holds.
+    let mut m = MdTable::new(
+        "HBM capacity per device (the memory model behind the `memory` experiment)",
+        &[
+            "model",
+            "FPGAs",
+            "HBM GiB/device",
+            "weight shard MiB",
+            "KV bytes/token",
+            "KV budget (tokens)",
+        ],
+    );
+    for (cfg, devices) in [
+        (GptConfig::gpt2_345m(), 1),
+        (GptConfig::gpt2_774m(), 2),
+        (GptConfig::gpt2_1_5b(), 4),
+    ] {
+        let appliance = Appliance::timing_only(cfg.clone(), devices).expect("partitionable");
+        let memory = appliance.memory_model();
+        m.push_row(vec![
+            cfg.name.clone(),
+            devices.to_string(),
+            fmt(memory.capacity_bytes as f64 / (1 << 30) as f64, 0),
+            fmt(memory.weight_bytes as f64 / (1 << 20) as f64, 0),
+            memory.kv_bytes_per_token.to_string(),
+            memory.max_resident_tokens().to_string(),
+        ]);
+    }
+    report.table(m);
     report
 }
 
@@ -112,5 +146,19 @@ mod tests {
         assert_eq!(r.tables[0].rows.len(), 3);
         assert_eq!(r.tables[0].rows[2][2], "1536");
         assert_eq!(r.tables[0].rows[2][5], "48");
+    }
+
+    #[test]
+    fn table1_hbm_line_matches_the_paper_hardware() {
+        // §IV-A: 8 GB of HBM2 per U280; the 1.5B shard on 4 devices
+        // costs 72 KiB of K/V per context token
+        // (48 layers x 6 local heads x 64 dims x 2 x 2 B).
+        let r = table1();
+        let hbm = &r.tables[1];
+        assert_eq!(hbm.rows.len(), 3);
+        for row in &hbm.rows {
+            assert_eq!(row[2], "8");
+        }
+        assert_eq!(hbm.rows[2][4], (48u64 * 6 * 64 * 2 * 2).to_string());
     }
 }

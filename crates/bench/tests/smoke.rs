@@ -116,6 +116,25 @@ fn continuous_experiment_produces_report_on_a_tiny_config() {
 }
 
 #[test]
+fn memory_experiment_produces_report_on_a_tiny_config() {
+    // The headline sweep (`reproduce memory`) runs the 1.5B appliance;
+    // this smoke config exercises the capacity/chunk/policy machinery
+    // at test speed. The in-module tests cover the capacity-bounded
+    // peak-batch shape, the chunked-prefill stall win and the PR-4
+    // row-identity guarantee.
+    let cfg = GptConfig::new("memory-smoke", 64, 2, 2, 512, 640);
+    let report = experiments::memory_setup(cfg, 1, 12, &[1, 2], &[8], &[5.0, 50.0], 4);
+    assert_well_formed(&report, "memory");
+    assert_eq!(report.tables.len(), 3);
+    // 2 capacities + the unbounded row.
+    assert_eq!(report.tables[0].rows.len(), 3);
+    // 2 rates x (whole + 1 chunk budget).
+    assert_eq!(report.tables[1].rows.len(), 4);
+    // greedy, slo-deferral, slo + chunk.
+    assert_eq!(report.tables[2].rows.len(), 3);
+}
+
+#[test]
 fn every_catalog_id_is_runnable_and_vice_versa() {
     // The catalog is the single source of truth for `reproduce` — ids,
     // descriptions and dispatch live in one table, so an id cannot
@@ -138,10 +157,11 @@ fn every_catalog_id_is_runnable_and_vice_versa() {
         "serving",
         "batching",
         "continuous",
+        "memory",
     ] {
         assert!(ids.contains(&required), "catalog is missing `{required}`");
     }
-    assert_eq!(ids.len(), 16, "unexpected catalog entries: {ids:?}");
+    assert_eq!(ids.len(), 17, "unexpected catalog entries: {ids:?}");
 }
 
 #[test]

@@ -34,7 +34,7 @@ mod tile;
 
 pub use clock::{Cycles, CORE_CLOCK_HZ};
 pub use dma::DmaModel;
-pub use memory::{DdrModel, HbmModel};
+pub use memory::{DdrModel, HbmModel, MemoryModel};
 pub use net::{allgather_reorder, argmax_reduce, RingModel};
 pub use power::PowerModel;
 pub use resource::{ComponentUsage, ResourceModel, Resources, U280_CAPACITY};

@@ -73,6 +73,112 @@ impl HbmModel {
     }
 }
 
+/// Capacity model of one device's HBM: what is *resident*, not how fast
+/// it streams.
+///
+/// Paper §IV-B places two things in each U280's 8 GB of HBM: the core's
+/// weight-matrix shard (streamed every token, so it must live in the
+/// fast memory) and the growing K/V attention cache of every live
+/// request. The timing models above answer "how long does a stream
+/// take"; this model answers "does it fit" — the binding constraint for
+/// multi-request serving, where each admitted request claims
+/// `kv_bytes_per_token × (context + output)` bytes until it retires.
+///
+/// The model is deliberately raw (three byte counts): the appliance
+/// derives `weight_bytes` and `kv_bytes_per_token` from the model
+/// geometry and cluster partition, a GPU backend from its own sharding.
+/// All capacities are per *device* — a model-parallel cluster replicates
+/// the constraint on every card, so one device's budget bounds the whole
+/// appliance's live batch.
+///
+/// # Examples
+///
+/// ```
+/// use dfx_hw::MemoryModel;
+///
+/// // 1 GiB device holding a 768 MiB weight shard, 64 KiB of KV per token.
+/// let m = MemoryModel::new(1 << 30, 768 << 20, 64 << 10);
+/// assert_eq!(m.kv_budget_bytes(), 256 << 20);
+/// assert_eq!(m.max_resident_tokens(), 4096);
+/// assert!(m.fits_tokens(4096) && !m.fits_tokens(4097));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Device memory capacity in bytes (8 GiB of HBM2 on the U280).
+    pub capacity_bytes: u64,
+    /// Bytes of the resident weight shard (never evicted: every token
+    /// step streams it).
+    pub weight_bytes: u64,
+    /// K/V cache bytes one context token occupies on this device, across
+    /// all layers and locally-resident heads (keys + values, FP16).
+    pub kv_bytes_per_token: u64,
+}
+
+impl MemoryModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_bytes_per_token` is zero (a transformer always
+    /// caches K/V) or the weight shard alone exceeds the capacity (such
+    /// a device cannot run the model at all — partition wider instead).
+    pub fn new(capacity_bytes: u64, weight_bytes: u64, kv_bytes_per_token: u64) -> Self {
+        assert!(
+            kv_bytes_per_token > 0,
+            "kv_bytes_per_token must be positive"
+        );
+        assert!(
+            weight_bytes <= capacity_bytes,
+            "weight shard ({weight_bytes} B) exceeds device capacity ({capacity_bytes} B)"
+        );
+        MemoryModel {
+            capacity_bytes,
+            weight_bytes,
+            kv_bytes_per_token,
+        }
+    }
+
+    /// Bytes left for K/V caches once the weight shard is resident.
+    pub fn kv_budget_bytes(&self) -> u64 {
+        self.capacity_bytes - self.weight_bytes
+    }
+
+    /// Bytes a request holding `tokens` total context positions claims.
+    pub fn kv_claim_bytes(&self, tokens: usize) -> u64 {
+        tokens as u64 * self.kv_bytes_per_token
+    }
+
+    /// Whether K/V state for `tokens` total resident context positions
+    /// (summed over every live request) fits next to the weights.
+    pub fn fits_tokens(&self, tokens: usize) -> bool {
+        self.kv_claim_bytes(tokens) <= self.kv_budget_bytes()
+    }
+
+    /// The largest total number of context positions whose K/V state
+    /// fits — the device's hard ceiling on `Σ (input + output)` over
+    /// every concurrently-resident request.
+    pub fn max_resident_tokens(&self) -> u64 {
+        self.kv_budget_bytes() / self.kv_bytes_per_token
+    }
+
+    /// The same model with a different device capacity (what-if knob for
+    /// capacity sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shard no longer fits.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity_bytes: u64) -> Self {
+        assert!(
+            self.weight_bytes <= capacity_bytes,
+            "weight shard ({} B) exceeds device capacity ({capacity_bytes} B)",
+            self.weight_bytes
+        );
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+}
+
 /// DDR4 channel timing model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DdrModel {
@@ -157,6 +263,26 @@ mod tests {
             hbm.request_setup.0 * 7,
             "7 extra setups"
         );
+    }
+
+    #[test]
+    fn memory_model_budget_and_claims_are_consistent() {
+        let m = MemoryModel::new(8 * (1 << 30), 3 * (1 << 30), 72 << 10);
+        assert_eq!(m.kv_budget_bytes(), 5 * (1 << 30));
+        assert_eq!(m.kv_claim_bytes(2), 144 << 10);
+        let max = m.max_resident_tokens();
+        assert!(m.fits_tokens(max as usize));
+        assert!(!m.fits_tokens(max as usize + 1));
+        // Shrinking capacity shrinks the KV budget one for one.
+        let small = m.with_capacity(4 * (1 << 30));
+        assert_eq!(small.kv_budget_bytes(), 1 << 30);
+        assert!(small.max_resident_tokens() < m.max_resident_tokens());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device capacity")]
+    fn memory_model_rejects_oversized_weight_shards() {
+        let _ = MemoryModel::new(1 << 20, 2 << 20, 1024);
     }
 
     #[test]

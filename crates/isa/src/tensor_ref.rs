@@ -255,9 +255,14 @@ impl MemoryMap {
 
     /// Total HBM bytes the map occupies (weights + fully grown KV).
     pub fn hbm_footprint(&self) -> u64 {
-        self.layer_weight_stride() * self.layers
-            + self.weight_bytes[6]
-            + self.kv_region_bytes * self.heads * 2 * self.layers
+        self.weight_footprint() + self.kv_region_bytes * self.heads * 2 * self.layers
+    }
+
+    /// HBM bytes of the resident weight shard alone (all layers plus the
+    /// LM head) — the always-resident part of the footprint, next to
+    /// which the per-request K/V caches must fit.
+    pub fn weight_footprint(&self) -> u64 {
+        self.layer_weight_stride() * self.layers + self.weight_bytes[6]
     }
 }
 
@@ -329,6 +334,7 @@ mod tests {
         assert_eq!(v_l0_h0, base + 128);
         assert_eq!(k_l1_h0, base + 256);
         assert_eq!(map.hbm_footprint(), 2400 + 1000 + 512);
+        assert_eq!(map.weight_footprint(), 2400 + 1000);
     }
 
     #[test]

@@ -9,9 +9,18 @@
 
 use crate::stepper::{ApplianceStepper, ContinuousStepper, GpuStepper};
 use dfx_baseline::{gpu_calib, GpuModel, TpuModel};
+use dfx_hw::MemoryModel;
 use dfx_model::Workload;
 use dfx_sim::{Appliance, SimError};
 use serde::{Deserialize, Serialize};
+
+/// Joint K/V feasibility of a *static coalesced* batch: every member's
+/// cache grows at the padded shape, and all are resident at once.
+fn padded_kv_fits(memory: &MemoryModel, batch: &[Workload]) -> bool {
+    let padded = batch.iter().map(|w| w.input_len).max().unwrap_or(0)
+        + batch.iter().map(|w| w.output_len).max().unwrap_or(0);
+    memory.fits_tokens(batch.len() * padded)
+}
 
 /// Platform-independent result of serving one coalesced batch of
 /// requests.
@@ -171,26 +180,57 @@ pub trait Backend {
         })
     }
 
+    /// The device-memory capacity model behind this backend, per
+    /// device: the always-resident weight shard and the K/V bytes one
+    /// context token occupies. `None` when the platform's memory is not
+    /// modelled (the cloud TPU) — callers must then treat capacity as
+    /// unbounded, which reproduces the pre-memory-subsystem behaviour.
+    ///
+    /// Schedulers use it as the *joint* admission constraint: every
+    /// live request claims `input + output` tokens of K/V until it
+    /// retires, and the sum must fit [`MemoryModel::kv_budget_bytes`]
+    /// on each device. The engine threads it into both scheduling
+    /// paths — [`batch_feasible`](Backend::batch_feasible) on the
+    /// static path, [`AdmissionProbe::kv_fits`](crate::AdmissionProbe)
+    /// at token boundaries.
+    fn memory(&self) -> Option<MemoryModel> {
+        None
+    }
+
     /// Whether this backend can execute `batch` as one coalesced
-    /// *static* unit.
+    /// *static* unit: the joint K/V claim must fit the device's
+    /// [`memory`](Backend::memory) budget, and the padded shape any
+    /// backend-specific cap.
     ///
     /// A coalesced batch runs at the padded shape (the batch's longest
-    /// context and longest output), so a backend with a hard sequence
-    /// cap can reject a batch whose members are each individually valid.
+    /// context and longest output): a backend with a hard sequence cap
+    /// can reject a batch whose members are each individually valid,
+    /// and every member's K/V cache grows at the padded shape, all
+    /// resident at once — so the *joint K/V claim*
+    /// (`batch × padded tokens × kv bytes/token`), not the per-member
+    /// shape, is the binding constraint on memory-modelled backends.
     /// Batching schedulers ([`Batching`](crate::Batching),
     /// [`ContinuousBatching`](crate::ContinuousBatching) on its static
     /// fallback) consult this hook while coalescing, so infeasible sets
-    /// are never dispatched. The default accepts everything — correct
-    /// for the sequential [`serve_batch`](Backend::serve_batch)
-    /// fallback, which never pads; the [`Appliance`] overrides it with
-    /// its `max_seq_len` check.
+    /// are never dispatched.
     ///
-    /// Token-granular admission through a [`ContinuousStepper`] is *per
-    /// member* feasible and never consults this hook: between decode
-    /// steps there is no joint padded shape.
+    /// The default implementation checks the joint K/V claim against
+    /// [`memory`](Backend::memory) and falls back to accepting
+    /// everything when `memory()` is `None` (the old shape-only
+    /// contract: correct for the sequential
+    /// [`serve_batch`](Backend::serve_batch) fallback, which never
+    /// pads and holds one request's state at a time). The [`Appliance`]
+    /// overrides it to *also* check the padded shape against its
+    /// `max_seq_len`.
+    ///
+    /// Token-granular admission through a [`ContinuousStepper`] is per
+    /// member feasible in shape and never consults this hook — between
+    /// decode steps there is no joint padded shape — but it still
+    /// honours the joint K/V budget through the engine's
+    /// [`AdmissionProbe`](crate::AdmissionProbe).
     fn batch_feasible(&self, batch: &[Workload]) -> bool {
-        let _ = batch;
-        true
+        self.memory()
+            .is_none_or(|memory| padded_kv_fits(&memory, batch))
     }
 
     /// The token-granular execution capability: a stepper that admits
@@ -269,13 +309,20 @@ impl Backend for Appliance {
         })
     }
 
+    fn memory(&self) -> Option<MemoryModel> {
+        Some(self.memory_model())
+    }
+
     fn batch_feasible(&self, batch: &[Workload]) -> bool {
         // The padded shape is what a static batch executes at; it must
-        // fit the model's context window (the same check
-        // generate_batch_timed enforces).
+        // fit the model's context window, and the joint K/V claim (every
+        // member caching at the padded shape) must fit the per-device
+        // HBM budget — the same checks generate_batch_timed enforces.
         let input = batch.iter().map(|w| w.input_len).max().unwrap_or(0);
         let output = batch.iter().map(|w| w.output_len).max().unwrap_or(0);
-        !batch.is_empty() && input + output <= self.config().max_seq_len
+        !batch.is_empty()
+            && input + output <= self.config().max_seq_len
+            && padded_kv_fits(&self.memory_model(), batch)
     }
 
     fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
@@ -325,6 +372,30 @@ impl Backend for GpuModel {
             devices: self.gpus(),
             power_w: Some(report.power_w),
         })
+    }
+
+    fn memory(&self) -> Option<MemoryModel> {
+        // 32 GiB HBM2 per V100 (the SXM3 cards the paper's DGX-class
+        // server carries). Each GPU holds an FP16 shard of the whole
+        // model under Megatron-LM tensor parallelism, and a token's
+        // K/V state (2 x emb x 2 B per layer) splits the same way. A
+        // shard past the card's capacity means this cluster could not
+        // host the model at all — the analytic latency model answers
+        // anyway, so report the memory as unmodelled rather than panic
+        // mid-scheduling.
+        let cfg = self.config();
+        let capacity_bytes = 32 * (1 << 30);
+        let weight_bytes = 2 * cfg.num_parameters() / self.gpus() as u64;
+        let kv_bytes_per_token =
+            (cfg.num_layers as u64) * 2 * (cfg.embedding_dim as u64) * 2 / self.gpus() as u64;
+        if weight_bytes + kv_bytes_per_token > capacity_bytes {
+            return None;
+        }
+        Some(MemoryModel::new(
+            capacity_bytes,
+            weight_bytes,
+            kv_bytes_per_token,
+        ))
     }
 
     fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
@@ -491,6 +562,46 @@ mod tests {
         assert!(tpu.batch_feasible(&[long_ctx, long_out]));
         // The hook and the batched path agree.
         assert!(dfx.serve_batch(&[long_ctx, long_out]).is_err());
+    }
+
+    #[test]
+    fn memory_models_are_exposed_per_platform() {
+        let (dfx, gpu, tpu) = backends();
+        let d = dfx.memory().expect("appliance models HBM");
+        assert_eq!(d, dfx.memory_model());
+        let g = gpu.memory().expect("GPU models HBM2");
+        assert_eq!(g.capacity_bytes, 32 * (1 << 30));
+        assert!(g.weight_bytes > 0 && g.kv_bytes_per_token > 0);
+        // The TPU's memory is unmodelled: capacity reads as unbounded.
+        assert!(tpu.memory().is_none());
+        assert!(tpu.batch_feasible(&[Workload::new(100, 100); 64]));
+        // A model whose FP16 shard exceeds the V100's 32 GiB reports
+        // unmodelled memory instead of panicking mid-scheduling.
+        let huge = GpuModel::new(GptConfig::new("gpt-huge", 8192, 64, 256, 50257, 2048), 1);
+        assert!(huge.memory().is_none());
+        assert!(huge.batch_feasible(&[Workload::new(100, 100); 4]));
+    }
+
+    #[test]
+    fn feasibility_tracks_the_joint_kv_budget() {
+        // Budget for 30 padded K/V tokens: a 12-token member is feasible
+        // alone and as its own batch, but a pair (2 x 12 = 24... at the
+        // padded shape both claim 12) is fine while a trio is not —
+        // the joint claim, not the padded shape, rejects it.
+        let cfg = GptConfig::tiny();
+        let probe = Appliance::timing_only(cfg.clone(), 2).unwrap();
+        let m = probe.memory_model();
+        let dfx = Appliance::timing_only(cfg, 2)
+            .unwrap()
+            .with_hbm_capacity(m.weight_bytes + 30 * m.kv_bytes_per_token)
+            .unwrap();
+        let w = Workload::new(8, 4);
+        assert!(dfx.batch_feasible(&[w]));
+        assert!(dfx.batch_feasible(&[w, w]));
+        assert!(!dfx.batch_feasible(&[w, w, w]));
+        // The hook and the batched path agree.
+        assert!(dfx.serve_batch(&[w, w]).is_ok());
+        assert!(dfx.serve_batch(&[w, w, w]).is_err());
     }
 
     #[test]

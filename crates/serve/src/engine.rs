@@ -20,9 +20,10 @@
 
 use crate::arrivals::{ArrivalProcess, SubmissionPlan};
 use crate::backend::Backend;
-use crate::scheduler::{BatchDecision, Fifo, RunningMember, Scheduler};
+use crate::scheduler::{AdmissionProbe, BatchDecision, Fifo, RunningMember, Scheduler};
 use crate::stats;
 use crate::stepper::ContinuousStepper;
+use dfx_hw::MemoryModel;
 use dfx_model::Workload;
 use dfx_sim::SimError;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,18 @@ pub struct ServiceReport {
     /// one per response); on the token-boundary path every admission
     /// prefill and every decode step counts as one invocation.
     pub dispatches: usize,
+    /// Largest number of requests concurrently resident on one server:
+    /// the biggest dispatched batch on the static path, the peak live
+    /// member count (decoding plus mid-prefill) on the token-boundary
+    /// path. Under saturation this is what a K/V capacity limit
+    /// ([`Backend::memory`]) visibly caps.
+    pub peak_live_batch: usize,
+    /// 99th-percentile gap between a member's consecutive token
+    /// emissions on the token-boundary path, ms — the decode stall a
+    /// running member feels when admissions (whole prefills, or chunks
+    /// under a chunked-prefill discipline) interleave with its steps.
+    /// Zero on the static path and when no member ever emitted twice.
+    pub p99_token_gap_ms: f64,
 }
 
 impl ServiceReport {
@@ -323,6 +336,7 @@ impl<'a> ServingEngine<'a> {
         let mut queue: Vec<Request> = Vec::new();
         let mut responses: Vec<Response> = Vec::with_capacity(n);
         let mut dispatches = 0usize;
+        let mut peak_live_batch = 0usize;
         // Floor on the next decision instant, set by a `Wait` decision.
         let mut wake_ms = 0.0f64;
         // Consecutive decisions that neither dispatched nor saw a new
@@ -424,6 +438,7 @@ impl<'a> ServingEngine<'a> {
             free_at[server] = finish_ms;
             busy[server] += service_ms;
             dispatches += 1;
+            peak_live_batch = peak_live_batch.max(batch.len());
 
             for request in batch {
                 responses.push(Response {
@@ -436,7 +451,14 @@ impl<'a> ServingEngine<'a> {
             }
         }
 
-        self.report(workloads, responses, &busy, dispatches)
+        self.report(
+            workloads,
+            responses,
+            &busy,
+            dispatches,
+            peak_live_batch,
+            &[],
+        )
     }
 
     /// The token-boundary event loop: every server owns a
@@ -456,13 +478,18 @@ impl<'a> ServingEngine<'a> {
         let mut responses: Vec<Response> = Vec::with_capacity(n);
         let mut busy = vec![0.0f64; self.servers.len()];
         let mut dispatches = 0usize;
+        let mut peak_live_batch = 0usize;
+        // Gaps between a member's consecutive token emissions (the
+        // decode stall admissions inject), pooled across members.
+        let mut token_gaps: Vec<f64> = Vec::new();
 
-        /// A live member: its request, when its prefill began, and how
-        /// many output tokens it has produced.
+        /// A live member: its request, when its prefill began, how many
+        /// output tokens it has produced, and when it last emitted one.
         struct Active {
             request: Request,
             start_ms: f64,
             tokens_done: usize,
+            last_emit_ms: f64,
         }
         /// One server's continuous run: the stepper, the live members,
         /// and the server's timeline as `epoch + rel`. The epoch is the
@@ -474,6 +501,9 @@ impl<'a> ServingEngine<'a> {
         struct Run<'b> {
             stepper: Box<dyn ContinuousStepper + 'b>,
             members: Vec<Active>,
+            /// The backend's capacity model (None: unbounded), for the
+            /// scheduler's admission probe.
+            memory: Option<MemoryModel>,
             epoch_ms: f64,
             rel_ms: f64,
         }
@@ -486,14 +516,43 @@ impl<'a> ServingEngine<'a> {
             }
         }
 
+        /// The [`AdmissionProbe`] over one server: estimates from its
+        /// stepper, capacity from its backend's memory model.
+        struct Probe<'p, 'b> {
+            stepper: &'p mut (dyn ContinuousStepper + 'b),
+            memory: Option<MemoryModel>,
+        }
+        impl AdmissionProbe for Probe<'_, '_> {
+            fn prefill_ms(&mut self, workload: Workload) -> f64 {
+                self.stepper.prefill_cost_ms(workload)
+            }
+            fn step_ms(&mut self, live: usize) -> f64 {
+                self.stepper.step_cost_ms(live)
+            }
+            fn kv_fits(&self, members: &[Workload]) -> bool {
+                self.memory.is_none_or(|m| {
+                    let tokens: usize = members.iter().map(|w| w.input_len + w.output_len).sum();
+                    m.fits_tokens(tokens)
+                })
+            }
+        }
+
         let servers = &self.servers;
+        let prefill_chunk = self.scheduler.prefill_chunk();
         let mut runs: Vec<Run<'_>> = servers
             .iter()
-            .map(|s| Run {
-                stepper: s.continuous().expect("checked by run()"),
-                members: Vec::new(),
-                epoch_ms: 0.0,
-                rel_ms: 0.0,
+            .map(|s| {
+                let mut stepper = s.continuous().expect("checked by run()");
+                if prefill_chunk.is_some() {
+                    stepper.set_prefill_chunk(prefill_chunk);
+                }
+                Run {
+                    stepper,
+                    members: Vec::new(),
+                    memory: s.memory(),
+                    epoch_ms: 0.0,
+                    rel_ms: 0.0,
+                }
             })
             .collect();
 
@@ -562,9 +621,15 @@ impl<'a> ServingEngine<'a> {
                         id: m.request.id,
                         workload: m.request.workload,
                         tokens_done: m.tokens_done,
+                        arrival_ms: m.request.arrival_ms,
                     })
                     .collect();
-                let mut picks = self.scheduler.admit(&running, &queue, run.clock_ms());
+                let clock_ms = run.clock_ms();
+                let mut probe = Probe {
+                    stepper: run.stepper.as_mut(),
+                    memory: run.memory,
+                };
+                let mut picks = self.scheduler.admit(&running, &queue, clock_ms, &mut probe);
                 picks.sort_unstable();
                 let in_range = picks.iter().all(|&i| i < queue.len());
                 if !in_range || picks.windows(2).any(|w| w[0] == w[1]) {
@@ -605,28 +670,48 @@ impl<'a> ServingEngine<'a> {
                                 request.id,
                                 finish_ms,
                             );
+                        } else if ev.prefilling.contains(&request.id) {
+                            // A chunked admission: no token yet, the
+                            // remaining chunks interleave with decode.
+                            run.members.push(Active {
+                                request,
+                                start_ms,
+                                tokens_done: 0,
+                                last_emit_ms: 0.0,
+                            });
                         } else {
                             run.members.push(Active {
                                 request,
                                 start_ms,
                                 tokens_done: 1,
+                                last_emit_ms: run.clock_ms(),
                             });
                         }
                     }
+                    peak_live_batch = peak_live_batch.max(run.stepper.live());
                 }
             }
 
             if run.stepper.live() > 0 {
-                // One decode step over every live member; exits happen
-                // the moment a member has its last token.
+                // One step: a prefill chunk if one is in flight, then a
+                // decode pass; exits happen the moment a member has its
+                // last token.
                 let ev = run.stepper.step_token()?;
                 run.rel_ms += ev.ms;
                 busy[server] += ev.ms;
                 dispatches += 1;
-                for m in &mut run.members {
-                    m.tokens_done += 1;
-                }
                 let finish_ms = run.clock_ms();
+                for m in &mut run.members {
+                    if ev.prefilling.contains(&m.request.id) {
+                        continue; // mid-prefill: no token this step
+                    }
+                    if m.tokens_done > 0 {
+                        // The inter-token gap a decoding member felt.
+                        token_gaps.push(finish_ms - m.last_emit_ms);
+                    }
+                    m.tokens_done += 1;
+                    m.last_emit_ms = finish_ms;
+                }
                 for id in ev.finished {
                     let pos = run
                         .members
@@ -675,7 +760,14 @@ impl<'a> ServingEngine<'a> {
             }
         }
 
-        self.report(workloads, responses, &busy, dispatches)
+        self.report(
+            workloads,
+            responses,
+            &busy,
+            dispatches,
+            peak_live_batch,
+            &token_gaps,
+        )
     }
 
     fn report(
@@ -684,6 +776,8 @@ impl<'a> ServingEngine<'a> {
         responses: Vec<Response>,
         busy: &[f64],
         dispatches: usize,
+        peak_live_batch: usize,
+        token_gaps: &[f64],
     ) -> Result<ServiceReport, SimError> {
         let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
 
@@ -710,6 +804,14 @@ impl<'a> ServingEngine<'a> {
             prev_t = t;
         }
 
+        let p99_token_gap_ms = if token_gaps.is_empty() {
+            0.0
+        } else {
+            let mut gaps = token_gaps.to_vec();
+            gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+            stats::percentile(&gaps, 0.99)?
+        };
+
         let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
         Ok(ServiceReport {
             backend: self.pool_name(),
@@ -729,6 +831,8 @@ impl<'a> ServingEngine<'a> {
                 / (self.servers.len() as f64 * makespan_ms.max(f64::MIN_POSITIVE)),
             goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
             dispatches,
+            peak_live_batch,
+            p99_token_gap_ms,
             responses,
         })
     }
@@ -778,6 +882,7 @@ mod tests {
                 ms: workload.input_len as f64,
                 live: self.members.len(),
                 finished: vec![],
+                prefilling: vec![],
             })
         }
 
@@ -799,6 +904,7 @@ mod tests {
                 ms: 1.0,
                 live: self.members.len(),
                 finished,
+                prefilling: vec![],
             })
         }
 
@@ -1181,6 +1287,7 @@ mod tests {
                 _running: &[RunningMember],
                 _queue: &[Request],
                 _now: f64,
+                _probe: &mut dyn crate::scheduler::AdmissionProbe,
             ) -> Vec<usize> {
                 vec![0, 0]
             }
@@ -1220,6 +1327,7 @@ mod tests {
                 running: &[RunningMember],
                 queue: &[Request],
                 _now: f64,
+                _probe: &mut dyn crate::scheduler::AdmissionProbe,
             ) -> Vec<usize> {
                 if running.is_empty() && self.seeded {
                     return Vec::new();
@@ -1379,6 +1487,113 @@ mod tests {
             .run(&workloads, &arrivals)
             .unwrap_err();
         assert!(matches!(err, SimError::Service(_)), "{err:?}");
+    }
+
+    /// A tiny appliance whose HBM holds the weight shard plus
+    /// `tokens` of K/V claim.
+    fn capped_appliance(tokens: u64) -> dfx_sim::Appliance {
+        use dfx_model::GptConfig;
+        let probe = dfx_sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let m = probe.memory_model();
+        dfx_sim::Appliance::timing_only(GptConfig::tiny(), 2)
+            .unwrap()
+            .with_hbm_capacity(m.weight_bytes + tokens * m.kv_bytes_per_token)
+            .unwrap()
+    }
+
+    #[test]
+    fn kv_capacity_caps_the_live_batch() {
+        // Six saturating requests of 16 tokens' claim each: a 32-token
+        // budget holds two at a time, however large the discipline's
+        // max batch; unlimited HBM lets all six decode together.
+        let workloads = vec![Workload::new(8, 8); 6];
+        let arrivals = ArrivalProcess::Trace(vec![0.0; 6]);
+        let capped = capped_appliance(32);
+        let r = ServingEngine::new(&capped)
+            .with_scheduler(Box::new(ContinuousBatching::new(8)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.responses.len(), 6);
+        assert_eq!(r.peak_live_batch, 2, "HBM holds exactly two claims");
+
+        let unlimited = dfx_sim::Appliance::timing_only(dfx_model::GptConfig::tiny(), 2).unwrap();
+        let r = ServingEngine::new(&unlimited)
+            .with_scheduler(Box::new(ContinuousBatching::new(8)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.peak_live_batch, 6);
+    }
+
+    #[test]
+    fn chunked_prefill_cuts_the_decode_stall_at_equal_goodput() {
+        // A long decode with long-context joiners arriving mid-flight:
+        // unchunked, every admission stalls the runner for a whole
+        // prefill; chunked, the worst inter-token gap shrinks while the
+        // same total work keeps goodput essentially unchanged.
+        use dfx_model::GptConfig;
+        let dfx = dfx_sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let mut workloads = vec![Workload::new(8, 48)];
+        workloads.extend(vec![Workload::new(64, 2); 3]);
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 0.5, 1.0, 1.5]);
+        let run = |scheduler: Box<dyn Scheduler>| {
+            ServingEngine::new(&dfx)
+                .with_scheduler(scheduler)
+                .run(&workloads, &arrivals)
+                .unwrap()
+        };
+        let whole = run(Box::new(ContinuousBatching::new(4)));
+        let chunked = run(Box::new(ContinuousBatching::new(4).with_prefill_chunk(4)));
+        assert_eq!(chunked.responses.len(), whole.responses.len());
+        assert!(
+            chunked.p99_token_gap_ms < 0.6 * whole.p99_token_gap_ms,
+            "chunked p99 gap {} !<< unchunked {}",
+            chunked.p99_token_gap_ms,
+            whole.p99_token_gap_ms
+        );
+        assert!(
+            (chunked.goodput_tps - whole.goodput_tps).abs() < 0.05 * whole.goodput_tps,
+            "goodput moved: chunked {} vs whole {}",
+            chunked.goodput_tps,
+            whole.goodput_tps
+        );
+    }
+
+    #[test]
+    fn slo_admission_defers_the_join_until_the_runner_is_safe() {
+        // A 64-token prefill joining mid-decode blows the runner's SLO:
+        // with the guard the join waits for the runner to finish (the
+        // runner keeps its solo latency); greedy admission stalls it.
+        use dfx_model::GptConfig;
+        let dfx = dfx_sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let runner = Workload::new(8, 20);
+        let solo_ms = dfx.serve(runner).unwrap().total_ms();
+        let workloads = vec![runner, Workload::new(64, 2)];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 1.0]);
+        let run = |scheduler: Box<dyn Scheduler>| {
+            ServingEngine::new(&dfx)
+                .with_scheduler(scheduler)
+                .run(&workloads, &arrivals)
+                .unwrap()
+        };
+        let greedy = run(Box::new(ContinuousBatching::new(4)));
+        let guarded = run(Box::new(ContinuousBatching::new(4).with_slo(1.2 * solo_ms)));
+        let finish = |r: &ServiceReport, id: u64| {
+            r.responses
+                .iter()
+                .find(|x| x.request.id == id)
+                .unwrap()
+                .finish_ms
+        };
+        assert!(
+            finish(&guarded, 0) < finish(&greedy, 0),
+            "the guard must protect the runner: {} !< {}",
+            finish(&guarded, 0),
+            finish(&greedy, 0)
+        );
+        // The runner meets its SLO under the guard (and the deferred
+        // join is still served).
+        assert!(finish(&guarded, 0) <= 1.2 * solo_ms + 1e-9);
+        assert_eq!(guarded.responses.len(), 2);
     }
 
     #[test]

@@ -57,11 +57,18 @@ pub use mix::chatbot_mix;
 /// (arrival order), [`Batching`] (size-and-timeout static coalescing;
 /// `max_batch == 1` is exactly FIFO), [`ContinuousBatching`]
 /// (token-boundary admission and early exit on backends with a
-/// [`ContinuousStepper`]; `max_batch == 1` is exactly FIFO) and
-/// [`ShortestJobFirst`] — plain SJF starves long requests under
-/// sustained load; [`ShortestJobFirst::with_aging`] bounds that by
-/// serving the oldest queued request once it has waited the age bound.
+/// [`ContinuousStepper`]; `max_batch == 1` is exactly FIFO; admission
+/// keeps the joint K/V claim within the backend's
+/// [`Backend::memory`] budget, and the
+/// [`with_slo`](ContinuousBatching::with_slo) /
+/// [`with_prefill_chunk`](ContinuousBatching::with_prefill_chunk)
+/// options add prefill-aware deferral and Sarathi-style chunked
+/// prefill) and [`ShortestJobFirst`] — plain SJF starves long requests
+/// under sustained load; [`ShortestJobFirst::with_aging`] bounds that
+/// by serving the oldest queued request once it has waited the age
+/// bound.
 pub use scheduler::{
-    BatchDecision, Batching, ContinuousBatching, Fifo, RunningMember, Scheduler, ShortestJobFirst,
+    AdmissionProbe, BatchDecision, Batching, ContinuousBatching, Fifo, RunningMember, Scheduler,
+    ShortestJobFirst, UnboundedProbe,
 };
 pub use stepper::{ContinuousStepper, StepEvent};

@@ -41,8 +41,56 @@ pub struct RunningMember {
     pub id: u64,
     /// The member's workload.
     pub workload: Workload,
-    /// Output tokens the member has produced so far.
+    /// Output tokens the member has produced so far (still zero while a
+    /// chunked prefill is in flight).
     pub tokens_done: usize,
+    /// When the member's request arrived, ms — the anchor for
+    /// deadline-aware admission policies
+    /// ([`ContinuousBatching::with_slo`]).
+    pub arrival_ms: f64,
+}
+
+/// The cost/capacity oracle the engine hands to [`Scheduler::admit`] at
+/// every token boundary: what an admission would *do* to the running
+/// batch, answered by the executing backend.
+///
+/// Estimates come from the server's
+/// [`ContinuousStepper`](crate::ContinuousStepper) (memoized, charging
+/// nothing); capacity from the backend's
+/// [`memory`](crate::Backend::memory) model. Backends without estimates
+/// return 0 (policies then degrade to greedy admission); backends
+/// without a memory model fit everything.
+pub trait AdmissionProbe {
+    /// Estimated serial prefill stall of admitting `workload` now, ms.
+    fn prefill_ms(&mut self, workload: Workload) -> f64;
+
+    /// Estimated cost of one decode step at a hypothetical live batch
+    /// of `live` members, ms.
+    fn step_ms(&mut self, live: usize) -> f64;
+
+    /// Whether the K/V claims of `members` (running *and* joining — the
+    /// caller passes the would-be resident set) fit the device's free
+    /// HBM budget together.
+    fn kv_fits(&self, members: &[Workload]) -> bool;
+}
+
+/// An [`AdmissionProbe`] with no backend behind it: zero cost
+/// estimates, infinite memory. What a probe-less test harness wants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnboundedProbe;
+
+impl AdmissionProbe for UnboundedProbe {
+    fn prefill_ms(&mut self, _workload: Workload) -> f64 {
+        0.0
+    }
+
+    fn step_ms(&mut self, _live: usize) -> f64 {
+        0.0
+    }
+
+    fn kv_fits(&self, _members: &[Workload]) -> bool {
+        true
+    }
 }
 
 /// A queue discipline: decides which waiting request(s) a freed server
@@ -106,10 +154,33 @@ pub trait Scheduler {
     /// nobody. Only consulted when [`is_continuous`] is true and the
     /// backend has a stepper; the default admits nobody.
     ///
+    /// `probe` is the executing server's cost/capacity oracle: memory-
+    /// aware disciplines keep the joint K/V claim within
+    /// [`AdmissionProbe::kv_fits`], and prefill-aware ones weigh
+    /// [`AdmissionProbe::prefill_ms`] against the running members'
+    /// deadlines before stalling their decode.
+    ///
     /// [`is_continuous`]: Scheduler::is_continuous
-    fn admit(&mut self, running: &[RunningMember], queue: &[Request], now_ms: f64) -> Vec<usize> {
-        let _ = (running, queue, now_ms);
+    fn admit(
+        &mut self,
+        running: &[RunningMember],
+        queue: &[Request],
+        now_ms: f64,
+        probe: &mut dyn AdmissionProbe,
+    ) -> Vec<usize> {
+        let _ = (running, queue, now_ms, probe);
         Vec::new()
+    }
+
+    /// The prefill chunk budget this discipline wants steppers to run
+    /// with ([`ContinuousStepper::set_prefill_chunk`]); the engine
+    /// applies it to every server's stepper before the token-boundary
+    /// loop starts. `None` (the default) keeps whole-prefill admission.
+    ///
+    /// [`ContinuousStepper::set_prefill_chunk`]:
+    ///     crate::ContinuousStepper::set_prefill_chunk
+    fn prefill_chunk(&self) -> Option<usize> {
+        None
     }
 
     /// Whether this discipline schedules at token boundaries via
@@ -341,10 +412,14 @@ impl Scheduler for Batching {
 /// the engine runs its token-boundary loop and consults
 /// [`admit`](Scheduler::admit) at every boundary: this discipline
 /// admits queued requests in arrival order whenever the live batch has
-/// a free slot (up to `max_batch`), *never* holding a server to let a
-/// batch fill — admission is greedy because a joining member costs only
-/// its own prefill, not a padded re-run of the whole batch. Members
-/// exit the moment they produce their last token.
+/// a free slot (up to `max_batch`) *and* the joint K/V claim of the
+/// running members plus the candidate fits the device's HBM budget
+/// ([`AdmissionProbe::kv_fits`] — vacuously true on backends without a
+/// [`memory`](crate::Backend::memory) model). It never holds a server
+/// to let a batch fill — admission is greedy because a joining member
+/// costs only its own prefill, not a padded re-run of the whole batch.
+/// Members exit the moment they produce their last token, releasing
+/// their claim.
 ///
 /// With `max_batch == 1` the discipline degenerates to one request at a
 /// time in arrival order — exactly the [`Fifo`] single-dispatch path,
@@ -353,8 +428,29 @@ impl Scheduler for Batching {
 /// On a backend *without* a stepper (the cloud TPU), the engine keeps
 /// the static path and this discipline acts as an immediate-dispatch
 /// coalescer: up to `max_batch` feasible requests per dispatch
-/// (consulting [`batch_feasible`](crate::Backend::batch_feasible)),
-/// zero batching window.
+/// (consulting [`batch_feasible`](crate::Backend::batch_feasible),
+/// which covers both the padded shape and the joint K/V claim), zero
+/// batching window.
+///
+/// # Prefill-aware admission ([`with_slo`](ContinuousBatching::with_slo))
+///
+/// On DFX the serial prefill is the dominant cost of joining a running
+/// batch: every decoding member stalls for the newcomer's whole
+/// summarization pass. With an SLO configured, a join is *deferred*
+/// when the stall it injects would push any running member past its
+/// deadline (`arrival + slo_ms`, projected as `now + pending prefills +
+/// remaining tokens × step estimate`). A deferred candidate stays
+/// queued and is reconsidered at the next boundary — typically joining
+/// once a member retires. An idle server always admits (deferring
+/// everybody forever would serve nobody).
+///
+/// # Chunked prefill ([`with_prefill_chunk`](ContinuousBatching::with_prefill_chunk))
+///
+/// Splits each admitted member's prefill into token-budgeted chunks
+/// interleaved with decode steps (on steppers that support it — the
+/// appliance does), bounding the per-step decode stall by one chunk
+/// instead of one whole context. Total work is unchanged, so goodput
+/// holds while the p99 inter-token gap of running members falls.
 ///
 /// # Examples
 ///
@@ -368,7 +464,7 @@ impl Scheduler for Batching {
 /// let stream = vec![Workload::new(8, 8); 12];
 /// let arrivals = ArrivalProcess::Poisson { rate_per_s: 50.0, seed: 7 };
 /// let report = ServingEngine::new(&appliance)
-///     .with_scheduler(Box::new(ContinuousBatching::new(4)))
+///     .with_scheduler(Box::new(ContinuousBatching::new(4).with_prefill_chunk(4)))
 ///     .run(&stream, &arrivals)?;
 /// assert_eq!(report.responses.len(), 12);
 /// # Ok(())
@@ -377,27 +473,77 @@ impl Scheduler for Batching {
 #[derive(Debug, Clone)]
 pub struct ContinuousBatching {
     max_batch: usize,
+    slo_ms: Option<f64>,
+    prefill_chunk: Option<usize>,
     name: String,
 }
 
 impl ContinuousBatching {
     /// Creates the discipline with at most `max_batch` members decoding
-    /// at once.
+    /// at once (greedy, memory-aware admission; no SLO deferral, whole
+    /// prefills).
     ///
     /// # Panics
     ///
     /// Panics if `max_batch` is zero.
     pub fn new(max_batch: usize) -> Self {
         assert!(max_batch > 0, "max_batch must be at least 1");
-        ContinuousBatching {
+        let mut c = ContinuousBatching {
             max_batch,
-            name: format!("Continuous(max={max_batch})"),
-        }
+            slo_ms: None,
+            prefill_chunk: None,
+            name: String::new(),
+        };
+        c.rename();
+        c
+    }
+
+    /// Adds prefill-aware admission: defer a join when its prefill
+    /// stall would push a running member past `arrival + slo_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slo_ms` is non-positive or non-finite.
+    #[must_use]
+    pub fn with_slo(mut self, slo_ms: f64) -> Self {
+        assert!(
+            slo_ms.is_finite() && slo_ms > 0.0,
+            "slo_ms must be finite and positive"
+        );
+        self.slo_ms = Some(slo_ms);
+        self.rename();
+        self
+    }
+
+    /// Adds a chunked-prefill budget of `tokens` context positions per
+    /// step (applied to every server's stepper by the engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    #[must_use]
+    pub fn with_prefill_chunk(mut self, tokens: usize) -> Self {
+        assert!(tokens > 0, "a prefill chunk must be at least 1 token");
+        self.prefill_chunk = Some(tokens);
+        self.rename();
+        self
     }
 
     /// Maximum members decoding at once.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    fn rename(&mut self) {
+        let mut name = format!("Continuous(max={}", self.max_batch);
+        if let Some(slo) = self.slo_ms {
+            name.push_str(&format!(", slo={slo}ms"));
+        }
+        if let Some(chunk) = self.prefill_chunk {
+            name.push_str(&format!(", chunk={chunk}"));
+        }
+        name.push(')');
+        self.name = name;
     }
 }
 
@@ -420,9 +566,71 @@ impl Scheduler for ContinuousBatching {
         BatchDecision::Dispatch(grow_feasible(queue, self.max_batch, feasible))
     }
 
-    fn admit(&mut self, running: &[RunningMember], queue: &[Request], _now_ms: f64) -> Vec<usize> {
+    fn admit(
+        &mut self,
+        running: &[RunningMember],
+        queue: &[Request],
+        now_ms: f64,
+        probe: &mut dyn AdmissionProbe,
+    ) -> Vec<usize> {
         let slots = self.max_batch.saturating_sub(running.len());
-        (0..queue.len().min(slots)).collect()
+        let mut picks = Vec::new();
+        // The would-be resident set: running members plus accepted
+        // candidates — the joint K/V claim each further admission must
+        // fit next to.
+        let mut resident: Vec<Workload> = running.iter().map(|m| m.workload).collect();
+        // Members a further admission's stall must not push past their
+        // deadline: `(arrival, remaining output tokens)` for the running
+        // members *and* for candidates already picked at this boundary
+        // (their own prefills are in `pending_stall_ms`; their whole
+        // output is still ahead of them).
+        let mut protected: Vec<(f64, usize)> = running
+            .iter()
+            .map(|m| {
+                (
+                    m.arrival_ms,
+                    m.workload.output_len.saturating_sub(m.tokens_done),
+                )
+            })
+            .collect();
+        // Prefill stall already committed by this boundary's picks.
+        let mut pending_stall_ms = 0.0;
+        for (i, req) in queue.iter().enumerate() {
+            if picks.len() == slots {
+                break;
+            }
+            resident.push(req.workload);
+            if !probe.kv_fits(&resident) {
+                resident.pop();
+                continue;
+            }
+            if let Some(slo) = self.slo_ms {
+                // An idle server always admits its first candidate:
+                // there is nobody to protect and deferring everybody
+                // serves nobody.
+                if !protected.is_empty() {
+                    let stall = probe.prefill_ms(req.workload);
+                    let step = probe.step_ms(running.len() + picks.len() + 1);
+                    let blows_a_deadline = protected.iter().any(|&(arrival_ms, remaining)| {
+                        let projected_finish =
+                            now_ms + pending_stall_ms + stall + remaining as f64 * step;
+                        projected_finish > arrival_ms + slo
+                    });
+                    if blows_a_deadline {
+                        resident.pop();
+                        continue;
+                    }
+                    pending_stall_ms += stall;
+                }
+                protected.push((req.arrival_ms, req.workload.output_len));
+            }
+            picks.push(i);
+        }
+        picks
+    }
+
+    fn prefill_chunk(&self) -> Option<usize> {
+        self.prefill_chunk
     }
 
     fn is_continuous(&self) -> bool {
@@ -547,25 +755,127 @@ mod tests {
         assert_eq!(sjf.name(), "SJF(output_len, age=50ms)");
     }
 
+    fn member(id: u64, workload: Workload, tokens_done: usize, arrival_ms: f64) -> RunningMember {
+        RunningMember {
+            id,
+            workload,
+            tokens_done,
+            arrival_ms,
+        }
+    }
+
     #[test]
     fn continuous_admits_up_to_the_free_slots_in_arrival_order() {
         let mut c = ContinuousBatching::new(4);
         let q = queue(&[0.0, 1.0, 2.0]);
-        let running = [RunningMember {
-            id: 9,
-            workload: Workload::new(8, 8),
-            tokens_done: 3,
-        }];
-        assert_eq!(c.admit(&running, &q, 5.0), vec![0, 1, 2]);
+        let running = [member(9, Workload::new(8, 8), 3, 0.0)];
+        assert_eq!(
+            c.admit(&running, &q, 5.0, &mut UnboundedProbe),
+            vec![0, 1, 2]
+        );
         let full: Vec<RunningMember> = (0..4)
-            .map(|id| RunningMember {
-                id,
-                workload: Workload::new(8, 8),
-                tokens_done: 1,
-            })
+            .map(|id| member(id, Workload::new(8, 8), 1, 0.0))
             .collect();
-        assert_eq!(c.admit(&full, &q, 5.0), Vec::<usize>::new());
+        assert_eq!(
+            c.admit(&full, &q, 5.0, &mut UnboundedProbe),
+            Vec::<usize>::new()
+        );
         assert!(c.is_continuous());
+        assert_eq!(c.prefill_chunk(), None);
+    }
+
+    /// A probe with fixed costs and a token-capacity K/V oracle.
+    struct FixedProbe {
+        prefill_ms: f64,
+        step_ms: f64,
+        kv_budget_tokens: usize,
+    }
+
+    impl AdmissionProbe for FixedProbe {
+        fn prefill_ms(&mut self, _w: Workload) -> f64 {
+            self.prefill_ms
+        }
+        fn step_ms(&mut self, _live: usize) -> f64 {
+            self.step_ms
+        }
+        fn kv_fits(&self, members: &[Workload]) -> bool {
+            members
+                .iter()
+                .map(|w| w.input_len + w.output_len)
+                .sum::<usize>()
+                <= self.kv_budget_tokens
+        }
+    }
+
+    #[test]
+    fn continuous_admission_respects_the_joint_kv_budget() {
+        // Budget for 40 tokens; the running member claims 16, each
+        // candidate 16: one fits, the second is skipped, the *third*
+        // (smaller) still fits — the discipline packs around it.
+        let mut c = ContinuousBatching::new(8);
+        let mut q = queue(&[0.0, 1.0, 2.0]);
+        q[2].workload = Workload::new(4, 4);
+        let running = [member(9, Workload::new(8, 8), 1, 0.0)];
+        let mut probe = FixedProbe {
+            prefill_ms: 0.0,
+            step_ms: 0.0,
+            kv_budget_tokens: 40,
+        };
+        assert_eq!(c.admit(&running, &q, 5.0, &mut probe), vec![0, 2]);
+    }
+
+    #[test]
+    fn slo_admission_defers_prefills_that_blow_running_deadlines() {
+        // The running member arrived at t=0 with 4 tokens to go at
+        // 1 ms/step; an SLO of 20 ms leaves ~6 ms of slack at t=10. A
+        // 50 ms prefill blows it (deferred); a 2 ms prefill fits.
+        let mut c = ContinuousBatching::new(8).with_slo(20.0);
+        let q = queue(&[0.0]);
+        let running = [member(9, Workload::new(8, 8), 4, 0.0)];
+        let mut heavy = FixedProbe {
+            prefill_ms: 50.0,
+            step_ms: 1.0,
+            kv_budget_tokens: usize::MAX,
+        };
+        assert_eq!(c.admit(&running, &q, 10.0, &mut heavy), Vec::<usize>::new());
+        let mut light = FixedProbe {
+            prefill_ms: 2.0,
+            step_ms: 1.0,
+            kv_budget_tokens: usize::MAX,
+        };
+        assert_eq!(c.admit(&running, &q, 10.0, &mut light), vec![0]);
+        // An idle server admits even the heavy prefill: nobody to
+        // protect.
+        assert_eq!(c.admit(&[], &q, 10.0, &mut heavy), vec![0]);
+        assert_eq!(c.name(), "Continuous(max=8, slo=20ms)");
+    }
+
+    #[test]
+    fn slo_admission_protects_same_boundary_picks_too() {
+        // Burst arrival on an idle server: the first (short) candidate
+        // is admitted unconditionally, and the second's 50 ms prefill
+        // is then weighed against the *first pick's* deadline — not
+        // just against running members — so it is deferred.
+        let mut c = ContinuousBatching::new(8).with_slo(20.0);
+        let mut q = queue(&[0.0, 0.0]);
+        q[0].workload = Workload::new(2, 8);
+        q[1].workload = Workload::new(64, 2);
+        let mut heavy = FixedProbe {
+            prefill_ms: 50.0,
+            step_ms: 1.0,
+            kv_budget_tokens: usize::MAX,
+        };
+        assert_eq!(c.admit(&[], &q, 0.0, &mut heavy), vec![0]);
+        // With a slack SLO the same burst is admitted whole.
+        let mut relaxed = ContinuousBatching::new(8).with_slo(1_000.0);
+        assert_eq!(relaxed.admit(&[], &q, 0.0, &mut heavy), vec![0, 1]);
+    }
+
+    #[test]
+    fn the_prefill_chunk_knob_reaches_the_engine() {
+        let c = ContinuousBatching::new(4).with_prefill_chunk(16);
+        assert_eq!(c.prefill_chunk(), Some(16));
+        assert_eq!(c.name(), "Continuous(max=4, chunk=16)");
     }
 
     #[test]

@@ -12,6 +12,22 @@
 //! [`Backend::continuous`](crate::Backend::continuous); backends
 //! without it (the cloud TPU) keep serving through the static
 //! [`serve_batch`](crate::Backend::serve_batch) path.
+//!
+//! Two memory-era extensions ride on the same seam:
+//!
+//! - **cost estimates** ([`prefill_cost_ms`], [`step_cost_ms`]) feed the
+//!   engine's [`AdmissionProbe`](crate::AdmissionProbe), so
+//!   prefill-aware disciplines can weigh an admission's serial stall
+//!   against the running members' deadlines before committing to it;
+//! - **chunked prefill** ([`set_prefill_chunk`]) splits a long prefill
+//!   into token-budgeted chunks interleaved with decode steps
+//!   (Sarathi/TGI style) on steppers that support it, bounding the
+//!   per-step decode stall; [`StepEvent::prefilling`] reports the
+//!   members that consumed prefill budget without emitting a token.
+//!
+//! [`prefill_cost_ms`]: ContinuousStepper::prefill_cost_ms
+//! [`step_cost_ms`]: ContinuousStepper::step_cost_ms
+//! [`set_prefill_chunk`]: ContinuousStepper::set_prefill_chunk
 
 use crate::backend::validate_workload;
 use dfx_baseline::GpuModel;
@@ -24,10 +40,16 @@ use dfx_sim::{Appliance, BatchState, SimError};
 pub struct StepEvent {
     /// Time the operation added to the run's shared timeline, ms.
     pub ms: f64,
-    /// Live members after the operation.
+    /// Live members after the operation (including members whose
+    /// chunked prefill is still in flight).
     pub live: usize,
     /// Member ids that produced their last token during the operation.
     pub finished: Vec<u64>,
+    /// Member ids that produced *no* token during the operation because
+    /// their prefill is still in flight (admitted under a chunk budget,
+    /// or queued behind another member's chunks). Always empty on
+    /// steppers without chunked prefill.
+    pub prefilling: Vec<u64>,
 }
 
 /// A backend executing requests token by token, with admissions between
@@ -45,23 +67,32 @@ pub struct StepEvent {
 ///   ~1e-9 relative difference) — so continuous batching at
 ///   `max_batch == 1` reproduces the single-dispatch FIFO numbers;
 /// - every [`step_token`](ContinuousStepper::step_token) produces one
-///   credited output token per live member, so token work is conserved
-///   under any admission/exit interleaving;
-/// - admission feasibility is per member (each workload is validated
-///   alone): the static path's joint padded-shape constraint
-///   ([`Backend::batch_feasible`](crate::Backend::batch_feasible)) does
-///   not apply between decode steps.
+///   credited output token per live *decoding* member (members listed
+///   in [`StepEvent::prefilling`] produce none yet), so token work is
+///   conserved under any admission/exit interleaving;
+/// - admission feasibility is per member for *shape* (each workload is
+///   validated alone — the static path's joint padded-shape constraint
+///   does not apply between decode steps) but *joint* for memory: a
+///   stepper backed by a K/V allocator ([`dfx_sim::BatchState`]) fails
+///   admission with [`SimError::Memory`] when the member's claim does
+///   not fit next to the already-admitted members' claims. Schedulers
+///   avoid such admissions through the engine's
+///   [`AdmissionProbe`](crate::AdmissionProbe).
 pub trait ContinuousStepper {
-    /// Admits a member, charging its prefill to the shared timeline.
+    /// Admits a member, charging its prefill (or its first chunk, under
+    /// a [`set_prefill_chunk`](ContinuousStepper::set_prefill_chunk)
+    /// budget) to the shared timeline.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidRequest`] for workloads the backend
     /// rejects (zero-length, over the model's sequence cap) or a
-    /// duplicate id.
+    /// duplicate id, and [`SimError::Memory`] when the member's K/V
+    /// claim exceeds the backend's free device-memory budget.
     fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError>;
 
-    /// Advances every live member by one output token.
+    /// Advances every live member: one prefill chunk if one is in
+    /// flight, then one output token for every decoding member.
     ///
     /// # Errors
     ///
@@ -70,9 +101,36 @@ pub trait ContinuousStepper {
 
     /// Number of live (admitted, unfinished) members.
     fn live(&self) -> usize;
+
+    /// Sets the prefill chunk budget (tokens charged per admission or
+    /// step before decode resumes). The default implementation ignores
+    /// the budget: backends without an incremental prefill model keep
+    /// whole-prefill admission, which is always correct — chunking only
+    /// redistributes when the same work is charged.
+    fn set_prefill_chunk(&mut self, chunk: Option<usize>) {
+        let _ = chunk;
+    }
+
+    /// Estimated serial stall of admitting `workload` now: its full
+    /// prefill cost, ms. Feeds prefill-aware admission policies; the
+    /// default (no estimate) returns 0, which makes such policies admit
+    /// greedily on this backend.
+    fn prefill_cost_ms(&mut self, workload: Workload) -> f64 {
+        let _ = workload;
+        0.0
+    }
+
+    /// Estimated cost of one decode step at a hypothetical live batch
+    /// of `live` members, ms. Same default caveat as
+    /// [`prefill_cost_ms`](ContinuousStepper::prefill_cost_ms).
+    fn step_cost_ms(&mut self, live: usize) -> f64 {
+        let _ = live;
+        0.0
+    }
 }
 
-/// The appliance stepper: a thin adapter over [`dfx_sim::BatchState`].
+/// The appliance stepper: a thin adapter over [`dfx_sim::BatchState`]
+/// (which carries the K/V pool and the chunked-prefill machinery).
 pub(crate) struct ApplianceStepper<'a> {
     state: BatchState<'a>,
 }
@@ -94,6 +152,11 @@ impl ContinuousStepper for ApplianceStepper<'_> {
             ms: out.prefill_ms,
             live: self.state.live(),
             finished: if out.finished { vec![id] } else { Vec::new() },
+            prefilling: if out.pending_prefill > 0 {
+                vec![id]
+            } else {
+                Vec::new()
+            },
         })
     }
 
@@ -104,11 +167,24 @@ impl ContinuousStepper for ApplianceStepper<'_> {
             ms: out.ms,
             live: self.state.live(),
             finished: out.finished,
+            prefilling: out.prefilling,
         })
     }
 
     fn live(&self) -> usize {
         self.state.live()
+    }
+
+    fn set_prefill_chunk(&mut self, chunk: Option<usize>) {
+        self.state.set_prefill_chunk(chunk);
+    }
+
+    fn prefill_cost_ms(&mut self, workload: Workload) -> f64 {
+        self.state.prefill_cost_ms(workload.input_len)
+    }
+
+    fn step_cost_ms(&mut self, live: usize) -> f64 {
+        self.state.decode_step_cost_ms(live)
     }
 }
 
@@ -124,7 +200,11 @@ struct GpuMember {
 /// cost [`GpuModel::generation_step_ms_batched`] at the live batch size
 /// and the largest live context — the same terms
 /// [`GpuModel::run_batch`] sums, so a solo member reproduces
-/// [`GpuModel::run`] exactly.
+/// [`GpuModel::run`] exactly. The summarization pass is one parallel
+/// kernel sweep, not a per-token loop, so
+/// [`set_prefill_chunk`](ContinuousStepper::set_prefill_chunk) keeps
+/// the default whole-prefill admission (the Sarathi-style chunk budget
+/// targets DFX's serial prefill).
 pub(crate) struct GpuStepper<'a> {
     gpu: &'a GpuModel,
     members: Vec<GpuMember>,
@@ -162,6 +242,7 @@ impl ContinuousStepper for GpuStepper<'_> {
             ms,
             live: self.members.len(),
             finished: if finished { vec![id] } else { Vec::new() },
+            prefilling: Vec::new(),
         })
     }
 
@@ -194,11 +275,27 @@ impl ContinuousStepper for GpuStepper<'_> {
             ms,
             live: self.members.len(),
             finished,
+            prefilling: Vec::new(),
         })
     }
 
     fn live(&self) -> usize {
         self.members.len()
+    }
+
+    fn prefill_cost_ms(&mut self, workload: Workload) -> f64 {
+        self.gpu
+            .summarization_pass_ms_batched(workload.input_len, 1)
+    }
+
+    fn step_cost_ms(&mut self, live: usize) -> f64 {
+        let t = self
+            .members
+            .iter()
+            .map(|m| m.workload.input_len + m.emitted)
+            .max()
+            .unwrap_or(1);
+        self.gpu.generation_step_ms_batched(t, live.max(1))
     }
 }
 
@@ -271,5 +368,43 @@ mod tests {
         assert!(s.step_token().is_err());
         s.admit(0, Workload::new(4, 4)).unwrap();
         assert!(s.admit(0, Workload::new(4, 4)).is_err());
+    }
+
+    #[test]
+    fn appliance_stepper_reports_memory_refusals_and_estimates() {
+        // Budget for 20 tokens of K/V claim next to the weights.
+        let cfg = GptConfig::tiny();
+        let probe = Appliance::timing_only(cfg.clone(), 2).unwrap();
+        let m = probe.memory_model();
+        let dfx = Appliance::timing_only(cfg, 2)
+            .unwrap()
+            .with_hbm_capacity(m.weight_bytes + 20 * m.kv_bytes_per_token)
+            .unwrap();
+        let mut s = Backend::continuous(&dfx).unwrap();
+        let w = Workload::new(8, 4);
+        assert!(s.prefill_cost_ms(w) > 0.0);
+        assert!(s.step_cost_ms(2) > s.step_cost_ms(1) * 0.5);
+        s.admit(0, w).unwrap();
+        let err = s.admit(1, w).unwrap_err();
+        assert!(matches!(err, SimError::Memory(_)), "{err:?}");
+    }
+
+    #[test]
+    fn appliance_stepper_chunks_prefills_on_request() {
+        let dfx = Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let mut s = Backend::continuous(&dfx).unwrap();
+        s.set_prefill_chunk(Some(4));
+        let ev = s.admit(0, Workload::new(12, 2)).unwrap();
+        assert_eq!(ev.prefilling, vec![0]);
+        // Two more chunks complete the prefill (emitting the first
+        // token), one decode step finishes the member.
+        let ev = s.step_token().unwrap();
+        assert_eq!(ev.prefilling, vec![0]);
+        let ev = s.step_token().unwrap();
+        assert!(ev.prefilling.is_empty());
+        assert!(ev.finished.is_empty());
+        let ev = s.step_token().unwrap();
+        assert_eq!(ev.finished, vec![0]);
+        assert_eq!(s.live(), 0);
     }
 }

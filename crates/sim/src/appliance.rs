@@ -158,6 +158,10 @@ pub struct Appliance {
     builder: ProgramBuilder,
     timing: TimingCore,
     mode: Mode,
+    /// Per-device HBM capacity in bytes (the U280's 8 GiB unless
+    /// overridden by [`with_hbm_capacity`](Appliance::with_hbm_capacity)
+    /// for capacity sweeps).
+    hbm_capacity_bytes: u64,
 }
 
 impl std::fmt::Debug for Appliance {
@@ -210,6 +214,7 @@ impl Appliance {
             builder,
             timing: TimingCore::new(params, num_fpgas as u32),
             mode: Mode::TimingOnly,
+            hbm_capacity_bytes: dfx_hw::HbmModel::default().capacity_bytes,
         })
     }
 
@@ -231,7 +236,57 @@ impl Appliance {
             builder,
             timing: TimingCore::new(CoreParams::default(), num_fpgas as u32),
             mode: Mode::Functional(Box::new(cluster)),
+            hbm_capacity_bytes: dfx_hw::HbmModel::default().capacity_bytes,
         })
+    }
+
+    /// Overrides the per-device HBM capacity (a what-if knob for the
+    /// `memory` experiment's capacity sweeps; the default is the U280's
+    /// 8 GiB). The override only moves the *K/V budget* consulted by
+    /// [`memory_model`](Appliance::memory_model), the incremental
+    /// executor's [`KvPool`](crate::KvPool) and the batched path; the
+    /// paper's single-request timing paths are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Partition`] when the capacity cannot hold the
+    /// weight shard plus at least one token of K/V — a device that can
+    /// admit nothing is a partitioning problem, not a serving one.
+    pub fn with_hbm_capacity(mut self, capacity_bytes: u64) -> Result<Self, SimError> {
+        let model = self.memory_model();
+        if model.weight_bytes + model.kv_bytes_per_token > capacity_bytes {
+            return Err(SimError::Partition(format!(
+                "{:.2} MB of HBM cannot hold {}'s {:.2} MB weight shard plus one token of K/V; \
+                 use a larger capacity or a larger cluster",
+                capacity_bytes as f64 / 1e6,
+                self.cfg.name,
+                model.weight_bytes as f64 / 1e6,
+            )));
+        }
+        self.hbm_capacity_bytes = capacity_bytes;
+        Ok(self)
+    }
+
+    /// The per-device HBM capacity model: the always-resident weight
+    /// shard (from the model's memory map at this cluster's partition)
+    /// and the K/V bytes one context token occupies across this core's
+    /// layers and local heads (keys + values, FP16). Its budget is the
+    /// joint admission constraint for multi-request execution — every
+    /// live member's `input + output` claim must fit next to the
+    /// weights on *each* device.
+    pub fn memory_model(&self) -> dfx_hw::MemoryModel {
+        let par = ParallelConfig::new(0, self.num_fpgas);
+        let map = dfx_isa::MemoryMap::for_model(&self.cfg, par);
+        let kv_bytes_per_token = (self.cfg.num_layers as u64)
+            * (par.heads_per_core(&self.cfg) as u64)
+            * (self.cfg.head_dim() as u64)
+            * 2 // keys and values
+            * 2; // FP16
+        dfx_hw::MemoryModel::new(
+            self.hbm_capacity_bytes,
+            map.weight_footprint(),
+            kv_bytes_per_token,
+        )
     }
 
     /// The model configuration.
@@ -424,6 +479,45 @@ mod tests {
         // All paper configurations fit at their published cluster sizes.
         assert!(Appliance::timing_only(GptConfig::gpt2_345m(), 1).is_ok());
         assert!(Appliance::timing_only(GptConfig::gpt2_1_5b(), 4).is_ok());
+    }
+
+    #[test]
+    fn memory_model_matches_the_paper_geometry() {
+        // GPT-2 1.5B across 4 U280s: each device holds a quarter of the
+        // decoder weights (~0.68 GB) plus its vocabulary slice of the LM
+        // head, and one context token's K/V costs
+        // 48 layers x 6 local heads x 64 dims x 2 (K+V) x 2 B = 72 KiB.
+        let a = Appliance::timing_only(GptConfig::gpt2_1_5b(), 4).unwrap();
+        let m = a.memory_model();
+        assert_eq!(m.capacity_bytes, 8 * (1 << 30));
+        assert_eq!(m.kv_bytes_per_token, 48 * 6 * 64 * 2 * 2);
+        let decoder_share = GptConfig::gpt2_1_5b().decoder_weight_bytes() / 4;
+        assert!(
+            m.weight_bytes > decoder_share && m.weight_bytes < decoder_share + (100 << 20),
+            "weight shard {} vs decoder share {decoder_share}",
+            m.weight_bytes
+        );
+        // The budget holds two orders of magnitude more context than one
+        // max-length sequence — the headroom continuous batching spends.
+        assert!(m.max_resident_tokens() > 50 * 1024);
+    }
+
+    #[test]
+    fn hbm_capacity_override_moves_the_kv_budget() {
+        let a = Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let weights = a.memory_model().weight_bytes;
+        let per_token = a.memory_model().kv_bytes_per_token;
+        let small = Appliance::timing_only(GptConfig::tiny(), 2)
+            .unwrap()
+            .with_hbm_capacity(weights + 64 * per_token)
+            .unwrap();
+        assert_eq!(small.memory_model().max_resident_tokens(), 64);
+        // A capacity below the weight shard is a partitioning error.
+        let err = Appliance::timing_only(GptConfig::tiny(), 2)
+            .unwrap()
+            .with_hbm_capacity(weights)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Partition(_)), "{err:?}");
     }
 
     #[test]

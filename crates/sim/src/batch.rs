@@ -117,7 +117,10 @@ impl Appliance {
     ///
     /// Returns [`SimError::InvalidRequest`] for an empty batch, for any
     /// member with an empty context, or when the *padded* shape exceeds
-    /// the model's maximum sequence length.
+    /// the model's maximum sequence length; [`SimError::Memory`] when
+    /// the batch's joint K/V claim (every member grows a cache at the
+    /// padded shape) does not fit the per-device HBM budget next to the
+    /// weight shard ([`Appliance::memory_model`]).
     pub fn generate_batch_timed(&self, batch: &[Workload]) -> Result<BatchedRun, SimError> {
         if batch.is_empty() {
             return Err(SimError::InvalidRequest("empty batch".into()));
@@ -142,6 +145,19 @@ impl Appliance {
         // The padded shape is what actually executes; validating it also
         // covers every member.
         self.check_workload(padded)?;
+        // Every member's K/V cache grows at the padded shape, and all of
+        // them are resident at once on each device.
+        let memory = self.memory_model();
+        let claim_tokens = batch.len() * padded.total_steps();
+        if !memory.fits_tokens(claim_tokens) {
+            return Err(SimError::Memory(format!(
+                "a {}-way batch padded to {padded} claims {claim_tokens} tokens of K/V \
+                 ({:.1} MB), over the {:.1} MB HBM budget left by the weight shard",
+                batch.len(),
+                memory.kv_claim_bytes(claim_tokens) as f64 / 1e6,
+                memory.kv_budget_bytes() as f64 / 1e6,
+            )));
+        }
 
         let b = batch.len() as u32;
         let mut summarization = StepTiming::zero();
@@ -253,5 +269,22 @@ mod tests {
         assert!(a
             .generate_batch_timed(&[Workload::new(100, 2), Workload::new(2, 100)])
             .is_err());
+    }
+
+    #[test]
+    fn over_capacity_batches_are_memory_errors() {
+        // Budget for 20 padded tokens of K/V: one 8+4 member fits, a
+        // pair (2 x 12 padded tokens) does not — the joint K/V claim,
+        // not the padded shape, is what rejects it.
+        let a = appliance();
+        let m = a.memory_model();
+        let capped = Appliance::timing_only(GptConfig::tiny(), 2)
+            .unwrap()
+            .with_hbm_capacity(m.weight_bytes + 20 * m.kv_bytes_per_token)
+            .unwrap();
+        let w = Workload::new(8, 4);
+        assert!(capped.generate_batch_timed(&[w]).is_ok());
+        let err = capped.generate_batch_timed(&[w, w]).unwrap_err();
+        assert!(matches!(err, SimError::Memory(_)), "{err:?}");
     }
 }

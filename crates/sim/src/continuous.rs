@@ -8,14 +8,16 @@
 //! decisions *between* steps, the discipline of Orca/vLLM-style
 //! continuous batching:
 //!
-//! - [`BatchState::admit`] joins a new member, charging its prefill
-//!   (summarization) pass to the shared timeline;
+//! - [`BatchState::admit`] joins a new member, reserving its maximum
+//!   K/V claim from the device's HBM budget ([`KvPool`]) and charging
+//!   its prefill (summarization) pass to the shared timeline;
 //! - [`BatchState::step_token`] advances every live member by one decode
 //!   token through [`dfx_core::TimingCore::time_step_batched`] at the
 //!   *current* live batch size — members with different output lengths
 //!   exit early instead of padding to the longest;
 //! - [`BatchState::retire`] drains members that have produced their last
-//!   token, freeing their slots for the next admission.
+//!   token, freeing their slots for the next admission (their K/V claim
+//!   is released the moment they finish).
 //!
 //! A member that runs alone through this API costs exactly what
 //! [`Appliance::generate_timed`] charges (the per-step programs are
@@ -23,44 +25,86 @@
 //! member, so total token work is conserved no matter how admissions and
 //! early exits interleave.
 //!
+//! # Memory admission
+//!
+//! Each device's HBM holds the weight shard plus every live member's
+//! K/V attention state (paper §IV-B), so [`admit`](BatchState::admit)
+//! fails with [`SimError::Memory`] when a member's maximum claim
+//! (`input_len + output_len` context positions ×
+//! [`MemoryModel::kv_bytes_per_token`](dfx_hw::MemoryModel)) exceeds
+//! the free budget — per-member *shape* feasibility is necessary but no
+//! longer sufficient. The claim is reserved whole at admission
+//! (TGI-style budgeting), so a member can never be evicted mid-decode
+//! by a later admission, and it is released in full when the member
+//! finishes.
+//!
+//! # Chunked prefill
+//!
+//! By default a member's whole prefill is charged at admission, stalling
+//! every decoding member for the full summarization pass — on DFX the
+//! dominant cost of joining a running batch. With
+//! [`set_prefill_chunk`](BatchState::set_prefill_chunk), the prefill is
+//! split into token-budgeted chunks interleaved with decode steps
+//! (Sarathi/TGI style): each [`step_token`](BatchState::step_token)
+//! advances the oldest in-flight prefill by at most the budget before
+//! decoding the live members, bounding the decode stall per step by one
+//! chunk instead of one whole context. Total prefill work is identical
+//! (the same per-position programs run in the same order), so the
+//! member produces exactly the same tokens — chunking trades nothing
+//! but the interleaving. An unset (or `>= input_len`) budget reproduces
+//! the unchunked path bit for bit.
+//!
 //! Decode steps at heterogeneous positions are charged at the *largest*
 //! live position (the attention shape the hardware would pad to within
-//! the step); per-member feasibility (`input_len + output_len` within
-//! the model's sequence cap) is sufficient for any admission mix, unlike
-//! the static path where the joint padded shape can exceed the cap even
-//! when every member alone fits.
+//! the step).
 
 use crate::appliance::Appliance;
 use crate::error::SimError;
+use crate::kv::KvPool;
 use dfx_model::Workload;
 use std::collections::HashMap;
 
 /// Result of admitting one member into a running batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdmitOutcome {
-    /// Time the member's prefill (summarization) pass added to the
-    /// shared timeline, ms. Decode of the other live members stalls for
-    /// this long — the admission cost a scheduler weighs against queue
-    /// wait.
+    /// Time the member's prefill pass (or, under a chunk budget, its
+    /// first prefill chunk) added to the shared timeline, ms. Decode of
+    /// the other live members stalls for this long — the admission cost
+    /// a scheduler weighs against queue wait.
     pub prefill_ms: f64,
     /// True when the prefill already produced the member's only output
     /// token (`output_len == 1`): the member never decodes and is
     /// immediately ready to [`retire`](BatchState::retire).
     pub finished: bool,
+    /// Context positions still to prefill (zero without a chunk budget:
+    /// the whole pass is charged at admission). While positive, the
+    /// member is live but produces no tokens; subsequent
+    /// [`step_token`](BatchState::step_token)s work the remainder off
+    /// one chunk at a time.
+    pub pending_prefill: usize,
 }
 
 /// Result of one decode step over every live member.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TokenStepOutcome {
-    /// Time the step added to the shared timeline, ms.
+    /// Time the step added to the shared timeline, ms (a prefill chunk,
+    /// if one was in flight, plus the decode pass).
     pub ms: f64,
-    /// Live members the step advanced — also the number of output
-    /// tokens the step produced (one per live member, never padding).
+    /// Decoding members the step advanced — also the number of output
+    /// tokens the step produced for *previously running* members (one
+    /// per decoding member, never padding).
     pub batch: usize,
     /// Ids of members that produced their last token in this step; they
     /// are ready to [`retire`](BatchState::retire) and no longer count
     /// as live.
     pub finished: Vec<u64>,
+    /// Ids whose prefill completed in this step, emitting their first
+    /// output token (always empty without a chunk budget).
+    pub first_tokens: Vec<u64>,
+    /// Ids of live members that produced *no* token this step: their
+    /// prefill is still in flight (mid-chunk or queued behind another
+    /// member's). Always empty without a chunk budget.
+    pub prefilling: Vec<u64>,
 }
 
 /// A member drained by [`BatchState::retire`].
@@ -79,8 +123,18 @@ pub struct RetiredMember {
 struct Member {
     id: u64,
     workload: Workload,
-    /// Output tokens produced so far (the prefill produces the first).
+    /// Context positions prefilled so far (`== input_len` once the
+    /// member decodes).
+    prefilled: usize,
+    /// Output tokens produced so far (completing the prefill produces
+    /// the first).
     emitted: usize,
+}
+
+impl Member {
+    fn decoding(&self) -> bool {
+        self.prefilled == self.workload.input_len
+    }
 }
 
 /// Incremental batched executor over one [`Appliance`]: the
@@ -91,7 +145,10 @@ struct Member {
 /// decode steps run one `token_step` program through
 /// [`dfx_core::TimingCore::time_step_batched`] at the live batch size.
 /// Step costs are memoized by `(position, batch)` so long request
-/// streams re-time each distinct step shape once.
+/// streams re-time each distinct step shape once. Admission reserves
+/// each member's maximum K/V claim from the appliance's
+/// [`memory_model`](Appliance::memory_model) budget and fails with
+/// [`SimError::Memory`] when it does not fit.
 ///
 /// # Examples
 ///
@@ -122,14 +179,23 @@ pub struct BatchState<'a> {
     members: Vec<Member>,
     finished: Vec<RetiredMember>,
     elapsed_ms: f64,
+    /// The K/V allocator over the appliance's per-device HBM budget.
+    kv: KvPool,
+    /// Prefill chunk budget in tokens (`None`: whole-prefill admission).
+    prefill_chunk: Option<usize>,
     /// Decode-step cost by `(program position, live batch)`.
     step_cache: HashMap<(usize, u32), f64>,
-    /// Prefill cost by context length.
+    /// Whole-prefill cost by context length.
     prefill_cache: HashMap<usize, f64>,
+    /// Per-position prefill step cycles by `(position, lm_head)` (the
+    /// chunked path's memo; chunk costs sum these like the unchunked
+    /// pass sums its positions).
+    pos_cycles: HashMap<(usize, bool), dfx_hw::Cycles>,
 }
 
 impl Appliance {
-    /// Creates an empty incremental batch executor over this appliance.
+    /// Creates an empty incremental batch executor over this appliance,
+    /// with a [`KvPool`] sized by [`memory_model`](Appliance::memory_model).
     ///
     /// See [`BatchState`] for the admit / step / retire cycle.
     pub fn batch_state(&self) -> BatchState<'_> {
@@ -138,14 +204,18 @@ impl Appliance {
             members: Vec::new(),
             finished: Vec::new(),
             elapsed_ms: 0.0,
+            kv: KvPool::new(self.memory_model()),
+            prefill_chunk: None,
             step_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
+            pos_cycles: HashMap::new(),
         }
     }
 }
 
 impl BatchState<'_> {
-    /// Number of live (admitted, not yet finished) members.
+    /// Number of live (admitted, not yet finished) members, including
+    /// members whose chunked prefill is still in flight.
     pub fn live(&self) -> usize {
         self.members.len()
     }
@@ -156,100 +226,70 @@ impl BatchState<'_> {
         self.elapsed_ms
     }
 
-    /// Admits a member: validates the workload, charges its prefill
-    /// pass to the shared timeline and registers it for decode steps.
-    ///
-    /// The prefill replays the summarization stage of
-    /// [`Appliance::generate_timed`] (every context token, LM head on
-    /// the last), so a member admitted into an empty batch and stepped
-    /// to completion costs exactly the sequential run. Per-member
-    /// validity (`input_len + output_len` within the model cap) is the
-    /// only admission constraint — there is no joint padded shape.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::InvalidRequest`] for an empty context, a
-    /// workload exceeding the model's maximum sequence length, or an id
-    /// already live or awaiting retirement.
-    pub fn admit(&mut self, id: u64, workload: Workload) -> Result<AdmitOutcome, SimError> {
-        self.appliance.check_workload(workload)?;
-        if workload.output_len == 0 {
-            return Err(SimError::InvalidRequest(
-                "workload generates nothing (output_len == 0)".into(),
-            ));
-        }
-        if self.members.iter().any(|m| m.id == id) || self.finished.iter().any(|m| m.id == id) {
-            return Err(SimError::InvalidRequest(format!(
-                "member id {id} is already in the batch"
-            )));
-        }
+    /// The K/V allocator: inspect committed/free budget from outside.
+    pub fn kv(&self) -> &KvPool {
+        &self.kv
+    }
 
-        let prefill_ms = match self.prefill_cache.get(&workload.input_len) {
+    /// Sets the prefill chunk budget: admissions charge at most `chunk`
+    /// context positions up front and later [`step_token`]s interleave
+    /// the remainder with decode, one chunk per step. `None` (the
+    /// default) restores whole-prefill admission; a budget at or above
+    /// a member's `input_len` is equivalent to it for that member.
+    /// Clearing the budget while a chunked prefill is in flight is
+    /// allowed: the next step finishes that prefill in one whole chunk.
+    ///
+    /// [`step_token`]: BatchState::step_token
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is `Some(0)`.
+    pub fn set_prefill_chunk(&mut self, chunk: Option<usize>) {
+        assert!(chunk != Some(0), "a prefill chunk must be at least 1 token");
+        self.prefill_chunk = chunk;
+    }
+
+    /// Estimated cost of the full prefill pass over `input_len` context
+    /// tokens, ms — the serial stall an unchunked admission would add to
+    /// the shared timeline. Charges nothing; memoized with the admission
+    /// path's cache.
+    pub fn prefill_cost_ms(&mut self, input_len: usize) -> f64 {
+        if input_len == 0 {
+            return 0.0;
+        }
+        match self.prefill_cache.get(&input_len) {
             Some(&ms) => ms,
             None => {
                 let mut timing = dfx_core::StepTiming::zero();
-                for pos in 0..workload.input_len {
-                    let lm = pos + 1 == workload.input_len;
+                for pos in 0..input_len {
+                    let lm = pos + 1 == input_len;
                     let program = self.appliance.builder().token_step(pos, lm);
                     timing.accumulate(&self.appliance.timing().time_step(&program));
                 }
                 let ms = timing.total.to_millis();
-                self.prefill_cache.insert(workload.input_len, ms);
+                self.prefill_cache.insert(input_len, ms);
                 ms
             }
-        };
-        self.elapsed_ms += prefill_ms;
-
-        // The prefill's LM head produces the first output token.
-        let finished = workload.output_len == 1;
-        if finished {
-            self.finished.push(RetiredMember {
-                id,
-                workload,
-                tokens: 1,
-            });
-        } else {
-            self.members.push(Member {
-                id,
-                workload,
-                emitted: 1,
-            });
         }
-        Ok(AdmitOutcome {
-            prefill_ms,
-            finished,
-        })
     }
 
-    /// Advances every live member by one decode token.
-    ///
-    /// The step runs one `token_step` program through
-    /// [`dfx_core::TimingCore::time_step_batched`] at the live batch
-    /// size, positioned at the largest live member's context (the
-    /// attention shape the step pads to); every live member earns one
-    /// output token. Members reaching their requested length are moved
-    /// to the retirement list and returned in
-    /// [`TokenStepOutcome::finished`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::InvalidRequest`] when no members are live.
-    pub fn step_token(&mut self) -> Result<TokenStepOutcome, SimError> {
-        if self.members.is_empty() {
-            return Err(SimError::InvalidRequest(
-                "no live members to step (admit first)".into(),
-            ));
-        }
-        let batch = self.members.len();
-        // Mirrors generate_timed's decode loop: generating output token
-        // `emitted + 1` runs token_step(input_len + emitted - 1, true).
+    /// Estimated cost of one decode step at a hypothetical live batch of
+    /// `batch` members, ms, positioned at the current largest live
+    /// context (or the first decode position when the batch is empty).
+    /// Charges nothing; memoized with the decode path's cache.
+    pub fn decode_step_cost_ms(&mut self, batch: usize) -> f64 {
         let pos = self
             .members
             .iter()
+            .filter(|m| m.decoding())
             .map(|m| m.workload.input_len + m.emitted - 1)
             .max()
-            .expect("non-empty batch");
-        let ms = match self.step_cache.get(&(pos, batch as u32)) {
+            .unwrap_or(1);
+        self.decode_cost(pos, batch.max(1))
+    }
+
+    fn decode_cost(&mut self, pos: usize, batch: usize) -> f64 {
+        match self.step_cache.get(&(pos, batch as u32)) {
             Some(&ms) => ms,
             None => {
                 let program = self.appliance.builder().token_step(pos, true);
@@ -262,34 +302,236 @@ impl BatchState<'_> {
                 self.step_cache.insert((pos, batch as u32), ms);
                 ms
             }
-        };
-        self.elapsed_ms += ms;
+        }
+    }
 
+    /// Cycles of one prefill position step (memoized for the chunked
+    /// path).
+    fn prefill_pos_cycles(&mut self, pos: usize, lm: bool) -> dfx_hw::Cycles {
+        match self.pos_cycles.get(&(pos, lm)) {
+            Some(&c) => c,
+            None => {
+                let program = self.appliance.builder().token_step(pos, lm);
+                let c = self.appliance.timing().time_step(&program).total;
+                self.pos_cycles.insert((pos, lm), c);
+                c
+            }
+        }
+    }
+
+    /// Charges positions `from..to` of `workload`'s prefill (LM head on
+    /// the context's last position), returning the chunk's cost in ms.
+    fn charge_prefill_chunk(&mut self, workload: Workload, from: usize, to: usize) -> f64 {
+        let mut cycles = dfx_hw::Cycles::ZERO;
+        for pos in from..to {
+            let lm = pos + 1 == workload.input_len;
+            cycles += self.prefill_pos_cycles(pos, lm);
+        }
+        let ms = cycles.to_millis();
+        self.elapsed_ms += ms;
+        ms
+    }
+
+    /// Moves a member to the finished list, releasing its K/V claim.
+    fn finish(&mut self, member: Member) {
+        self.kv.release(member.id);
+        self.finished.push(RetiredMember {
+            id: member.id,
+            workload: member.workload,
+            tokens: member.emitted,
+        });
+    }
+
+    /// Admits a member: validates the workload, reserves its maximum
+    /// K/V claim from the HBM budget, charges its prefill pass (or its
+    /// first chunk, under [`set_prefill_chunk`]) to the shared timeline
+    /// and registers it for decode steps.
+    ///
+    /// The unchunked prefill replays the summarization stage of
+    /// [`Appliance::generate_timed`] (every context token, LM head on
+    /// the last), so a member admitted into an empty batch and stepped
+    /// to completion costs exactly the sequential run. Admission
+    /// requires per-member validity (`input_len + output_len` within the
+    /// model cap — there is no joint padded shape) *and* a K/V claim of
+    /// `input_len + output_len` tokens within the free HBM budget.
+    ///
+    /// [`set_prefill_chunk`]: BatchState::set_prefill_chunk
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for an empty context, a
+    /// workload exceeding the model's maximum sequence length, or an id
+    /// already live or awaiting retirement; [`SimError::Memory`] when
+    /// the K/V claim exceeds the free budget.
+    pub fn admit(&mut self, id: u64, workload: Workload) -> Result<AdmitOutcome, SimError> {
+        self.appliance.check_workload(workload)?;
+        if workload.output_len == 0 {
+            return Err(SimError::InvalidRequest(
+                "workload generates nothing (output_len == 0)".into(),
+            ));
+        }
+        if self.members.iter().any(|m| m.id == id) || self.finished.iter().any(|m| m.id == id) {
+            return Err(SimError::InvalidRequest(format!(
+                "member id {id} is already in the batch"
+            )));
+        }
+        self.kv
+            .reserve(id, workload.input_len + workload.output_len)?;
+
+        let chunk = self.prefill_chunk.unwrap_or(usize::MAX);
+        if chunk < workload.input_len {
+            // Chunked admission: charge the first chunk only; the rest
+            // interleaves with decode steps.
+            let prefill_ms = self.charge_prefill_chunk(workload, 0, chunk);
+            self.kv.grow(id, chunk)?;
+            self.members.push(Member {
+                id,
+                workload,
+                prefilled: chunk,
+                emitted: 0,
+            });
+            return Ok(AdmitOutcome {
+                prefill_ms,
+                finished: false,
+                pending_prefill: workload.input_len - chunk,
+            });
+        }
+
+        let prefill_ms = self.prefill_cost_ms(workload.input_len);
+        self.elapsed_ms += prefill_ms;
+        self.kv.grow(id, workload.input_len)?;
+
+        // The prefill's LM head produces the first output token.
+        let finished = workload.output_len == 1;
+        let member = Member {
+            id,
+            workload,
+            prefilled: workload.input_len,
+            emitted: 1,
+        };
+        if finished {
+            self.finish(member);
+        } else {
+            self.members.push(member);
+        }
+        Ok(AdmitOutcome {
+            prefill_ms,
+            finished,
+            pending_prefill: 0,
+        })
+    }
+
+    /// Advances the batch by one step: works one chunk of the oldest
+    /// in-flight prefill (if any — see
+    /// [`set_prefill_chunk`](BatchState::set_prefill_chunk)), then
+    /// advances every decoding member by one output token.
+    ///
+    /// The decode pass runs one `token_step` program through
+    /// [`dfx_core::TimingCore::time_step_batched`] at the decoding batch
+    /// size, positioned at the largest decoding member's context (the
+    /// attention shape the step pads to); every decoding member earns
+    /// one output token, and a member completing its prefill earns its
+    /// first. Members reaching their requested length are moved to the
+    /// retirement list (releasing their K/V claim) and returned in
+    /// [`TokenStepOutcome::finished`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] when no members are live.
+    pub fn step_token(&mut self) -> Result<TokenStepOutcome, SimError> {
+        if self.members.is_empty() {
+            return Err(SimError::InvalidRequest(
+                "no live members to step (admit first)".into(),
+            ));
+        }
+        let mut ms = 0.0;
+        let mut first_tokens = Vec::new();
         let mut finished = Vec::new();
+
+        // One chunk of the oldest in-flight prefill.
+        if let Some(i) = self.members.iter().position(|m| !m.decoding()) {
+            let (id, workload, from) = {
+                let m = &self.members[i];
+                (m.id, m.workload, m.prefilled)
+            };
+            // A budget cleared mid-flight finishes the pending prefill
+            // in one whole chunk.
+            let chunk = self.prefill_chunk.unwrap_or(usize::MAX);
+            let to = from.saturating_add(chunk).min(workload.input_len);
+            ms += self.charge_prefill_chunk(workload, from, to);
+            self.kv.grow(id, to - from)?;
+            let m = &mut self.members[i];
+            m.prefilled = to;
+            if m.decoding() {
+                m.emitted = 1;
+                first_tokens.push(id);
+                if m.workload.output_len == 1 {
+                    finished.push(id);
+                    let m = self.members.remove(i);
+                    self.finish(m);
+                }
+            }
+        }
+
+        // One decode pass over the members that were already decoding at
+        // the step's start (a member completing its prefill above joins
+        // from the next step).
+        let decoding: Vec<u64> = self
+            .members
+            .iter()
+            .filter(|m| m.decoding() && !first_tokens.contains(&m.id))
+            .map(|m| m.id)
+            .collect();
+        let batch = decoding.len();
+        if batch > 0 {
+            // Mirrors generate_timed's decode loop: generating output
+            // token `emitted + 1` runs token_step(input_len + emitted - 1).
+            let pos = self
+                .members
+                .iter()
+                .filter(|m| decoding.contains(&m.id))
+                .map(|m| m.workload.input_len + m.emitted - 1)
+                .max()
+                .expect("non-empty decode set");
+            let step_ms = self.decode_cost(pos, batch);
+            ms += step_ms;
+            self.elapsed_ms += step_ms;
+        }
+
         let mut i = 0;
         while i < self.members.len() {
+            if !decoding.contains(&self.members[i].id) {
+                i += 1;
+                continue;
+            }
             self.members[i].emitted += 1;
+            self.kv.grow(self.members[i].id, 1)?;
             if self.members[i].emitted == self.members[i].workload.output_len {
                 let m = self.members.remove(i);
                 finished.push(m.id);
-                self.finished.push(RetiredMember {
-                    id: m.id,
-                    workload: m.workload,
-                    tokens: m.emitted,
-                });
+                self.finish(m);
             } else {
                 i += 1;
             }
         }
+        let prefilling: Vec<u64> = self
+            .members
+            .iter()
+            .filter(|m| !m.decoding())
+            .map(|m| m.id)
+            .collect();
         Ok(TokenStepOutcome {
             ms,
             batch,
             finished,
+            first_tokens,
+            prefilling,
         })
     }
 
     /// Drains every member that has produced its last token, freeing
-    /// their slots for subsequent admissions.
+    /// their slots for subsequent admissions (their K/V claims were
+    /// released the moment they finished).
     pub fn retire(&mut self) -> Vec<RetiredMember> {
         std::mem::take(&mut self.finished)
     }
@@ -457,6 +699,7 @@ mod tests {
         let out = b.admit(7, Workload::new(6, 1)).unwrap();
         assert!(out.finished);
         assert!(out.prefill_ms > 0.0);
+        assert_eq!(out.pending_prefill, 0);
         assert_eq!(b.live(), 0);
         let retired = b.retire();
         assert_eq!(retired.len(), 1);
@@ -479,5 +722,214 @@ mod tests {
         duo.admit(1, w).unwrap();
         let two = duo.step_token().unwrap().ms;
         assert!(two > one, "batch-2 step {two} !> batch-1 step {one}");
+    }
+
+    // --- K/V capacity admission ------------------------------------
+
+    /// An appliance whose HBM holds the weight shard plus `tokens` of
+    /// K/V claim.
+    fn capped(tokens: u64) -> Appliance {
+        let a = appliance();
+        let m = a.memory_model();
+        appliance()
+            .with_hbm_capacity(m.weight_bytes + tokens * m.kv_bytes_per_token)
+            .unwrap()
+    }
+
+    #[test]
+    fn admission_fails_when_the_kv_claim_exceeds_free_hbm() {
+        // Budget for 20 tokens: one 8+4 member fits, a second does not
+        // until the first finishes.
+        let a = capped(20);
+        let mut b = a.batch_state();
+        b.admit(0, Workload::new(8, 4)).unwrap();
+        assert_eq!(b.kv().committed_tokens(), 12);
+        let err = b.admit(1, Workload::new(8, 4)).unwrap_err();
+        assert!(matches!(err, SimError::Memory(_)), "{err:?}");
+        while b.live() > 0 {
+            b.step_token().unwrap();
+        }
+        // The claim is released the moment the member finishes.
+        assert_eq!(b.kv().committed_tokens(), 0);
+        b.admit(1, Workload::new(8, 4)).unwrap();
+        assert_eq!(b.retire().len(), 1);
+    }
+
+    #[test]
+    fn early_exit_releases_the_full_claim() {
+        let a = capped(40);
+        let mut b = a.batch_state();
+        b.admit(0, Workload::new(8, 24)).unwrap();
+        b.admit(1, Workload::new(4, 2)).unwrap();
+        assert_eq!(b.kv().committed_tokens(), 38);
+        while !b.step_token().unwrap().finished.contains(&1) {}
+        // The short member exited early; its whole 6-token claim is
+        // back, not just what it wrote.
+        assert_eq!(b.kv().committed_tokens(), 32);
+        assert_eq!(b.kv().free_tokens(), 8);
+    }
+
+    // --- Chunked prefill --------------------------------------------
+
+    /// Steps a batch to completion, returning every retired member and
+    /// the total tokens observed step by step.
+    fn drain(b: &mut BatchState<'_>) -> (Vec<RetiredMember>, usize) {
+        let mut tokens = 0;
+        while b.live() > 0 {
+            let step = b.step_token().unwrap();
+            tokens += step.batch + step.first_tokens.len();
+        }
+        (b.retire(), tokens)
+    }
+
+    #[test]
+    fn chunked_prefill_produces_token_identical_output() {
+        let a = appliance();
+        let ws = [Workload::new(24, 6), Workload::new(16, 3)];
+        let run = |chunk: Option<usize>| {
+            let mut b = a.batch_state();
+            b.set_prefill_chunk(chunk);
+            let mut tokens = 0;
+            for (i, &w) in ws.iter().enumerate() {
+                let out = b.admit(i as u64, w).unwrap();
+                if out.pending_prefill == 0 {
+                    tokens += 1; // the prefill's first token
+                }
+            }
+            let (retired, stepped) = drain(&mut b);
+            let mut per_member: Vec<(u64, usize)> =
+                retired.iter().map(|r| (r.id, r.tokens)).collect();
+            per_member.sort_unstable();
+            (per_member, tokens + stepped)
+        };
+        let unchunked = run(None);
+        for chunk in [1, 4, 7, 64] {
+            let chunked = run(Some(chunk));
+            assert_eq!(
+                chunked.0, unchunked.0,
+                "chunk {chunk}: member tokens differ"
+            );
+            assert_eq!(chunked.1, unchunked.1, "chunk {chunk}: total tokens differ");
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_total_cost_matches_unchunked_closely() {
+        // The same per-position programs run in the same order, so the
+        // total timeline differs only by per-chunk float conversion.
+        let a = appliance();
+        let w = Workload::new(24, 4);
+        let unchunked = solo_ms(&a, w);
+        let mut b = a.batch_state();
+        b.set_prefill_chunk(Some(5));
+        b.admit(0, w).unwrap();
+        while b.live() > 0 {
+            b.step_token().unwrap();
+        }
+        assert_eq!(b.retire().len(), 1);
+        let chunked = b.elapsed_ms();
+        assert!(
+            (chunked - unchunked).abs() < 1e-9 * unchunked,
+            "chunked {chunked} vs unchunked {unchunked}"
+        );
+    }
+
+    #[test]
+    fn a_chunk_budget_at_or_above_the_context_is_the_unchunked_path() {
+        let a = appliance();
+        let w = Workload::new(8, 4);
+        let plain = solo_ms(&a, w);
+        let mut b = a.batch_state();
+        b.set_prefill_chunk(Some(w.input_len));
+        let out = b.admit(0, w).unwrap();
+        assert_eq!(out.pending_prefill, 0);
+        while b.live() > 0 {
+            b.step_token().unwrap();
+        }
+        assert_eq!(b.elapsed_ms(), plain, "bit-identical at a covering budget");
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_the_decode_stall() {
+        // A running member decodes while a long prefill joins: unchunked,
+        // one admission stalls decode for the whole context; chunked,
+        // no single step (chunk + decode) costs near that.
+        let a = appliance();
+        let long = Workload::new(96, 4);
+        let mut b = a.batch_state();
+        b.set_prefill_chunk(Some(8));
+        b.admit(0, Workload::new(8, 30)).unwrap();
+        b.step_token().unwrap();
+        let first_chunk = b.admit(1, long).unwrap();
+        assert!(first_chunk.pending_prefill == 88);
+        let mut whole = a.batch_state();
+        let full_prefill = whole.prefill_cost_ms(long.input_len);
+        let mut max_step = first_chunk.prefill_ms;
+        while b.live() > 0 {
+            max_step = max_step.max(b.step_token().unwrap().ms);
+        }
+        assert_eq!(b.retire().len(), 2);
+        assert!(
+            max_step < 0.5 * full_prefill,
+            "worst step {max_step} not well under the {full_prefill} ms whole prefill"
+        );
+    }
+
+    #[test]
+    fn prefilling_members_are_reported_and_produce_no_tokens() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        b.set_prefill_chunk(Some(4));
+        b.admit(0, Workload::new(8, 6)).unwrap(); // 2 chunks: 4 now, 4 later
+        b.admit(1, Workload::new(12, 2)).unwrap(); // 3 chunks: 4 now, 8 later
+                                                   // Prefills complete one chunk per step, oldest first; a member
+                                                   // mid-prefill produces no tokens and is reported as such.
+        let s1 = b.step_token().unwrap();
+        assert_eq!(s1.first_tokens, vec![0]); // member 0 completes, emits
+        assert_eq!(s1.batch, 0); // nobody was decoding yet
+        assert_eq!(s1.prefilling, vec![1]);
+        let s2 = b.step_token().unwrap();
+        assert_eq!(s2.batch, 1); // member 0 decodes...
+        assert_eq!(s2.prefilling, vec![1]); // ...while member 1 prefills
+        let s3 = b.step_token().unwrap();
+        assert_eq!(s3.first_tokens, vec![1]);
+        assert!(s3.prefilling.is_empty());
+        // From the next step both decode.
+        let s4 = b.step_token().unwrap();
+        assert_eq!(s4.batch, 2);
+        assert_eq!(s4.finished, vec![1]); // output 2: done one step later
+        let (retired, _) = drain(&mut b);
+        let mut tokens: Vec<(u64, usize)> = retired.iter().map(|r| (r.id, r.tokens)).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![(0, 6), (1, 2)]);
+    }
+
+    #[test]
+    fn clearing_the_chunk_budget_mid_prefill_finishes_it_whole() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        b.set_prefill_chunk(Some(4));
+        b.admit(0, Workload::new(12, 2)).unwrap();
+        b.set_prefill_chunk(None);
+        // The next step charges the remaining 8 positions in one chunk,
+        // emitting the first token.
+        let step = b.step_token().unwrap();
+        assert_eq!(step.first_tokens, vec![0]);
+        let (retired, _) = drain(&mut b);
+        assert_eq!(retired[0].tokens, 2);
+    }
+
+    #[test]
+    fn estimates_charge_nothing() {
+        let a = appliance();
+        let mut b = a.batch_state();
+        let p = b.prefill_cost_ms(16);
+        let d = b.decode_step_cost_ms(4);
+        assert!(p > 0.0 && d > 0.0);
+        assert_eq!(b.elapsed_ms(), 0.0);
+        assert_eq!(b.kv().committed_tokens(), 0);
+        // The estimate equals what admission then charges.
+        let out = b.admit(0, Workload::new(16, 2)).unwrap();
+        assert_eq!(out.prefill_ms, p);
     }
 }

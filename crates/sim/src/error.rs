@@ -17,6 +17,9 @@ pub enum SimError {
     /// The request-serving engine failed (bad arrival process, empty
     /// backend pool, malformed statistics input, ...).
     Service(String),
+    /// A device-memory budget was exceeded (a K/V claim past the free
+    /// HBM, or an executor writing past its own reservation).
+    Memory(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -26,6 +29,7 @@ impl std::fmt::Display for SimError {
             SimError::LockstepViolation(m) => write!(f, "lockstep violation: {m}"),
             SimError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             SimError::Service(m) => write!(f, "serving failed: {m}"),
+            SimError::Memory(m) => write!(f, "memory budget exceeded: {m}"),
         }
     }
 }

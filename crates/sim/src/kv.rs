@@ -1,0 +1,227 @@
+//! The K/V cache allocator: HBM admission control for multi-request
+//! execution.
+//!
+//! Each U280's HBM holds the core's weight shard *and* the growing K/V
+//! attention state of every live request (paper §IV-B), so the live
+//! batch is bounded by memory, not only by padded shape. [`KvPool`]
+//! brokers that budget for the incremental executor
+//! ([`BatchState`](crate::BatchState)): a member *reserves* its maximum
+//! claim (`input_len + output_len` context positions) at admission —
+//! admission fails when the claim exceeds the free budget — *grows*
+//! its used count as positions are actually written, and *releases*
+//! exactly its reservation when it retires (or exits early: early exit
+//! means a member stops when it is done, so its claim is its high-water
+//! mark either way).
+//!
+//! Reserving the maximum up front (TGI-style budgeting) rather than
+//! growing on demand means an admitted member can never be killed
+//! mid-decode by a later admission: the pool never over-commits, which
+//! the property suite pins down.
+
+use crate::error::SimError;
+use dfx_hw::MemoryModel;
+use std::collections::HashMap;
+
+/// One member's lease on the pool, in context positions (tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Lease {
+    /// Positions reserved at admission (the member's maximum K/V claim).
+    claim_tokens: usize,
+    /// Positions actually written so far.
+    used_tokens: usize,
+}
+
+/// A capacity-aware K/V cache allocator over one device's
+/// [`MemoryModel`].
+///
+/// # Examples
+///
+/// ```
+/// use dfx_hw::MemoryModel;
+/// use dfx_sim::KvPool;
+///
+/// // Room for 100 tokens of K/V next to the weights.
+/// let mut pool = KvPool::new(MemoryModel::new(2048, 1024, 10));
+/// assert_eq!(pool.free_tokens(), 102);
+/// pool.reserve(0, 60).unwrap();
+/// assert!(pool.reserve(1, 60).is_err(), "claim exceeds the free budget");
+/// pool.reserve(1, 40).unwrap();
+/// assert_eq!(pool.release(0), 60);
+/// assert_eq!(pool.free_tokens(), 62);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvPool {
+    memory: MemoryModel,
+    leases: HashMap<u64, Lease>,
+    /// Sum of every live lease's claim, in tokens.
+    committed_tokens: usize,
+}
+
+impl KvPool {
+    /// An empty pool over `memory`'s K/V budget.
+    pub fn new(memory: MemoryModel) -> Self {
+        KvPool {
+            memory,
+            leases: HashMap::new(),
+            committed_tokens: 0,
+        }
+    }
+
+    /// The capacity model the pool allocates against.
+    pub fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+
+    /// Tokens of K/V claim still available.
+    pub fn free_tokens(&self) -> usize {
+        (self.memory.max_resident_tokens() as usize).saturating_sub(self.committed_tokens)
+    }
+
+    /// Tokens committed across every live lease (claims, not writes).
+    pub fn committed_tokens(&self) -> usize {
+        self.committed_tokens
+    }
+
+    /// Bytes committed across every live lease.
+    pub fn committed_bytes(&self) -> u64 {
+        self.memory.kv_claim_bytes(self.committed_tokens)
+    }
+
+    /// Tokens actually written across every live lease.
+    pub fn used_tokens(&self) -> usize {
+        self.leases.values().map(|l| l.used_tokens).sum()
+    }
+
+    /// Number of live leases.
+    pub fn live(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Reserves `claim_tokens` context positions of K/V for member `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Memory`] when the claim exceeds the free
+    /// budget (admission must wait for a retirement), and
+    /// [`SimError::InvalidRequest`] for a zero claim or an id that
+    /// already holds a lease.
+    pub fn reserve(&mut self, id: u64, claim_tokens: usize) -> Result<(), SimError> {
+        if claim_tokens == 0 {
+            return Err(SimError::InvalidRequest(
+                "a K/V reservation must claim at least one token".into(),
+            ));
+        }
+        if self.leases.contains_key(&id) {
+            return Err(SimError::InvalidRequest(format!(
+                "member {id} already holds a K/V lease"
+            )));
+        }
+        if claim_tokens > self.free_tokens() {
+            return Err(SimError::Memory(format!(
+                "K/V claim of {claim_tokens} tokens ({} B) exceeds the free HBM budget of {} \
+                 tokens ({} B free of {} B after the weight shard)",
+                self.memory.kv_claim_bytes(claim_tokens),
+                self.free_tokens(),
+                self.memory.kv_claim_bytes(self.free_tokens()),
+                self.memory.kv_budget_bytes(),
+            )));
+        }
+        self.leases.insert(
+            id,
+            Lease {
+                claim_tokens,
+                used_tokens: 0,
+            },
+        );
+        self.committed_tokens += claim_tokens;
+        Ok(())
+    }
+
+    /// Records `tokens` K/V positions written by member `id` (prefilled
+    /// context or a decoded token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for an unknown id, and
+    /// [`SimError::Memory`] if the writes would exceed the member's own
+    /// reservation — an executor bug, since the claim covers the whole
+    /// sequence by construction.
+    pub fn grow(&mut self, id: u64, tokens: usize) -> Result<(), SimError> {
+        let lease = self.leases.get_mut(&id).ok_or_else(|| {
+            SimError::InvalidRequest(format!("member {id} holds no K/V lease to grow"))
+        })?;
+        if lease.used_tokens + tokens > lease.claim_tokens {
+            return Err(SimError::Memory(format!(
+                "member {id} wrote {} K/V positions past its claim of {}",
+                lease.used_tokens + tokens,
+                lease.claim_tokens
+            )));
+        }
+        lease.used_tokens += tokens;
+        Ok(())
+    }
+
+    /// Releases member `id`'s lease, returning the claim (in tokens) it
+    /// frees — always exactly what [`reserve`](KvPool::reserve) took,
+    /// whether the member ran to completion or exited early. Unknown ids
+    /// free nothing.
+    pub fn release(&mut self, id: u64) -> usize {
+        match self.leases.remove(&id) {
+            Some(lease) => {
+                self.committed_tokens -= lease.claim_tokens;
+                lease.claim_tokens
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(budget_tokens: u64) -> KvPool {
+        // 1 B of weights keeps the arithmetic trivial: budget = tokens.
+        KvPool::new(MemoryModel::new(budget_tokens + 1, 1, 1))
+    }
+
+    #[test]
+    fn reservations_never_exceed_the_budget() {
+        let mut p = pool(10);
+        p.reserve(0, 6).unwrap();
+        assert!(matches!(p.reserve(1, 5), Err(SimError::Memory(_))));
+        p.reserve(1, 4).unwrap();
+        assert_eq!(p.free_tokens(), 0);
+        assert_eq!(p.committed_tokens(), 10);
+        assert!(matches!(p.reserve(2, 1), Err(SimError::Memory(_))));
+    }
+
+    #[test]
+    fn release_frees_exactly_the_claim() {
+        let mut p = pool(10);
+        p.reserve(7, 6).unwrap();
+        p.grow(7, 3).unwrap(); // partial use does not shrink the claim
+        assert_eq!(p.release(7), 6);
+        assert_eq!(p.free_tokens(), 10);
+        assert_eq!(p.used_tokens(), 0);
+        assert_eq!(p.release(7), 0, "double release frees nothing");
+    }
+
+    #[test]
+    fn growth_is_bounded_by_the_claim() {
+        let mut p = pool(10);
+        p.reserve(0, 4).unwrap();
+        p.grow(0, 4).unwrap();
+        assert!(matches!(p.grow(0, 1), Err(SimError::Memory(_))));
+        assert!(matches!(p.grow(9, 1), Err(SimError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn invalid_reservations_are_rejected() {
+        let mut p = pool(10);
+        assert!(matches!(p.reserve(0, 0), Err(SimError::InvalidRequest(_))));
+        p.reserve(0, 2).unwrap();
+        assert!(matches!(p.reserve(0, 2), Err(SimError::InvalidRequest(_))));
+        assert_eq!(p.live(), 1);
+    }
+}

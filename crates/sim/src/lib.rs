@@ -29,6 +29,7 @@ mod continuous;
 mod cost;
 mod error;
 mod gflops;
+mod kv;
 mod pipeline;
 
 pub use accuracy::{paper_tasks, quick_tasks, run_accuracy, AccuracyResult, AccuracyTask};
@@ -39,4 +40,5 @@ pub use continuous::{AdmitOutcome, BatchState, RetiredMember, TokenStepOutcome};
 pub use cost::{ApplianceCost, CostComparison, U280_PRICE_USD, V100_PRICE_USD};
 pub use error::SimError;
 pub use gflops::{dfx_stage_gflops, StageGflops};
+pub use kv::KvPool;
 pub use pipeline::{pipelined_generate_timed, PipelinedRun};

@@ -12,7 +12,10 @@
 //! - [`isa`] — the DFX instruction set and the program builder that lowers
 //!   GPT-2 inference onto it.
 //! - [`hw`] — hardware substrate models: HBM, DDR, DMA with the zigzag
-//!   tiling scheme, the Aurora ring network, FPGA resources, power.
+//!   tiling scheme, the Aurora ring network, FPGA resources, power, and
+//!   the per-device [`MemoryModel`](hw::MemoryModel) capacity model
+//!   (weight-shard residency + K/V bytes per token) the serving stack
+//!   admits against.
 //! - [`core`] — the DFX compute core: scheduler, scoreboard, matrix and
 //!   vector processing units, functional executor and timing engine.
 //! - [`baseline`] — calibrated analytic GPU (4×V100 / Megatron-LM) and TPU
@@ -21,12 +24,13 @@
 //!   experiment harnesses (latency, breakdown, throughput, energy, cost,
 //!   accuracy).
 //! - [`serve`] — the unified [`Backend`](serve::Backend) trait over
-//!   DFX/GPU/TPU (single requests, coalesced batches and token-granular
-//!   [`ContinuousStepper`](serve::ContinuousStepper)s) and the
+//!   DFX/GPU/TPU (single requests, coalesced batches, token-granular
+//!   [`ContinuousStepper`](serve::ContinuousStepper)s and the
+//!   [`memory`](serve::Backend::memory) capacity capability) and the
 //!   request-serving engine (schedulers — size-and-timeout
-//!   [`Batching`](serve::Batching), token-boundary
-//!   [`ContinuousBatching`](serve::ContinuousBatching) — arrival
-//!   processes, tail-latency reports).
+//!   [`Batching`](serve::Batching), token-boundary, memory- and
+//!   prefill-aware [`ContinuousBatching`](serve::ContinuousBatching)
+//!   with chunked prefill — arrival processes, tail-latency reports).
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's sections,
 //! figures and tables onto these crates and the `reproduce` ids that
@@ -72,6 +76,34 @@
 //! let poisson = ArrivalProcess::Poisson { rate_per_s: 10.0, seed: 7 };
 //! let report = ServingEngine::new(&appliance).run(&stream, &poisson)?;
 //! println!("p99 sojourn: {:.1} ms", report.p99_sojourn_ms);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## The HBM/KV memory budget
+//!
+//! Each device's HBM holds the weight shard plus every live request's
+//! K/V attention state (paper §IV-B), so multi-request admission is
+//! capacity-bounded: every member claims `input + output` tokens of
+//! K/V ([`hw::MemoryModel`], brokered by [`sim::KvPool`] inside the
+//! incremental executor), and the continuous-batching disciplines keep
+//! the joint claim within [`Backend::memory`](serve::Backend::memory)'s
+//! budget. [`ContinuousBatching::with_prefill_chunk`](serve::ContinuousBatching::with_prefill_chunk)
+//! additionally splits admission prefills into token-budgeted chunks
+//! interleaved with decode (Sarathi/TGI style), bounding the decode
+//! stall running members feel:
+//!
+//! ```
+//! use dfx::model::GptConfig;
+//! use dfx::sim::Appliance;
+//!
+//! # fn main() -> Result<(), dfx::sim::SimError> {
+//! let appliance = Appliance::timing_only(GptConfig::gpt2_1_5b(), 4)?;
+//! let memory = appliance.memory_model();
+//! // ~0.7 GiB weight shard, 72 KiB of K/V per token, ~105k tokens of
+//! // K/V budget per device.
+//! assert_eq!(memory.kv_bytes_per_token, 73_728);
+//! assert!(memory.max_resident_tokens() > 100_000);
 //! # Ok(())
 //! # }
 //! ```

@@ -34,6 +34,7 @@ impl ContinuousStepper for UnitStepper {
             ms: workload.input_len as f64,
             live: self.members.len(),
             finished: vec![],
+            prefilling: vec![],
         })
     }
 
@@ -55,6 +56,7 @@ impl ContinuousStepper for UnitStepper {
             ms: 1.0,
             live: self.members.len(),
             finished,
+            prefilling: vec![],
         })
     }
 
@@ -405,6 +407,137 @@ proptest! {
             let gpu_ms = gpu.run_batch(&batch).total_ms();
             prop_assert!(gpu_ms >= prev_gpu, "GPU batch {} got cheaper: {} < {}", b, gpu_ms, prev_gpu);
             prev_gpu = gpu_ms;
+        }
+    }
+}
+
+proptest! {
+    // The K/V-conservation suite runs the real cycle model per case.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The `KvPool` never over-commits and frees exactly what it
+    /// reserved, however admissions, early exits and chunked prefills
+    /// interleave: at every step the committed claim stays within the
+    /// budget, refused admissions leave the pool untouched, and once
+    /// everything retires the pool is empty again.
+    #[test]
+    fn kv_pool_never_overcommits_and_frees_exactly_what_it_reserved(
+        specs in proptest::collection::vec((1usize..24, 1usize..16), 1..8),
+        budget_slack in 0u64..32,
+        chunk_raw in 0usize..8,
+    ) {
+        // 0 means no chunk budget (whole-prefill admission).
+        let chunk = (chunk_raw > 0).then_some(chunk_raw);
+        let workloads: Vec<Workload> =
+            specs.into_iter().map(|(i, o)| Workload::new(i, o)).collect();
+        // A budget that fits the largest single claim plus some slack,
+        // so admissions are refused at plausible points.
+        let max_claim = workloads.iter().map(|w| w.input_len + w.output_len).max().unwrap() as u64;
+        let probe = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let m = probe.memory_model();
+        let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2)
+            .unwrap()
+            .with_hbm_capacity(m.weight_bytes + (max_claim + budget_slack) * m.kv_bytes_per_token)
+            .unwrap();
+        let budget_tokens = (max_claim + budget_slack) as usize;
+
+        let mut batch = appliance.batch_state();
+        batch.set_prefill_chunk(chunk);
+        let mut queued: Vec<(u64, Workload)> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u64, w))
+            .rev()
+            .collect();
+        let mut served = 0usize;
+        while served < workloads.len() {
+            // Admit from the queue until the pool refuses.
+            while let Some(&(id, w)) = queued.last() {
+                let committed_before = batch.kv().committed_tokens();
+                match batch.admit(id, w) {
+                    Ok(out) => {
+                        // A member finishing at admission (output 1,
+                        // whole prefill) releases its claim on the spot.
+                        let expect = if out.finished {
+                            committed_before
+                        } else {
+                            committed_before + w.input_len + w.output_len
+                        };
+                        prop_assert_eq!(batch.kv().committed_tokens(), expect);
+                        queued.pop();
+                    }
+                    Err(dfx::sim::SimError::Memory(_)) => {
+                        // A refusal must change nothing.
+                        prop_assert_eq!(batch.kv().committed_tokens(), committed_before);
+                        break;
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                }
+            }
+            prop_assert!(batch.kv().committed_tokens() <= budget_tokens,
+                "over-committed: {} of {}", batch.kv().committed_tokens(), budget_tokens);
+            // Drain members that finished at admission, then step.
+            served += batch.retire().len();
+            if batch.live() > 0 {
+                batch.step_token().unwrap();
+                served += batch.retire().len();
+            } else {
+                prop_assert!(!queued.is_empty(), "live 0 with work unserved and queue empty");
+            }
+        }
+        // Everything retired: every claim came back.
+        prop_assert_eq!(batch.kv().committed_tokens(), 0);
+        prop_assert_eq!(batch.kv().live(), 0);
+    }
+
+    /// Chunked prefill produces token-identical output to unchunked
+    /// prefill: same per-member token counts, same total steps' token
+    /// work, under any chunk budget and admission stagger.
+    #[test]
+    fn chunked_prefill_is_token_identical_to_unchunked(
+        specs in proptest::collection::vec((1usize..24, 1usize..16), 1..6),
+        chunk in 1usize..8,
+        stagger in 0usize..4,
+    ) {
+        let appliance = dfx::sim::Appliance::timing_only(GptConfig::tiny(), 2).unwrap();
+        let workloads: Vec<Workload> =
+            specs.into_iter().map(|(i, o)| Workload::new(i, o)).collect();
+        let run = |chunk: Option<usize>| {
+            let mut batch = appliance.batch_state();
+            batch.set_prefill_chunk(chunk);
+            let mut tokens = 0usize;
+            let mut queued: Vec<(usize, Workload)> =
+                workloads.iter().copied().enumerate().rev().collect();
+            while batch.live() > 0 || !queued.is_empty() {
+                while let Some(&(id, w)) = queued.last() {
+                    let out = batch.admit(id as u64, w).unwrap();
+                    if out.pending_prefill == 0 {
+                        tokens += 1; // whole prefill: first token now
+                    }
+                    queued.pop();
+                    if stagger > 0 {
+                        break;
+                    }
+                }
+                for _ in 0..stagger.max(1) {
+                    if batch.live() == 0 {
+                        break;
+                    }
+                    let step = batch.step_token().unwrap();
+                    tokens += step.batch + step.first_tokens.len();
+                }
+            }
+            let mut retired: Vec<(u64, usize)> =
+                batch.retire().iter().map(|r| (r.id, r.tokens)).collect();
+            retired.sort_unstable();
+            (retired, tokens)
+        };
+        let unchunked = run(None);
+        let chunked = run(Some(chunk));
+        prop_assert_eq!(&chunked.0, &unchunked.0, "per-member tokens differ");
+        prop_assert_eq!(chunked.1, unchunked.1, "total token work differs");
+        for (id, tokens) in &unchunked.0 {
+            prop_assert_eq!(*tokens, workloads[*id as usize].output_len);
         }
     }
 }
