@@ -8,7 +8,7 @@
 //! output)` next to the weights, and capacity — not padded shape —
 //! bounds the live batch ([`Backend::memory`],
 //! [`dfx_sim::KvPool`](dfx_sim::KvPool)). This experiment measures that
-//! memory layer end to end on the DFX appliance, in three sweeps:
+//! memory layer end to end on the DFX appliance, in four sweeps:
 //!
 //! 1. **HBM capacity × saturating backlog** — the peak live batch
 //!    tracks how many K/V claims fit next to the weight shard, not the
@@ -21,7 +21,13 @@
 //! 3. **admission policy** — prefill-aware deferral
 //!    ([`ContinuousBatching::with_slo`]) vs greedy admission under
 //!    load: the guard refuses joins whose prefill stall would blow the
-//!    running members' deadlines.
+//!    running members' deadlines;
+//! 4. **paged vs reserved allocation** — at equal (tight) HBM, the
+//!    block-table allocator ([`dfx_sim::BlockPool`]) admits on prompt
+//!    *blocks* and grows page-by-page instead of reserving the full
+//!    input+output claim up front, recovering live batch and goodput;
+//!    with a shared system prompt, the ref-counted prefix cache skips
+//!    redundant prefill and the sweep reports the hit rate.
 //!
 //! Knobs: model/devices, request count, the capacity grid (in
 //! concurrent chatbot-claims), the chunk-budget grid, the rate grid and
@@ -39,7 +45,7 @@ use dfx_model::{GptConfig, Workload};
 use dfx_serve::{
     chatbot_mix, ArrivalProcess, Backend, ContinuousBatching, Scheduler, ServingEngine,
 };
-use dfx_sim::Appliance;
+use dfx_sim::{Appliance, PagedKvConfig, PreemptionPolicy};
 
 /// The uniform per-request shape of the capacity sweep: the paper's
 /// chatbot point, clamped for short-context smoke configurations.
@@ -236,6 +242,130 @@ pub fn run_setup(
         ]);
     }
     report.table(policy_table);
+
+    // --- 4. Paged vs reserved K/V at equal HBM ------------------------
+    // Block size and system-prompt length for the paged configurations.
+    // The chatbot mix's largest claim is 288 tokens (2.25 chatbot
+    // points), so 3 claim-points is the tightest capacity at which the
+    // reserved allocator can still admit every request solo.
+    let block_tokens = 16;
+    let shared_prefix = 32;
+    let paged_claims = [3usize, 4, 6];
+    let mut paged_table = MdTable::new(
+        format!(
+            "Paged vs reserved K/V at equal HBM: {n_requests} saturating chatbot-mix requests, \
+             continuous max batch {max_batch}; reserved admission claims the full input+output \
+             up front, paged admission ({block_tokens}-token blocks) gates on prompt blocks and \
+             grows page-by-page, preempting on exhaustion"
+        ),
+        &[
+            "HBM (claims)",
+            "allocator",
+            "peak live batch",
+            "preempt",
+            "prefix hit",
+            "p99 ms",
+            "goodput tok/s",
+            "vs reserved",
+        ],
+    );
+    let backlog_mix = ArrivalProcess::Trace(vec![0.0; mix.len()]);
+    let mut headline: Option<(f64, f64, f64)> = None;
+    for &claims in &paged_claims {
+        let capacity =
+            memory.weight_bytes + claims as u64 * claim_tokens * memory.kv_bytes_per_token;
+        let capped = || {
+            Appliance::timing_only(cfg.clone(), devices)
+                .expect("partitionable")
+                .with_hbm_capacity(capacity)
+                .expect("capacity holds the shard")
+        };
+        let run = |appliance: &Appliance| {
+            ServingEngine::new(appliance)
+                .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
+                .run(&mix, &backlog_mix)
+                .expect("valid stream")
+        };
+        let allocators: Vec<(&str, Appliance)> = vec![
+            ("reserved", capped()),
+            (
+                "paged/recompute",
+                capped()
+                    .with_kv_paging(PagedKvConfig::new(block_tokens))
+                    .expect("block size fits"),
+            ),
+            (
+                "paged/retain",
+                capped()
+                    .with_kv_paging(
+                        PagedKvConfig::new(block_tokens).with_policy(PreemptionPolicy::Retain),
+                    )
+                    .expect("block size fits"),
+            ),
+            (
+                "paged/retain+prefix",
+                capped()
+                    .with_kv_paging(
+                        PagedKvConfig::new(block_tokens)
+                            .with_policy(PreemptionPolicy::Retain)
+                            .with_shared_prefix(shared_prefix),
+                    )
+                    .expect("block size fits"),
+            ),
+        ];
+        let mut reserved_goodput = 0.0;
+        for (label, appliance) in &allocators {
+            let r = run(appliance);
+            let (preempt, hit) = match &r.paging {
+                Some(s) => (
+                    s.preemptions.to_string(),
+                    format!("{:.1}%", s.hit_rate() * 100.0),
+                ),
+                None => ("-".into(), "-".into()),
+            };
+            let vs = if *label == "reserved" {
+                reserved_goodput = r.goodput_tps;
+                "-".into()
+            } else {
+                let gain = 100.0 * (r.goodput_tps / reserved_goodput - 1.0);
+                match *label {
+                    "paged/retain" => {
+                        let h = headline.get_or_insert((gain, 0.0, 0.0));
+                        h.0 = h.0.max(gain);
+                    }
+                    "paged/retain+prefix" => {
+                        if let Some(h) = headline.as_mut() {
+                            h.1 = h.1.max(gain);
+                            h.2 = h.2.max(r.paging.map_or(0.0, |s| s.hit_rate()));
+                        }
+                    }
+                    _ => {}
+                }
+                format!("{gain:+.1}%")
+            };
+            paged_table.push_row(vec![
+                claims.to_string(),
+                (*label).into(),
+                r.peak_live_batch.to_string(),
+                preempt,
+                hit,
+                fmt(r.p99_sojourn_ms, 0),
+                fmt(r.goodput_tps, 1),
+                vs,
+            ]);
+        }
+    }
+    report.table(paged_table);
+    if let Some((gain, prefix_gain, hit)) = headline {
+        report.note(format!(
+            "Paged allocation ({block_tokens}-token blocks, retain preemption) recovers up to \
+             {gain:+.1}% goodput over max-claim reservation at equal HBM; sharing a \
+             {shared_prefix}-token system prompt through the prefix cache lifts that to \
+             {prefix_gain:+.1}% with {:.1}% of shared-prefix prompt tokens served from cached \
+             blocks instead of recomputed.",
+            hit * 100.0,
+        ));
+    }
     report
 }
 
@@ -307,6 +437,65 @@ mod tests {
             "goodput moved: chunked {} vs whole {}",
             chunked.goodput_tps,
             whole.goodput_tps
+        );
+    }
+
+    #[test]
+    fn paged_allocation_recovers_goodput_over_reservation_at_tight_capacity() {
+        // The acceptance criterion of sweep 4: at equal (tight) HBM,
+        // block-granular admission strictly beats max-claim reservation
+        // on peak live batch and goodput, and the shared-prefix cache
+        // serves a non-zero fraction of prompt tokens.
+        let cfg = smoke_cfg();
+        let dfx = Appliance::timing_only(cfg.clone(), 1).unwrap();
+        let memory = dfx.memory_model();
+        let point = claim_point(&cfg);
+        let claim_tokens = (point.input_len + point.output_len) as u64;
+        let capacity = memory.weight_bytes + 3 * claim_tokens * memory.kv_bytes_per_token;
+        let capped = || {
+            Appliance::timing_only(cfg.clone(), 1)
+                .unwrap()
+                .with_hbm_capacity(capacity)
+                .unwrap()
+        };
+        let mix = chatbot_mix(16, cfg.max_seq_len);
+        let backlog = ArrivalProcess::Trace(vec![0.0; mix.len()]);
+        let run = |appliance: &Appliance| {
+            ServingEngine::new(appliance)
+                .with_scheduler(Box::new(ContinuousBatching::new(8)))
+                .run(&mix, &backlog)
+                .unwrap()
+        };
+        let reserved = run(&capped());
+        let paged = run(&capped()
+            .with_kv_paging(PagedKvConfig::new(16).with_policy(PreemptionPolicy::Retain))
+            .unwrap());
+        assert!(
+            paged.peak_live_batch > reserved.peak_live_batch,
+            "paged peak {} !> reserved peak {}",
+            paged.peak_live_batch,
+            reserved.peak_live_batch
+        );
+        assert!(
+            paged.goodput_tps > reserved.goodput_tps,
+            "paged goodput {} !> reserved {}",
+            paged.goodput_tps,
+            reserved.goodput_tps
+        );
+        let cached = run(&capped()
+            .with_kv_paging(
+                PagedKvConfig::new(16)
+                    .with_policy(PreemptionPolicy::Retain)
+                    .with_shared_prefix(32),
+            )
+            .unwrap());
+        let stats = cached.paging.expect("paged run reports stats");
+        assert!(stats.hit_rate() > 0.0, "prefix cache never hit: {stats:?}");
+        assert!(
+            cached.goodput_tps > reserved.goodput_tps,
+            "prefix-cached goodput {} !> reserved {}",
+            cached.goodput_tps,
+            reserved.goodput_tps
         );
     }
 

@@ -125,13 +125,15 @@ fn memory_experiment_produces_report_on_a_tiny_config() {
     let cfg = GptConfig::new("memory-smoke", 64, 2, 2, 512, 640);
     let report = experiments::memory_setup(cfg, 1, 12, &[1, 2], &[8], &[5.0, 50.0], 4);
     assert_well_formed(&report, "memory");
-    assert_eq!(report.tables.len(), 3);
+    assert_eq!(report.tables.len(), 4);
     // 2 capacities + the unbounded row.
     assert_eq!(report.tables[0].rows.len(), 3);
     // 2 rates x (whole + 1 chunk budget).
     assert_eq!(report.tables[1].rows.len(), 4);
     // greedy, slo-deferral, slo + chunk.
     assert_eq!(report.tables[2].rows.len(), 3);
+    // 3 paged-sweep capacities x 4 allocators.
+    assert_eq!(report.tables[3].rows.len(), 12);
 }
 
 #[test]

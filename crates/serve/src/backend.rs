@@ -192,7 +192,10 @@ pub trait Backend {
     /// on each device. The engine threads it into both scheduling
     /// paths — [`batch_feasible`](Backend::batch_feasible) on the
     /// static path, [`AdmissionProbe::kv_fits`](crate::AdmissionProbe)
-    /// at token boundaries.
+    /// at token boundaries. A paged-K/V stepper refines the
+    /// token-boundary check to block granularity through
+    /// [`ContinuousStepper::kv_fits_resident`]; this whole-claim model
+    /// stays the fallback.
     fn memory(&self) -> Option<MemoryModel> {
         None
     }
@@ -270,7 +273,18 @@ pub fn validate_workload(w: Workload) -> Result<(), SimError> {
 
 impl Backend for Appliance {
     fn name(&self) -> String {
-        format!("DFX ({}x U280, {})", self.num_fpgas(), self.config().name)
+        // Paged appliances name themselves distinctly: reports stay
+        // self-describing and result memoization keyed by backend name
+        // never conflates the two allocators.
+        match self.kv_paging() {
+            Some(paging) => format!(
+                "DFX ({}x U280, {}, paged KV/{})",
+                self.num_fpgas(),
+                self.config().name,
+                paging.block_tokens,
+            ),
+            None => format!("DFX ({}x U280, {})", self.num_fpgas(), self.config().name),
+        }
     }
 
     fn device_count(&self) -> usize {
@@ -320,9 +334,19 @@ impl Backend for Appliance {
         // HBM budget — the same checks generate_batch_timed enforces.
         let input = batch.iter().map(|w| w.input_len).max().unwrap_or(0);
         let output = batch.iter().map(|w| w.output_len).max().unwrap_or(0);
-        !batch.is_empty()
-            && input + output <= self.config().max_seq_len
-            && padded_kv_fits(&self.memory_model(), batch)
+        let kv_fits = match self.kv_paging() {
+            // Block granularity: members of a static batch all peak
+            // together, so paging rounds each padded footprint up to
+            // whole blocks (generate_batch_timed enforces the same).
+            Some(paging) => {
+                let memory = self.memory_model();
+                let per_member = (input + output).div_ceil(paging.block_tokens);
+                let total = memory.max_resident_tokens() as usize / paging.block_tokens;
+                batch.len() * per_member <= total
+            }
+            None => padded_kv_fits(&self.memory_model(), batch),
+        };
+        !batch.is_empty() && input + output <= self.config().max_seq_len && kv_fits
     }
 
     fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {

@@ -25,7 +25,7 @@ use crate::stats;
 use crate::stepper::ContinuousStepper;
 use dfx_hw::MemoryModel;
 use dfx_model::Workload;
-use dfx_sim::SimError;
+use dfx_sim::{PagingStats, SimError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -117,6 +117,13 @@ pub struct ServiceReport {
     /// under a chunked-prefill discipline) interleave with its steps.
     /// Zero on the static path and when no member ever emitted twice.
     pub p99_token_gap_ms: f64,
+    /// Paged-K/V counters summed across the pool's steppers (block
+    /// capacity, peak occupancy and fragmentation, prefix-cache
+    /// hit/computed tokens, preemptions). `None` unless at least one
+    /// server allocated K/V in blocks
+    /// ([`Appliance::with_kv_paging`](dfx_sim::Appliance)) on the
+    /// token-boundary path.
+    pub paging: Option<PagingStats>,
 }
 
 impl ServiceReport {
@@ -458,6 +465,7 @@ impl<'a> ServingEngine<'a> {
             dispatches,
             peak_live_batch,
             &[],
+            None,
         )
     }
 
@@ -530,6 +538,12 @@ impl<'a> ServingEngine<'a> {
                 self.stepper.step_cost_ms(live)
             }
             fn kv_fits(&self, members: &[Workload]) -> bool {
+                // A paged stepper answers at block granularity (free
+                // blocks vs the joiners' prompts); otherwise fall back
+                // to summing whole `input + output` claims.
+                if let Some(fits) = self.stepper.kv_fits_resident(members) {
+                    return fits;
+                }
                 self.memory.is_none_or(|m| {
                     let tokens: usize = members.iter().map(|w| w.input_len + w.output_len).sum();
                     m.fits_tokens(tokens)
@@ -760,6 +774,17 @@ impl<'a> ServingEngine<'a> {
             }
         }
 
+        // Pool-wide paged-K/V counters, when any stepper pages.
+        let mut paging: Option<PagingStats> = None;
+        for run in &runs {
+            if let Some(stats) = run.stepper.kv_stats() {
+                match paging.as_mut() {
+                    Some(merged) => merged.merge(&stats),
+                    None => paging = Some(stats),
+                }
+            }
+        }
+
         self.report(
             workloads,
             responses,
@@ -767,9 +792,11 @@ impl<'a> ServingEngine<'a> {
             dispatches,
             peak_live_batch,
             &token_gaps,
+            paging,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         workloads: &[Workload],
@@ -778,6 +805,7 @@ impl<'a> ServingEngine<'a> {
         dispatches: usize,
         peak_live_batch: usize,
         token_gaps: &[f64],
+        paging: Option<PagingStats>,
     ) -> Result<ServiceReport, SimError> {
         let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
 
@@ -833,6 +861,7 @@ impl<'a> ServingEngine<'a> {
             dispatches,
             peak_live_batch,
             p99_token_gap_ms,
+            paging,
             responses,
         })
     }

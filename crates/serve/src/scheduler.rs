@@ -70,7 +70,12 @@ pub trait AdmissionProbe {
 
     /// Whether the K/V claims of `members` (running *and* joining — the
     /// caller passes the would-be resident set) fit the device's free
-    /// HBM budget together.
+    /// HBM budget together. The granularity is the backend's: summed
+    /// whole `input + output` claims on a reserved allocator, free
+    /// *blocks* against the joiners' prompts on a paged one
+    /// ([`ContinuousStepper::kv_fits_resident`](crate::ContinuousStepper::kv_fits_resident))
+    /// — the same scheduler admits more aggressively on a paged backend
+    /// without any code change here.
     fn kv_fits(&self, members: &[Workload]) -> bool;
 }
 
@@ -415,7 +420,9 @@ impl Scheduler for Batching {
 /// a free slot (up to `max_batch`) *and* the joint K/V claim of the
 /// running members plus the candidate fits the device's HBM budget
 /// ([`AdmissionProbe::kv_fits`] — vacuously true on backends without a
-/// [`memory`](crate::Backend::memory) model). It never holds a server
+/// [`memory`](crate::Backend::memory) model, block-granular on a
+/// paged-K/V appliance, where prompts rather than whole claims gate
+/// admission). It never holds a server
 /// to let a batch fill — admission is greedy because a joining member
 /// costs only its own prefill, not a padded re-run of the whole batch.
 /// Members exit the moment they produce their last token, releasing

@@ -45,10 +45,12 @@ pub struct StepEvent {
     pub live: usize,
     /// Member ids that produced their last token during the operation.
     pub finished: Vec<u64>,
-    /// Member ids that produced *no* token during the operation because
-    /// their prefill is still in flight (admitted under a chunk budget,
-    /// or queued behind another member's chunks). Always empty on
-    /// steppers without chunked prefill.
+    /// Member ids that produced *no* token during the operation: their
+    /// prefill is still in flight (admitted under a chunk budget, or
+    /// queued behind another member's chunks), or — on a paged-K/V
+    /// stepper — they were preempted, are parked in DDR, or spent the
+    /// step being restored. Always empty on steppers without chunked
+    /// prefill or paging.
     pub prefilling: Vec<u64>,
 }
 
@@ -127,6 +129,25 @@ pub trait ContinuousStepper {
         let _ = live;
         0.0
     }
+
+    /// Backend-granular K/V feasibility of a hypothetical resident set
+    /// (current live members plus candidates), when the stepper can
+    /// answer more precisely than summed whole claims — the paged
+    /// appliance stepper counts free *blocks* against the joiners'
+    /// prompts. `None` (the default) tells the engine's
+    /// [`AdmissionProbe`](crate::AdmissionProbe) to fall back to the
+    /// claim-sum check against [`Backend::memory`](crate::Backend).
+    fn kv_fits_resident(&self, members: &[Workload]) -> Option<bool> {
+        let _ = members;
+        None
+    }
+
+    /// Paged-K/V run counters ([`dfx_sim::PagingStats`]), when the
+    /// stepper allocates K/V in blocks. `None` (the default) on
+    /// reserved-claim and memory-less steppers.
+    fn kv_stats(&self) -> Option<dfx_sim::PagingStats> {
+        None
+    }
 }
 
 /// The appliance stepper: a thin adapter over [`dfx_sim::BatchState`]
@@ -185,6 +206,14 @@ impl ContinuousStepper for ApplianceStepper<'_> {
 
     fn step_cost_ms(&mut self, live: usize) -> f64 {
         self.state.decode_step_cost_ms(live)
+    }
+
+    fn kv_fits_resident(&self, members: &[Workload]) -> Option<bool> {
+        self.state.resident_kv_fits(members)
+    }
+
+    fn kv_stats(&self) -> Option<dfx_sim::PagingStats> {
+        self.state.paging_stats()
     }
 }
 

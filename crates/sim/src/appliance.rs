@@ -162,6 +162,10 @@ pub struct Appliance {
     /// overridden by [`with_hbm_capacity`](Appliance::with_hbm_capacity)
     /// for capacity sweeps).
     hbm_capacity_bytes: u64,
+    /// Paged K/V allocation, when enabled by
+    /// [`with_kv_paging`](Appliance::with_kv_paging); `None` keeps the
+    /// reserved [`KvPool`](crate::KvPool) path.
+    kv_paging: Option<crate::PagedKvConfig>,
 }
 
 impl std::fmt::Debug for Appliance {
@@ -215,6 +219,7 @@ impl Appliance {
             timing: TimingCore::new(params, num_fpgas as u32),
             mode: Mode::TimingOnly,
             hbm_capacity_bytes: dfx_hw::HbmModel::default().capacity_bytes,
+            kv_paging: None,
         })
     }
 
@@ -237,6 +242,7 @@ impl Appliance {
             timing: TimingCore::new(CoreParams::default(), num_fpgas as u32),
             mode: Mode::Functional(Box::new(cluster)),
             hbm_capacity_bytes: dfx_hw::HbmModel::default().capacity_bytes,
+            kv_paging: None,
         })
     }
 
@@ -265,6 +271,44 @@ impl Appliance {
         }
         self.hbm_capacity_bytes = capacity_bytes;
         Ok(self)
+    }
+
+    /// Switches the incremental executor to paged K/V allocation
+    /// ([`BlockPool`](crate::BlockPool)): admission takes blocks for the
+    /// prompt rather than reserving the whole `input + output` claim,
+    /// K/V grows page by page, exhaustion preempts under
+    /// `cfg`'s [`PreemptionPolicy`](crate::PreemptionPolicy), and a
+    /// non-zero `shared_prefix_tokens` enables the prefix cache. The
+    /// reserved [`KvPool`](crate::KvPool) path stays the default — and
+    /// stays bit-identical — when this is never called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for a zero block size and
+    /// [`SimError::Partition`] when the K/V budget is smaller than one
+    /// block (a pool with zero blocks can admit nothing).
+    pub fn with_kv_paging(mut self, cfg: crate::PagedKvConfig) -> Result<Self, SimError> {
+        if cfg.block_tokens == 0 {
+            return Err(SimError::InvalidRequest(
+                "a K/V block must hold at least 1 token".into(),
+            ));
+        }
+        let model = self.memory_model();
+        if (model.max_resident_tokens() as usize) < cfg.block_tokens {
+            return Err(SimError::Partition(format!(
+                "the K/V budget of {} tokens cannot hold a single {}-token block; \
+                 use a smaller block size or a larger capacity",
+                model.max_resident_tokens(),
+                cfg.block_tokens,
+            )));
+        }
+        self.kv_paging = Some(cfg);
+        Ok(self)
+    }
+
+    /// The paged-K/V configuration, when enabled.
+    pub fn kv_paging(&self) -> Option<&crate::PagedKvConfig> {
+        self.kv_paging.as_ref()
     }
 
     /// The per-device HBM capacity model: the always-resident weight

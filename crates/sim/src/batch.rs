@@ -146,9 +146,25 @@ impl Appliance {
         // covers every member.
         self.check_workload(padded)?;
         // Every member's K/V cache grows at the padded shape, and all of
-        // them are resident at once on each device.
+        // them are resident at once on each device. Under paged K/V the
+        // same static claim is checked at block granularity (members all
+        // peak together here, so paging only rounds each member's
+        // footprint up to whole blocks).
         let memory = self.memory_model();
         let claim_tokens = batch.len() * padded.total_steps();
+        if let Some(paging) = self.kv_paging() {
+            let per_member = padded.total_steps().div_ceil(paging.block_tokens);
+            let total = memory.max_resident_tokens() as usize / paging.block_tokens;
+            if batch.len() * per_member > total {
+                return Err(SimError::Memory(format!(
+                    "a {}-way batch padded to {padded} claims {} K/V blocks of {} tokens, \
+                     over the pool's {total}",
+                    batch.len(),
+                    batch.len() * per_member,
+                    paging.block_tokens,
+                )));
+            }
+        }
         if !memory.fits_tokens(claim_tokens) {
             return Err(SimError::Memory(format!(
                 "a {}-way batch padded to {padded} claims {claim_tokens} tokens of K/V \

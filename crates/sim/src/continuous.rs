@@ -57,8 +57,26 @@
 //! Decode steps at heterogeneous positions are charged at the *largest*
 //! live position (the attention shape the hardware would pad to within
 //! the step).
+//!
+//! # Paged K/V allocation
+//!
+//! With [`Appliance::with_kv_paging`] the executor swaps the reserved
+//! [`KvPool`] for a [`BlockPool`](crate::BlockPool): admission takes
+//! blocks for the member's *prompt* only, decode grows the block table
+//! page by page, and a grow that finds the pool exhausted preempts the
+//! youngest co-tenant under the configured
+//! [`PreemptionPolicy`](crate::PreemptionPolicy) — recompute (the
+//! victim's prefill re-runs over everything it had materialised, LM
+//! head on every already-emitted position, and it resumes decoding
+//! with its emitted count intact) or retain (its blocks swap to DDR,
+//! charged through [`dfx_hw::DdrModel`], and stream back when capacity
+//! returns). A non-zero shared-prefix length additionally routes every
+//! admission through the ref-counted prefix cache, skipping both the
+//! K/V bytes and the prefill compute of cached prompt blocks. The
+//! reserved path stays the default and is untouched bit for bit.
 
 use crate::appliance::Appliance;
+use crate::block::{BlockPool, PagedKvConfig, PagingStats, PreemptionPolicy, Prefix};
 use crate::error::SimError;
 use crate::kv::KvPool;
 use dfx_model::Workload;
@@ -88,11 +106,15 @@ pub struct AdmitOutcome {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TokenStepOutcome {
     /// Time the step added to the shared timeline, ms (a prefill chunk,
-    /// if one was in flight, plus the decode pass).
+    /// if one was in flight, plus the decode pass; under paged K/V,
+    /// also any preemption swaps the step forced).
     pub ms: f64,
     /// Decoding members the step advanced — also the number of output
     /// tokens the step produced for *previously running* members (one
-    /// per decoding member, never padding).
+    /// per decoding member, never padding). Under paged K/V a member
+    /// preempted mid-step by a co-tenant's growth is not counted, even
+    /// though the decode pass was charged at the pre-preemption batch
+    /// shape (the hardware step it was padded into ran regardless).
     pub batch: usize,
     /// Ids of members that produced their last token in this step; they
     /// are ready to [`retire`](BatchState::retire) and no longer count
@@ -103,7 +125,9 @@ pub struct TokenStepOutcome {
     pub first_tokens: Vec<u64>,
     /// Ids of live members that produced *no* token this step: their
     /// prefill is still in flight (mid-chunk or queued behind another
-    /// member's). Always empty without a chunk budget.
+    /// member's) or — under paged K/V — they are preempted, parked in
+    /// DDR, or were resumed this step. Always empty without a chunk
+    /// budget on the reserved path.
     pub prefilling: Vec<u64>,
 }
 
@@ -115,25 +139,124 @@ pub struct RetiredMember {
     /// The member's workload.
     pub workload: Workload,
     /// Output tokens the member produced — always exactly
-    /// `workload.output_len`: early exit means a member stops *when it
-    /// is done*, not that it is truncated.
+    /// `workload.output_len` when drained by
+    /// [`BatchState::retire`]: early exit means a member stops *when it
+    /// is done*, not that it is truncated. Only
+    /// [`BatchState::cancel`] returns fewer: the tokens produced before
+    /// the cancellation.
     pub tokens: usize,
 }
 
 struct Member {
     id: u64,
     workload: Workload,
-    /// Context positions prefilled so far (`== input_len` once the
+    /// Context positions prefilled so far (`== prefill_target` once the
     /// member decodes).
     prefilled: usize,
+    /// Positions the member must have materialised before it can
+    /// decode. `input_len` normally; after a recompute preemption,
+    /// everything it had written (`input_len + emitted − 1`), since the
+    /// generated positions' K/V must come back too.
+    prefill_target: usize,
     /// Output tokens produced so far (completing the prefill produces
     /// the first).
     emitted: usize,
+    /// Tokens swapped out to DDR by a retain preemption (`None` when
+    /// resident). A parked member holds no HBM blocks and makes no
+    /// progress until swapped back in.
+    parked: Option<usize>,
 }
 
 impl Member {
     fn decoding(&self) -> bool {
-        self.prefilled == self.workload.input_len
+        self.parked.is_none() && self.prefilled == self.prefill_target
+    }
+}
+
+/// The K/V allocator behind a [`BatchState`]: the reserved max-claim
+/// [`KvPool`] (the default) or the paged [`BlockPool`].
+enum KvBacking {
+    Reserved(KvPool),
+    Paged { pool: BlockPool, cfg: PagedKvConfig },
+}
+
+impl KvBacking {
+    fn release(&mut self, id: u64) {
+        match self {
+            KvBacking::Reserved(pool) => {
+                pool.release(id);
+            }
+            KvBacking::Paged { pool, .. } => {
+                pool.release(id);
+            }
+        }
+    }
+}
+
+/// A read-only view of a [`BatchState`]'s K/V allocator that works for
+/// both backings. Token-granular figures are reported at each backing's
+/// own commitment granularity: whole claims for the reserved
+/// [`KvPool`], whole blocks for the paged [`BlockPool`].
+pub struct KvView<'a> {
+    backing: &'a KvBacking,
+}
+
+impl KvView<'_> {
+    /// Tokens of capacity committed (reserved: live claims; paged:
+    /// blocks neither free nor idle-cached).
+    pub fn committed_tokens(&self) -> usize {
+        match self.backing {
+            KvBacking::Reserved(pool) => pool.committed_tokens(),
+            KvBacking::Paged { pool, .. } => pool.committed_tokens(),
+        }
+    }
+
+    /// Tokens still available to admissions and growth.
+    pub fn free_tokens(&self) -> usize {
+        match self.backing {
+            KvBacking::Reserved(pool) => pool.free_tokens(),
+            KvBacking::Paged { pool, .. } => pool.free_tokens(),
+        }
+    }
+
+    /// Context positions actually materialised across live leases.
+    pub fn used_tokens(&self) -> usize {
+        match self.backing {
+            KvBacking::Reserved(pool) => pool.used_tokens(),
+            KvBacking::Paged { pool, .. } => pool.used_tokens(),
+        }
+    }
+
+    /// Number of live leases.
+    pub fn live(&self) -> usize {
+        match self.backing {
+            KvBacking::Reserved(pool) => pool.live(),
+            KvBacking::Paged { pool, .. } => pool.live(),
+        }
+    }
+
+    /// The capacity model the allocator budgets against.
+    pub fn memory(&self) -> &dfx_hw::MemoryModel {
+        match self.backing {
+            KvBacking::Reserved(pool) => pool.memory(),
+            KvBacking::Paged { pool, .. } => pool.memory(),
+        }
+    }
+
+    /// The reserved pool, when that backing is active.
+    pub fn reserved(&self) -> Option<&KvPool> {
+        match self.backing {
+            KvBacking::Reserved(pool) => Some(pool),
+            KvBacking::Paged { .. } => None,
+        }
+    }
+
+    /// The block pool, when paged K/V is active.
+    pub fn paged(&self) -> Option<&BlockPool> {
+        match self.backing {
+            KvBacking::Reserved(_) => None,
+            KvBacking::Paged { pool, .. } => Some(pool),
+        }
     }
 }
 
@@ -179,8 +302,10 @@ pub struct BatchState<'a> {
     members: Vec<Member>,
     finished: Vec<RetiredMember>,
     elapsed_ms: f64,
-    /// The K/V allocator over the appliance's per-device HBM budget.
-    kv: KvPool,
+    /// The K/V allocator over the appliance's per-device HBM budget
+    /// (reserved claims by default; paged blocks under
+    /// [`Appliance::with_kv_paging`]).
+    kv: KvBacking,
     /// Prefill chunk budget in tokens (`None`: whole-prefill admission).
     prefill_chunk: Option<usize>,
     /// Decode-step cost by `(program position, live batch)`.
@@ -195,7 +320,10 @@ pub struct BatchState<'a> {
 
 impl Appliance {
     /// Creates an empty incremental batch executor over this appliance,
-    /// with a [`KvPool`] sized by [`memory_model`](Appliance::memory_model).
+    /// with a K/V allocator sized by
+    /// [`memory_model`](Appliance::memory_model): a [`KvPool`] by
+    /// default, a [`BlockPool`] under
+    /// [`with_kv_paging`](Appliance::with_kv_paging).
     ///
     /// See [`BatchState`] for the admit / step / retire cycle.
     pub fn batch_state(&self) -> BatchState<'_> {
@@ -204,7 +332,13 @@ impl Appliance {
             members: Vec::new(),
             finished: Vec::new(),
             elapsed_ms: 0.0,
-            kv: KvPool::new(self.memory_model()),
+            kv: match self.kv_paging() {
+                Some(&cfg) => KvBacking::Paged {
+                    pool: BlockPool::new(self.memory_model(), cfg.block_tokens),
+                    cfg,
+                },
+                None => KvBacking::Reserved(KvPool::new(self.memory_model())),
+            },
             prefill_chunk: None,
             step_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
@@ -226,9 +360,18 @@ impl BatchState<'_> {
         self.elapsed_ms
     }
 
-    /// The K/V allocator: inspect committed/free budget from outside.
-    pub fn kv(&self) -> &KvPool {
-        &self.kv
+    /// The K/V allocator: inspect committed/free budget from outside
+    /// (both backings answer through the same [`KvView`]).
+    pub fn kv(&self) -> KvView<'_> {
+        KvView { backing: &self.kv }
+    }
+
+    /// Paged-K/V run counters, when paged allocation is active.
+    pub fn paging_stats(&self) -> Option<PagingStats> {
+        match &self.kv {
+            KvBacking::Reserved(_) => None,
+            KvBacking::Paged { pool, .. } => Some(pool.stats()),
+        }
     }
 
     /// Sets the prefill chunk budget: admissions charge at most `chunk`
@@ -320,11 +463,13 @@ impl BatchState<'_> {
     }
 
     /// Charges positions `from..to` of `workload`'s prefill (LM head on
-    /// the context's last position), returning the chunk's cost in ms.
+    /// the context's last position and on every generated position — the
+    /// latter only arise when a recompute preemption replays decode
+    /// output), returning the chunk's cost in ms.
     fn charge_prefill_chunk(&mut self, workload: Workload, from: usize, to: usize) -> f64 {
         let mut cycles = dfx_hw::Cycles::ZERO;
         for pos in from..to {
-            let lm = pos + 1 == workload.input_len;
+            let lm = pos + 1 >= workload.input_len;
             cycles += self.prefill_pos_cycles(pos, lm);
         }
         let ms = cycles.to_millis();
@@ -332,7 +477,7 @@ impl BatchState<'_> {
         ms
     }
 
-    /// Moves a member to the finished list, releasing its K/V claim.
+    /// Moves a member to the finished list, releasing its K/V lease.
     fn finish(&mut self, member: Member) {
         self.kv.release(member.id);
         self.finished.push(RetiredMember {
@@ -340,6 +485,33 @@ impl BatchState<'_> {
             workload: member.workload,
             tokens: member.emitted,
         });
+    }
+
+    /// Cancels live member `id` mid-flight — mid-prefill, parked, or
+    /// decoding — releasing its whole K/V lease immediately (a lease is
+    /// freed in full however a member exits; see
+    /// [`KvPool::release`]). The member is returned with the tokens it
+    /// actually produced and is *not* queued for
+    /// [`retire`](BatchState::retire); its id becomes reusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for an id that is not live.
+    pub fn cancel(&mut self, id: u64) -> Result<RetiredMember, SimError> {
+        let i = self
+            .members
+            .iter()
+            .position(|m| m.id == id)
+            .ok_or_else(|| {
+                SimError::InvalidRequest(format!("member {id} is not live, nothing to cancel"))
+            })?;
+        let member = self.members.remove(i);
+        self.kv.release(member.id);
+        Ok(RetiredMember {
+            id: member.id,
+            workload: member.workload,
+            tokens: member.emitted,
+        })
     }
 
     /// Admits a member: validates the workload, reserves its maximum
@@ -375,20 +547,80 @@ impl BatchState<'_> {
                 "member id {id} is already in the batch"
             )));
         }
-        self.kv
-            .reserve(id, workload.input_len + workload.output_len)?;
-
         let chunk = self.prefill_chunk.unwrap_or(usize::MAX);
+        if let KvBacking::Paged { pool, cfg } = &mut self.kv {
+            // Paged admission: blocks for the first prefill chunk only,
+            // with cached prefix blocks attached for free. The prompt
+            // cap of `input_len − 1` guarantees at least one computed
+            // position — the LM head that emits the first token.
+            let prefix = (cfg.shared_prefix_tokens > 0).then(|| Prefix {
+                key: 0,
+                tokens: cfg.shared_prefix_tokens.min(workload.input_len - 1),
+            });
+            let hits = prefix.map_or(0, |p| pool.prefix_hits(p));
+            let first_computed = chunk.min(workload.input_len - hits);
+            let hit = pool.admit(
+                id,
+                workload.input_len + workload.output_len,
+                first_computed,
+                prefix,
+            )?;
+            debug_assert_eq!(hit, hits);
+            let prefilled = hit + first_computed;
+            let prefill_ms = self.charge_prefill_chunk(workload, hit, prefilled);
+            if prefilled < workload.input_len {
+                self.members.push(Member {
+                    id,
+                    workload,
+                    prefilled,
+                    prefill_target: workload.input_len,
+                    emitted: 0,
+                    parked: None,
+                });
+                return Ok(AdmitOutcome {
+                    prefill_ms,
+                    finished: false,
+                    pending_prefill: workload.input_len - prefilled,
+                });
+            }
+            let finished = workload.output_len == 1;
+            let member = Member {
+                id,
+                workload,
+                prefilled,
+                prefill_target: workload.input_len,
+                emitted: 1,
+                parked: None,
+            };
+            if finished {
+                self.finish(member);
+            } else {
+                self.members.push(member);
+            }
+            return Ok(AdmitOutcome {
+                prefill_ms,
+                finished,
+                pending_prefill: 0,
+            });
+        }
+
+        let KvBacking::Reserved(pool) = &mut self.kv else {
+            unreachable!("paged admission returned above");
+        };
+        pool.reserve(id, workload.input_len + workload.output_len)?;
+
         if chunk < workload.input_len {
             // Chunked admission: charge the first chunk only; the rest
             // interleaves with decode steps.
             let prefill_ms = self.charge_prefill_chunk(workload, 0, chunk);
-            self.kv.grow(id, chunk)?;
+            self.kv_grow(id, chunk)?;
             self.members.push(Member {
                 id,
                 workload,
                 prefilled: chunk,
+                prefill_target: workload.input_len,
                 emitted: 0,
+                parked: None,
             });
             return Ok(AdmitOutcome {
                 prefill_ms,
@@ -399,7 +631,7 @@ impl BatchState<'_> {
 
         let prefill_ms = self.prefill_cost_ms(workload.input_len);
         self.elapsed_ms += prefill_ms;
-        self.kv.grow(id, workload.input_len)?;
+        self.kv_grow(id, workload.input_len)?;
 
         // The prefill's LM head produces the first output token.
         let finished = workload.output_len == 1;
@@ -407,7 +639,9 @@ impl BatchState<'_> {
             id,
             workload,
             prefilled: workload.input_len,
+            prefill_target: workload.input_len,
             emitted: 1,
+            parked: None,
         };
         if finished {
             self.finish(member);
@@ -419,6 +653,16 @@ impl BatchState<'_> {
             finished,
             pending_prefill: 0,
         })
+    }
+
+    /// Grows member `id`'s reserved lease (the reserved backing's write
+    /// path; paged growth goes through
+    /// [`make_room`](BatchState::make_room) + `BlockPool::write`).
+    fn kv_grow(&mut self, id: u64, tokens: usize) -> Result<(), SimError> {
+        match &mut self.kv {
+            KvBacking::Reserved(pool) => pool.grow(id, tokens),
+            KvBacking::Paged { pool, .. } => pool.write(id, tokens),
+        }
     }
 
     /// Advances the batch by one step: works one chunk of the oldest
@@ -447,43 +691,126 @@ impl BatchState<'_> {
         let mut ms = 0.0;
         let mut first_tokens = Vec::new();
         let mut finished = Vec::new();
+        // Members that made paged-only progress this step (a swap back
+        // in, or a recompute catching up): live, but no token earned.
+        let mut resumed: Vec<u64> = Vec::new();
 
-        // One chunk of the oldest in-flight prefill.
-        if let Some(i) = self.members.iter().position(|m| !m.decoding()) {
-            let (id, workload, from) = {
+        // Swap the oldest parked member back in once its footprint fits
+        // again (the paged retain policy; charged as a DDR transfer).
+        if let KvBacking::Paged { pool, .. } = &mut self.kv {
+            if let Some(i) = self.members.iter().position(|m| m.parked.is_some()) {
+                let id = self.members[i].id;
+                let swapped = self.members[i].parked.expect("position matched on parked");
+                if pool.can_write(id, swapped) {
+                    pool.restore(id, swapped)?;
+                    let bytes = pool.memory().kv_claim_bytes(swapped);
+                    let swap_ms = dfx_hw::DdrModel::default()
+                        .transfer_cycles(bytes)
+                        .to_millis();
+                    ms += swap_ms;
+                    self.elapsed_ms += swap_ms;
+                    self.members[i].parked = None;
+                    resumed.push(id);
+                }
+            }
+        }
+
+        // One chunk of the oldest active in-flight prefill that fits.
+        //
+        // On the paged backing a prefill chunk only runs when its blocks
+        // are already free: growing a prefill never preempts a decoding
+        // member, because two recompute victims could then evict each
+        // other's re-prefill forever without either earning a token.
+        // A chunk that does not fit simply waits for decoders to retire
+        // and release blocks. The one exception: when no member can make
+        // progress any other way (nothing decodes, nothing resumed), the
+        // oldest pending prefill runs anyway and preempts co-tenants as
+        // a last resort — solo-fit admission guarantees it completes
+        // even if it ends up holding the pool alone.
+        //
+        // A budget cleared mid-flight finishes the pending prefill in
+        // one whole chunk.
+        let chunk = self.prefill_chunk.unwrap_or(usize::MAX);
+        let candidates: Vec<usize> = (0..self.members.len())
+            .filter(|&i| {
                 let m = &self.members[i];
-                (m.id, m.workload, m.prefilled)
+                m.parked.is_none() && !m.decoding() && !resumed.contains(&m.id)
+            })
+            .collect();
+        let mut chosen: Option<(usize, bool)> = None;
+        for &i in &candidates {
+            let (id, target) = (self.members[i].id, self.members[i].prefill_target);
+            // A recompute victim restarting from zero re-attaches any
+            // still-cached prefix blocks before recomputing the rest.
+            if self.members[i].prefilled == 0 {
+                if let KvBacking::Paged { pool, .. } = &mut self.kv {
+                    let hit = pool.attach_cached_prefix(id, target)?;
+                    self.members[i].prefilled = hit;
+                }
+            }
+            let from = self.members[i].prefilled;
+            let to = from.saturating_add(chunk).min(target);
+            let fits = match &self.kv {
+                KvBacking::Reserved(_) => true,
+                KvBacking::Paged { pool, .. } => pool.can_write(id, to - from),
             };
-            // A budget cleared mid-flight finishes the pending prefill
-            // in one whole chunk.
-            let chunk = self.prefill_chunk.unwrap_or(usize::MAX);
-            let to = from.saturating_add(chunk).min(workload.input_len);
+            if fits {
+                chosen = Some((i, false));
+                break;
+            }
+        }
+        if chosen.is_none() && !candidates.is_empty() {
+            let any_runnable = self
+                .members
+                .iter()
+                .any(|m| m.parked.is_none() && m.prefilled == m.prefill_target);
+            if !any_runnable {
+                chosen = Some((candidates[0], true));
+            }
+        }
+        if let Some((i, force)) = chosen {
+            let (id, workload) = {
+                let m = &self.members[i];
+                (m.id, m.workload)
+            };
+            let target = self.members[i].prefill_target;
+            let from = self.members[i].prefilled;
+            let to = from.saturating_add(chunk).min(target);
+            if force {
+                ms += self.make_room(id, to - from)?;
+            }
             ms += self.charge_prefill_chunk(workload, from, to);
-            self.kv.grow(id, to - from)?;
+            self.kv_grow(id, to - from)?;
             let m = &mut self.members[i];
             m.prefilled = to;
             if m.decoding() {
-                m.emitted = 1;
-                first_tokens.push(id);
-                if m.workload.output_len == 1 {
-                    finished.push(id);
-                    let m = self.members.remove(i);
-                    self.finish(m);
+                if m.emitted == 0 {
+                    m.emitted = 1;
+                    first_tokens.push(id);
+                    if m.workload.output_len == 1 {
+                        finished.push(id);
+                        let m = self.members.remove(i);
+                        self.finish(m);
+                    }
+                } else {
+                    // A recompute caught back up: its K/V is whole
+                    // again, but every token over these positions was
+                    // already emitted before the preemption.
+                    resumed.push(id);
                 }
             }
         }
 
         // One decode pass over the members that were already decoding at
         // the step's start (a member completing its prefill above joins
-        // from the next step).
+        // from the next step; a member resumed above likewise).
         let decoding: Vec<u64> = self
             .members
             .iter()
-            .filter(|m| m.decoding() && !first_tokens.contains(&m.id))
+            .filter(|m| m.decoding() && !first_tokens.contains(&m.id) && !resumed.contains(&m.id))
             .map(|m| m.id)
             .collect();
-        let batch = decoding.len();
-        if batch > 0 {
+        if !decoding.is_empty() {
             // Mirrors generate_timed's decode loop: generating output
             // token `emitted + 1` runs token_step(input_len + emitted - 1).
             let pos = self
@@ -493,19 +820,27 @@ impl BatchState<'_> {
                 .map(|m| m.workload.input_len + m.emitted - 1)
                 .max()
                 .expect("non-empty decode set");
-            let step_ms = self.decode_cost(pos, batch);
+            let step_ms = self.decode_cost(pos, decoding.len());
             ms += step_ms;
             self.elapsed_ms += step_ms;
         }
 
+        let mut advanced: Vec<u64> = Vec::new();
         let mut i = 0;
         while i < self.members.len() {
-            if !decoding.contains(&self.members[i].id) {
+            let id = self.members[i].id;
+            // Skip members outside the snapshot — and, paged only,
+            // snapshot members preempted mid-step by an earlier
+            // member's growth (the charged decode pass ran at the
+            // pre-preemption shape; the victim just earns nothing).
+            if !decoding.contains(&id) || !self.members[i].decoding() {
                 i += 1;
                 continue;
             }
+            ms += self.make_room(id, 1)?;
+            self.kv_grow(id, 1)?;
             self.members[i].emitted += 1;
-            self.kv.grow(self.members[i].id, 1)?;
+            advanced.push(id);
             if self.members[i].emitted == self.members[i].workload.output_len {
                 let m = self.members.remove(i);
                 finished.push(m.id);
@@ -517,16 +852,125 @@ impl BatchState<'_> {
         let prefilling: Vec<u64> = self
             .members
             .iter()
-            .filter(|m| !m.decoding())
+            .filter(|m| !advanced.contains(&m.id) && !first_tokens.contains(&m.id))
             .map(|m| m.id)
             .collect();
         Ok(TokenStepOutcome {
             ms,
-            batch,
+            batch: advanced.len(),
             finished,
             first_tokens,
             prefilling,
         })
+    }
+
+    /// Ensures member `grower` can write `tokens` more positions on the
+    /// paged backing, evicting the youngest block-holding co-tenant at
+    /// a time under the configured [`PreemptionPolicy`] until the write
+    /// fits. Decode growth calls this every token; prefill growth only
+    /// as a last resort (see [`step_token`](BatchState::step_token) —
+    /// an evicting prefill invites recompute livelock). Returns the DDR
+    /// swap time charged (retain policy only); a no-op returning 0 on
+    /// the reserved backing, where admission reserved the whole claim
+    /// up front.
+    fn make_room(&mut self, grower: u64, tokens: usize) -> Result<f64, SimError> {
+        let mut ms = 0.0;
+        loop {
+            let KvBacking::Paged { pool, cfg } = &mut self.kv else {
+                return Ok(ms);
+            };
+            if pool.can_write(grower, tokens) {
+                return Ok(ms);
+            }
+            let Some(i) = self.members.iter().rposition(|m| {
+                m.id != grower
+                    && m.parked.is_none()
+                    && pool.lease_blocks(m.id).is_some_and(|(o, s)| o + s > 0)
+            }) else {
+                // Unreachable when every admission was solo-feasible:
+                // a lone block-holder can always reach its own claim.
+                return Err(SimError::Memory(format!(
+                    "the block pool cannot make room for member {grower}: \
+                     no preemptible co-tenant holds blocks"
+                )));
+            };
+            let policy = cfg.policy;
+            let victim = &mut self.members[i];
+            let (used, owned) = pool.evict(victim.id)?;
+            match policy {
+                PreemptionPolicy::Recompute => {
+                    // The victim restarts its prefill over everything it
+                    // had materialised: its prompt plus the K/V of every
+                    // token it already emitted.
+                    victim.prefilled = 0;
+                    victim.prefill_target =
+                        victim.workload.input_len + victim.emitted.saturating_sub(1);
+                }
+                PreemptionPolicy::Retain => {
+                    pool.record_swap_out();
+                    victim.parked = Some(used);
+                    let bytes = pool.memory().kv_claim_bytes(owned * pool.block_tokens());
+                    let swap_ms = dfx_hw::DdrModel::default()
+                        .transfer_cycles(bytes)
+                        .to_millis();
+                    ms += swap_ms;
+                    self.elapsed_ms += swap_ms;
+                }
+            }
+        }
+    }
+
+    /// Block-granular feasibility of a hypothetical resident set, for
+    /// the serving layer's admission probe: `None` on the reserved
+    /// backing (the caller falls back to summing whole claims),
+    /// `Some(fits)` on the paged one. `members` is the would-be
+    /// resident set — live members are matched off by workload.
+    ///
+    /// The policy is *half-funded outputs*: prompts are funded in full
+    /// (a joiner needs blocks for its whole prompt minus its cached
+    /// prefix blocks; a resident keeps its remaining prefill demand),
+    /// but only half of each member's future decode growth is budgeted
+    /// up front. A member's expected K/V footprint over its decode is
+    /// `input + output/2` — short-output members finish and free blocks
+    /// that fund the long tail — so this packs measurably more members
+    /// than max-claim reservation while keeping preemption the rare
+    /// case rather than the steady state.
+    pub fn resident_kv_fits(&self, members: &[Workload]) -> Option<bool> {
+        let KvBacking::Paged { pool, cfg } = &self.kv else {
+            return None;
+        };
+        let mut live: Vec<Workload> = self.members.iter().map(|m| m.workload).collect();
+        let mut need = 0usize;
+        for &w in members {
+            if let Some(i) = live.iter().position(|&l| l == w) {
+                live.swap_remove(i);
+                continue;
+            }
+            let claim = w.input_len + w.output_len;
+            if claim == 0 || pool.blocks_for(claim) > pool.total_blocks() {
+                return Some(false);
+            }
+            let hit_blocks = if cfg.shared_prefix_tokens > 0 {
+                pool.prefix_hits(Prefix {
+                    key: 0,
+                    tokens: cfg.shared_prefix_tokens.min(w.input_len.saturating_sub(1)),
+                }) / pool.block_tokens()
+            } else {
+                0
+            };
+            let prompt_blocks = pool.blocks_for(w.input_len);
+            let growth = pool.blocks_for(claim).saturating_sub(prompt_blocks);
+            need += prompt_blocks.saturating_sub(hit_blocks) + growth.div_ceil(2);
+        }
+        let mut pending = 0usize;
+        for m in &self.members {
+            let held = pool.lease_blocks(m.id).map_or(0, |(o, s)| o + s);
+            let prefill_blocks = pool.blocks_for(m.prefill_target);
+            let claim_blocks = pool.blocks_for(m.workload.input_len + m.workload.output_len);
+            let growth = claim_blocks.saturating_sub(prefill_blocks.max(held));
+            pending += prefill_blocks.saturating_sub(held) + growth.div_ceil(2);
+        }
+        Some(need + pending <= pool.available_blocks())
     }
 
     /// Drains every member that has produced its last token, freeing

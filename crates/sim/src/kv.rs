@@ -163,8 +163,14 @@ impl KvPool {
 
     /// Releases member `id`'s lease, returning the claim (in tokens) it
     /// frees — always exactly what [`reserve`](KvPool::reserve) took,
-    /// whether the member ran to completion or exited early. Unknown ids
-    /// free nothing.
+    /// **not** what the member has written so far. A member retired
+    /// mid-prefill (a chunked prefill cancelled between chunks, or a
+    /// [`BatchState::cancel`](crate::BatchState::cancel)) frees its
+    /// whole claim in one call, even though `used_tokens <
+    /// claim_tokens`: the reservation was taken whole at admission, so
+    /// it is returned whole at release, and no second call is needed
+    /// once the prefill would have completed. Unknown ids free nothing
+    /// (releasing twice is a harmless no-op, not a double-free).
     pub fn release(&mut self, id: u64) -> usize {
         match self.leases.remove(&id) {
             Some(lease) => {
@@ -194,6 +200,22 @@ mod tests {
         assert_eq!(p.free_tokens(), 0);
         assert_eq!(p.committed_tokens(), 10);
         assert!(matches!(p.reserve(2, 1), Err(SimError::Memory(_))));
+    }
+
+    #[test]
+    fn release_mid_prefill_frees_the_whole_claim_exactly_once() {
+        // The early-cancel path: a member retired between prefill
+        // chunks frees its whole reservation in one call — release
+        // returns the claim, not the written prefix — and a second
+        // release is a no-op, not a double-free.
+        let mut p = pool(10);
+        p.reserve(0, 8).unwrap();
+        p.grow(0, 3).unwrap();
+        assert_eq!(p.release(0), 8, "frees the claim, not the 3 written tokens");
+        assert_eq!(p.free_tokens(), 10);
+        assert_eq!(p.committed_tokens(), 0);
+        assert_eq!(p.release(0), 0, "second release frees nothing");
+        assert!(matches!(p.grow(0, 1), Err(SimError::InvalidRequest(_))));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 mod accuracy;
 mod appliance;
 mod batch;
+mod block;
 mod cluster;
 mod continuous;
 mod cost;
@@ -35,8 +36,9 @@ mod pipeline;
 pub use accuracy::{paper_tasks, quick_tasks, run_accuracy, AccuracyResult, AccuracyTask};
 pub use appliance::{Appliance, GenerationRun, LatencyBreakdown, TimedRun};
 pub use batch::BatchedRun;
+pub use block::{BlockPool, PagedKvConfig, PagingStats, PreemptionPolicy, Prefix};
 pub use cluster::FunctionalCluster;
-pub use continuous::{AdmitOutcome, BatchState, RetiredMember, TokenStepOutcome};
+pub use continuous::{AdmitOutcome, BatchState, KvView, RetiredMember, TokenStepOutcome};
 pub use cost::{ApplianceCost, CostComparison, U280_PRICE_USD, V100_PRICE_USD};
 pub use error::SimError;
 pub use gflops::{dfx_stage_gflops, StageGflops};

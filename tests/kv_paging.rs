@@ -1,0 +1,499 @@
+//! Allocator invariant suite for the paged K/V subsystem.
+//!
+//! Pins the [`BlockPool`] block-table allocator and its prefix cache
+//! with three kinds of guarantees:
+//!
+//! 1. **Allocator invariants** (property tests): under random
+//!    admit/write/evict/restore/release interleavings the pool never
+//!    over-commits — free + cached + owned always equals the total
+//!    block count — releases free exactly what each member held, and
+//!    prefix ref-counts never go negative or leak once every sharer
+//!    has retired.
+//! 2. **Reserved-fallback equivalence**: with paging enabled but
+//!    memory slack (or a covering block size at bounded capacity, with
+//!    the prefix cache off), the paged engine's serving / batching /
+//!    continuous / memory behaviour is bit-identical to the reserved
+//!    [`dfx::sim::KvPool`] engine — same responses, same timings, same
+//!    token timelines.
+//! 3. **Preemption and cancellation semantics** (deterministic): both
+//!    recompute and retain preemption complete every member with its
+//!    exact requested output; a member cancelled mid-prefill releases
+//!    its K/V whole on both backings.
+//!
+//! The property blocks deliberately carry no explicit case count: the
+//! vendored proptest honours `PROPTEST_CASES`, which CI raises for
+//! this suite.
+
+use dfx::hw::MemoryModel;
+use dfx::model::{GptConfig, Workload};
+use dfx::serve::{
+    chatbot_mix, ArrivalProcess, Batching, ContinuousBatching, Fifo, Scheduler, ServiceReport,
+    ServingEngine,
+};
+use dfx::sim::{
+    Appliance, BatchState, BlockPool, PagedKvConfig, PreemptionPolicy, Prefix, SimError,
+    TokenStepOutcome,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// 1. Allocator invariants under random interleavings
+// ---------------------------------------------------------------------
+
+/// One random allocator operation: an opcode, a member selector and a
+/// token amount, interpreted modulo whatever is currently legal.
+type Op = (u8, usize, usize);
+
+/// Drives a [`BlockPool`] through a random op sequence, asserting the
+/// structural invariants after every operation, and returns the ids
+/// still live at the end.
+fn drive(pool: &mut BlockPool, ops: &[Op]) -> Result<Vec<u64>, TestCaseError> {
+    let total = pool.total_blocks();
+    let capacity_tokens = total * pool.block_tokens();
+    let mut next_id = 0u64;
+    let mut live: Vec<u64> = Vec::new();
+    for &(op, sel, amount) in ops {
+        match op {
+            // Admit, every third attempt sharing the common prefix.
+            0 => {
+                let claim = 1 + amount % (capacity_tokens + 2);
+                let first_write = amount % (claim + 1);
+                let prefix = (sel % 3 == 0).then_some(Prefix {
+                    key: 0,
+                    tokens: 1 + sel % (claim.max(2) - 1).max(1),
+                });
+                if pool.admit(next_id, claim, first_write, prefix).is_ok() {
+                    live.push(next_id);
+                }
+                next_id += 1;
+            }
+            // Grow a live member by a few positions.
+            1 if !live.is_empty() => {
+                let id = live[sel % live.len()];
+                let _ = pool.write(id, 1 + amount % (2 * pool.block_tokens()));
+            }
+            // Preempt a live member (frees owned blocks, derefs shared).
+            2 if !live.is_empty() => {
+                let id = live[sel % live.len()];
+                pool.evict(id).expect("live members always evictable");
+            }
+            // Re-attach cached prefix blocks after an eviction.
+            3 if !live.is_empty() => {
+                let id = live[sel % live.len()];
+                let _ = pool.attach_cached_prefix(id, 1 + amount % capacity_tokens.max(1));
+            }
+            // Restore swapped-in positions without compute accounting.
+            4 if !live.is_empty() => {
+                let id = live[sel % live.len()];
+                let _ = pool.restore(id, 1 + amount % pool.block_tokens());
+            }
+            // Release: must free exactly the blocks the member held.
+            5 if !live.is_empty() => {
+                let id = live.remove(sel % live.len());
+                let held = pool
+                    .lease_blocks(id)
+                    .map_or(0, |(owned, shared)| owned + shared);
+                let free_before = pool.free_blocks();
+                let freed = pool.release(id);
+                prop_assert_eq!(freed, held, "release must return every held block");
+                prop_assert!(
+                    pool.free_blocks() >= free_before,
+                    "release can only grow the free list"
+                );
+            }
+            _ => {}
+        }
+        pool.assert_invariants();
+        prop_assert_eq!(pool.total_blocks(), total, "capacity is constant");
+    }
+    Ok(live)
+}
+
+proptest! {
+    /// Block conservation, exact frees and ref-count soundness under
+    /// random interleavings, across block sizes and pool sizes.
+    #[test]
+    fn block_pool_never_overcommits_under_random_interleavings(
+        ops in proptest::collection::vec((0u8..6, 0usize..64, 0usize..96), 1..120),
+        block_tokens in 1usize..9,
+        pool_blocks in 1usize..14,
+    ) {
+        let memory = MemoryModel::new((pool_blocks * block_tokens) as u64 + 1, 1, 1);
+        let mut pool = BlockPool::new(memory, block_tokens);
+        let total = pool.total_blocks();
+        let live = drive(&mut pool, &ops)?;
+
+        // Drain every survivor: all blocks must come back as free or
+        // idle cache entries, with no ref-count left behind.
+        for id in live {
+            pool.release(id);
+        }
+        pool.assert_invariants();
+        prop_assert_eq!(
+            pool.free_blocks() + pool.cached_blocks(),
+            total,
+            "after every member retires, every block is free or idle cache"
+        );
+        prop_assert_eq!(
+            pool.cached_idle_blocks(),
+            pool.cached_blocks(),
+            "no sharer left, so no cached block may keep a reference"
+        );
+        prop_assert_eq!(pool.live(), 0);
+        prop_assert_eq!(pool.used_tokens(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Reserved-fallback equivalence
+// ---------------------------------------------------------------------
+
+fn smoke_cfg() -> GptConfig {
+    GptConfig::new("kv-paging-smoke", 64, 2, 2, 512, 640)
+}
+
+/// Field-wise report equality, ignoring the backend label (the paged
+/// appliance advertises its block size) and the paging stats (absent
+/// on the reserved backing by construction).
+fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, what: &str) {
+    assert_eq!(a.responses, b.responses, "{what}: responses diverged");
+    assert_eq!(a.makespan_ms, b.makespan_ms, "{what}: makespan diverged");
+    assert_eq!(a.p50_sojourn_ms, b.p50_sojourn_ms, "{what}: p50 diverged");
+    assert_eq!(a.p99_sojourn_ms, b.p99_sojourn_ms, "{what}: p99 diverged");
+    assert_eq!(a.goodput_tps, b.goodput_tps, "{what}: goodput diverged");
+    assert_eq!(
+        a.peak_live_batch, b.peak_live_batch,
+        "{what}: peak live batch diverged"
+    );
+    assert_eq!(
+        a.p99_token_gap_ms, b.p99_token_gap_ms,
+        "{what}: token gap diverged"
+    );
+}
+
+/// With the default 8 GiB of HBM (memory never binds at chatbot scale)
+/// and the prefix cache off, enabling paging changes *nothing*: the
+/// serving (FIFO), batching, continuous and chunked-continuous rows
+/// are bit-identical to the reserved engine, at a small and at a
+/// covering block size.
+#[test]
+fn paged_engine_is_bit_identical_to_reserved_when_memory_never_binds() {
+    let cfg = smoke_cfg();
+    let mix = chatbot_mix(24, cfg.max_seq_len);
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 50.0,
+        seed: 0x5EED,
+    };
+    type MakeScheduler = fn() -> Box<dyn Scheduler>;
+    let schedulers: Vec<(&str, MakeScheduler)> = vec![
+        ("serving/fifo", || Box::new(Fifo)),
+        ("batching", || Box::new(Batching::new(4, 40.0))),
+        ("continuous", || Box::new(ContinuousBatching::new(4))),
+        ("continuous/chunked", || {
+            Box::new(ContinuousBatching::new(4).with_prefill_chunk(8))
+        }),
+    ];
+    let reserved = Appliance::timing_only(cfg.clone(), 1).unwrap();
+    for block_tokens in [16, 512] {
+        let paged = Appliance::timing_only(cfg.clone(), 1)
+            .unwrap()
+            .with_kv_paging(PagedKvConfig::new(block_tokens))
+            .unwrap();
+        for (what, scheduler) in &schedulers {
+            let a = ServingEngine::new(&reserved)
+                .with_scheduler(scheduler())
+                .run(&mix, &arrivals)
+                .unwrap();
+            let b = ServingEngine::new(&paged)
+                .with_scheduler(scheduler())
+                .run(&mix, &arrivals)
+                .unwrap();
+            assert_reports_identical(&a, &b, &format!("{what} (block {block_tokens})"));
+        }
+    }
+}
+
+/// At a *bounded* capacity, a block size that covers the whole uniform
+/// claim (one block per member) makes paged admission degenerate to
+/// max-claim reservation: the memory-experiment capacity rows are
+/// bit-identical too.
+#[test]
+fn covering_block_size_is_bit_identical_at_bounded_capacity() {
+    let cfg = smoke_cfg();
+    let point = Workload::new(cfg.max_seq_len / 2, cfg.max_seq_len / 4);
+    let claim_tokens = point.input_len + point.output_len;
+    let memory = Appliance::timing_only(cfg.clone(), 1)
+        .unwrap()
+        .memory_model();
+    let stream = vec![point; 8];
+    let backlog = ArrivalProcess::Trace(vec![0.0; stream.len()]);
+    for claims in [2u64, 3] {
+        let capacity =
+            memory.weight_bytes + claims * claim_tokens as u64 * memory.kv_bytes_per_token;
+        let reserved = Appliance::timing_only(cfg.clone(), 1)
+            .unwrap()
+            .with_hbm_capacity(capacity)
+            .unwrap();
+        let paged = Appliance::timing_only(cfg.clone(), 1)
+            .unwrap()
+            .with_hbm_capacity(capacity)
+            .unwrap()
+            .with_kv_paging(PagedKvConfig::new(claim_tokens))
+            .unwrap();
+        let run = |appliance: &Appliance| {
+            ServingEngine::new(appliance)
+                .with_scheduler(Box::new(ContinuousBatching::new(4)))
+                .run(&stream, &backlog)
+                .unwrap()
+        };
+        assert_reports_identical(&run(&reserved), &run(&paged), &format!("{claims} claims"));
+    }
+}
+
+proptest! {
+    /// Token-timeline equivalence at the [`BatchState`] level: the same
+    /// admit/step interleaving on the reserved backing and on a paged
+    /// backing with ample capacity produces bit-identical
+    /// [`TokenStepOutcome`]s — same milliseconds, same batch sizes,
+    /// same finish order.
+    #[test]
+    fn paged_token_timelines_match_reserved_step_for_step(
+        workloads in proptest::collection::vec((1usize..24, 1usize..12), 1..6),
+        block_tokens in 1usize..40,
+        admit_gap in 0usize..3,
+    ) {
+        let cfg = GptConfig::tiny();
+        let reserved = Appliance::timing_only(cfg.clone(), 2).unwrap();
+        let paged = Appliance::timing_only(cfg, 2)
+            .unwrap()
+            .with_kv_paging(PagedKvConfig::new(block_tokens))
+            .unwrap();
+        let run = |appliance: &Appliance| -> Vec<TokenStepOutcome> {
+            let mut batch = appliance.batch_state();
+            let mut timeline = Vec::new();
+            let mut queue = workloads.iter();
+            let mut id = 0u64;
+            loop {
+                for _ in 0..=admit_gap {
+                    if let Some(&(input, output)) = queue.next() {
+                        batch.admit(id, Workload::new(input, output)).unwrap();
+                        id += 1;
+                    }
+                }
+                if batch.live() == 0 {
+                    break;
+                }
+                timeline.push(batch.step_token().unwrap());
+                if batch.live() == 0 && queue.len() == 0 {
+                    break;
+                }
+            }
+            timeline
+        };
+        prop_assert_eq!(run(&reserved), run(&paged));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Preemption, prefix sharing and cancellation semantics
+// ---------------------------------------------------------------------
+
+/// A tiny appliance whose HBM holds `tokens` K/V positions next to the
+/// weight shard.
+fn tight_appliance(tokens: u64, paging: Option<PagedKvConfig>) -> Appliance {
+    let cfg = GptConfig::tiny();
+    let base = Appliance::timing_only(cfg.clone(), 2).unwrap();
+    let memory = base.memory_model();
+    let capacity = memory.weight_bytes + tokens * memory.kv_bytes_per_token;
+    let capped = Appliance::timing_only(cfg, 2)
+        .unwrap()
+        .with_hbm_capacity(capacity)
+        .unwrap();
+    match paging {
+        Some(p) => capped.with_kv_paging(p).unwrap(),
+        None => capped,
+    }
+}
+
+/// Steps the batch to completion, asserting the pool invariants at
+/// every token boundary, and returns the per-member retired token
+/// counts in retirement order.
+fn drain(batch: &mut BatchState) -> Vec<(u64, usize)> {
+    let mut retired: Vec<(u64, usize)> = batch
+        .retire()
+        .into_iter()
+        .map(|m| (m.id, m.tokens))
+        .collect();
+    while batch.live() > 0 {
+        batch.step_token().unwrap();
+        if let Some(pool) = batch.kv().paged() {
+            pool.assert_invariants();
+        }
+        retired.extend(batch.retire().into_iter().map(|m| (m.id, m.tokens)));
+    }
+    retired
+}
+
+/// Two members whose combined growth exhausts a pool that fits both
+/// prompts: recompute preemption must fire at least once and still
+/// complete both members with their exact requested output.
+#[test]
+fn recompute_preemption_completes_every_member_exactly() {
+    let appliance = tight_appliance(64, Some(PagedKvConfig::new(4)));
+    let mut batch = appliance.batch_state();
+    batch.admit(0, Workload::new(20, 30)).unwrap();
+    batch.admit(1, Workload::new(20, 30)).unwrap();
+    let mut retired = drain(&mut batch);
+    retired.sort_unstable();
+    assert_eq!(retired, vec![(0, 30), (1, 30)]);
+    let stats = batch.paging_stats().unwrap();
+    assert!(stats.preemptions >= 1, "growth past 64 tokens must preempt");
+    assert_eq!(stats.swap_outs, 0, "recompute never swaps");
+}
+
+/// The same exhaustion under the retain policy: the victim parks, swaps
+/// back in when room frees, and both members still finish exactly.
+#[test]
+fn retain_preemption_swaps_out_and_still_completes_exactly() {
+    let appliance = tight_appliance(
+        64,
+        Some(PagedKvConfig::new(4).with_policy(PreemptionPolicy::Retain)),
+    );
+    let mut batch = appliance.batch_state();
+    batch.admit(0, Workload::new(20, 30)).unwrap();
+    batch.admit(1, Workload::new(20, 30)).unwrap();
+    let mut retired = drain(&mut batch);
+    retired.sort_unstable();
+    assert_eq!(retired, vec![(0, 30), (1, 30)]);
+    let stats = batch.paging_stats().unwrap();
+    assert!(stats.swap_outs >= 1, "growth past 64 tokens must swap out");
+}
+
+/// A shared system prompt makes the second member's admission cheaper:
+/// its cached prefix blocks are attached, not recomputed.
+#[test]
+fn shared_prefix_skips_recomputing_cached_prompt_blocks() {
+    let appliance = tight_appliance(256, Some(PagedKvConfig::new(4).with_shared_prefix(16)));
+    let mut batch = appliance.batch_state();
+    let first = batch.admit(0, Workload::new(24, 4)).unwrap();
+    let second = batch.admit(1, Workload::new(24, 4)).unwrap();
+    assert!(
+        second.prefill_ms < first.prefill_ms,
+        "cached prefix must shorten the second prefill ({} !< {})",
+        second.prefill_ms,
+        first.prefill_ms
+    );
+    let stats = batch.paging_stats().unwrap();
+    assert_eq!(stats.prefix_hit_tokens, 16, "whole shared blocks re-used");
+    let retired = drain(&mut batch);
+    assert_eq!(retired.len(), 2);
+}
+
+/// Paged admission is block-granular: a second member fits by its
+/// prompt where max-claim reservation has no room left, while a claim
+/// that cannot fit even a solo member is still rejected outright.
+#[test]
+fn paged_admission_is_strictly_more_admissive_than_reservation() {
+    let reserved = tight_appliance(64, None);
+    let mut batch = reserved.batch_state();
+    batch.admit(0, Workload::new(20, 30)).unwrap();
+    assert!(
+        matches!(
+            batch.admit(1, Workload::new(20, 30)),
+            Err(SimError::Memory(_))
+        ),
+        "reserved: 2 x 50-token claims exceed 64 tokens"
+    );
+
+    let paged = tight_appliance(64, Some(PagedKvConfig::new(4)));
+    let mut batch = paged.batch_state();
+    batch.admit(0, Workload::new(20, 30)).unwrap();
+    batch
+        .admit(1, Workload::new(20, 30))
+        .expect("paged: both 20-token prompts fit in 16 blocks");
+    assert!(
+        matches!(
+            batch.admit(2, Workload::new(40, 30)),
+            Err(SimError::Memory(_))
+        ),
+        "a 70-token claim can never fit 64 tokens solo"
+    );
+}
+
+/// The early-cancel regression (chunked prefill retired between
+/// chunks): on both backings the member's whole K/V comes back in one
+/// release, and its id is immediately reusable.
+#[test]
+fn cancel_mid_prefill_releases_the_whole_claim_on_both_backings() {
+    for paging in [None, Some(PagedKvConfig::new(4))] {
+        let backing = if paging.is_some() {
+            "paged"
+        } else {
+            "reserved"
+        };
+        let appliance = tight_appliance(64, paging);
+        let mut batch = appliance.batch_state();
+        batch.set_prefill_chunk(Some(4));
+        let outcome = batch.admit(0, Workload::new(20, 8)).unwrap();
+        assert!(
+            outcome.pending_prefill > 0,
+            "{backing}: the chunk budget must leave prefill pending"
+        );
+        let free_mid = batch.kv().free_tokens();
+        let cancelled = batch.cancel(0).unwrap();
+        assert_eq!(cancelled.tokens, 0, "{backing}: no token produced yet");
+        assert!(
+            batch.kv().free_tokens() > free_mid,
+            "{backing}: cancel must free the claim"
+        );
+        assert_eq!(batch.live(), 0, "{backing}: the member is gone");
+        assert_eq!(batch.kv().used_tokens(), 0, "{backing}: no K/V left behind");
+        // The id is free again, and the batch runs on untroubled.
+        batch.set_prefill_chunk(None);
+        batch.admit(0, Workload::new(8, 2)).unwrap();
+        let retired = drain(&mut batch);
+        assert_eq!(retired, vec![(0, 2)], "{backing}: reuse after cancel");
+    }
+}
+
+proptest! {
+    /// Chunked prefill composed with paging is token-identical to the
+    /// unchunked paged engine: every member retires with exactly its
+    /// requested output regardless of chunk budget, block size or a
+    /// pool tight enough to preempt.
+    #[test]
+    fn chunked_and_unchunked_paged_prefill_are_token_identical(
+        workloads in proptest::collection::vec((2usize..20, 1usize..10), 1..5),
+        chunk in 1usize..16,
+        block_tokens in 1usize..8,
+        pool_tokens in 48u64..128,
+    ) {
+        let run = |chunk: Option<usize>| -> Vec<(u64, usize)> {
+            let appliance =
+                tight_appliance(pool_tokens, Some(PagedKvConfig::new(block_tokens)));
+            let mut batch = appliance.batch_state();
+            let total_blocks = batch.kv().paged().unwrap().total_blocks();
+            batch.set_prefill_chunk(chunk);
+            // Admit the same member set on both sides: a chunked admit
+            // writes a smaller first chunk than an unchunked one, so
+            // only admissions whose *whole prompt* fits next to the
+            // prompts already admitted are attempted — the remaining
+            // failure mode (a solo-unfit claim) depends only on the
+            // claim and rejects identically regardless of chunking.
+            let mut prompt_blocks = 0usize;
+            for (i, &(input, output)) in workloads.iter().enumerate() {
+                let need = input.div_ceil(block_tokens);
+                if prompt_blocks + need > total_blocks {
+                    continue;
+                }
+                if batch.admit(i as u64, Workload::new(input, output)).is_ok() {
+                    prompt_blocks += need;
+                }
+            }
+            let mut retired = drain(&mut batch);
+            retired.sort_unstable();
+            retired
+        };
+        prop_assert_eq!(run(Some(chunk)), run(None));
+    }
+}
