@@ -75,6 +75,7 @@ fn main() {
     );
     for id in selected {
         eprintln!("[reproduce] running {id}...");
+        // lint: allow(ambient-time, progress display only; no simulated quantity depends on it)
         let start = std::time::Instant::now();
         let report = run_one(id, full);
         let md = report.to_markdown();

@@ -1,0 +1,65 @@
+//! Cross-run determinism: the dynamic twin of lint rules R1/R2.
+//!
+//! `dfx-lint` bans the *sources* of nondeterminism (randomized
+//! iteration order, wall clocks, ambient RNGs) statically; this harness
+//! pins the *property* those bans exist for — identical seeds produce
+//! bit-identical reports. Every comparison below is `==` on the full
+//! report structure, so a single differing bit in any cell, note or
+//! metric fails.
+
+use dfx_bench::experiments;
+use dfx_model::{GptConfig, Workload};
+use dfx_serve::{ArrivalProcess, ContinuousBatching, ServingEngine};
+use dfx_sim::Appliance;
+
+#[test]
+fn continuous_sweep_is_bit_identical_across_runs() {
+    let run = || {
+        let cfg = GptConfig::new("continuous-smoke", 64, 2, 2, 512, 640);
+        experiments::continuous_setup(cfg, 1, 24, &[1, 4], &[5.0, 50.0], 20.0)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "two in-process continuous sweeps with identical seeds diverged"
+    );
+}
+
+#[test]
+fn memory_sweep_is_bit_identical_across_runs() {
+    let run = || {
+        let cfg = GptConfig::new("memory-smoke", 64, 2, 2, 512, 640);
+        experiments::memory_setup(cfg, 1, 12, &[1, 2], &[8], &[5.0, 50.0], 4)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "two in-process memory sweeps with identical seeds diverged"
+    );
+}
+
+#[test]
+fn service_reports_are_bit_identical_across_engine_runs() {
+    // Below the sweep tables: the raw ServiceReport (every response's
+    // timing, utilization, queue depths) from a seeded Poisson stream
+    // through the continuous scheduler, twice.
+    let run = || {
+        let cfg = GptConfig::new("det-smoke", 64, 2, 2, 512, 640);
+        let appliance = Appliance::timing_only(cfg, 1)?;
+        let workloads: Vec<Workload> = (0..24)
+            .map(|i| Workload::new(8 + (i % 5) * 4, 4 + (i % 3) * 2))
+            .collect();
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 40.0,
+            seed: 7,
+        };
+        ServingEngine::new(&appliance)
+            .with_scheduler(Box::new(ContinuousBatching::new(4)))
+            .run(&workloads, &arrivals)
+    };
+    let first = run().expect("first run succeeds");
+    let second = run().expect("second run succeeds");
+    assert_eq!(first, second, "seeded engine runs diverged bit for bit");
+}

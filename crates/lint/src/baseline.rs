@@ -1,0 +1,158 @@
+//! The ratcheting baseline: committed per-rule violation counts in
+//! `lint-baseline.toml`.
+//!
+//! The comparison is exact equality per rule. Counts above the
+//! baseline are *new debt* and fail the build; counts below it are a
+//! *stale baseline* and also fail, with instructions to re-run with
+//! `--write-baseline` — that is the ratchet: cleanups force the
+//! committed numbers down, and they can never silently climb back up.
+//!
+//! The file format is the `[counts]` table of a deliberately tiny TOML
+//! subset (bare `key = integer` lines, `#` comments), parsed by hand
+//! for the same reason the lexer is hand-rolled: no registry access.
+
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+
+/// Per-rule expected violation counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, usize>,
+}
+
+/// One rule's drift from the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    pub rule: Rule,
+    pub expected: usize,
+    pub actual: usize,
+}
+
+impl Baseline {
+    /// Parses `lint-baseline.toml` text. Unknown keys are rejected so a
+    /// typo in the file can't silently un-ratchet a rule.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_counts = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let name = section.strip_suffix(']').ok_or_else(|| {
+                    format!("lint-baseline.toml:{}: malformed section header", idx + 1)
+                })?;
+                in_counts = name.trim() == "counts";
+                continue;
+            }
+            if !in_counts {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!("lint-baseline.toml:{}: expected `rule = count`", idx + 1)
+            })?;
+            let key = key.trim().trim_matches('"');
+            let rule = Rule::from_slug(key)
+                .ok_or_else(|| format!("lint-baseline.toml:{}: unknown rule `{key}`", idx + 1))?;
+            let n: usize = value.trim().parse().map_err(|_| {
+                format!(
+                    "lint-baseline.toml:{}: `{}` is not a count",
+                    idx + 1,
+                    value.trim()
+                )
+            })?;
+            counts.insert(rule.slug().to_string(), n);
+        }
+        for rule in Rule::ALL {
+            if !counts.contains_key(rule.slug()) {
+                return Err(format!(
+                    "lint-baseline.toml: missing entry for rule `{}`",
+                    rule.slug()
+                ));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline from actual counts (the `--write-baseline`
+    /// path).
+    pub fn from_counts(counts: &BTreeMap<String, usize>) -> Baseline {
+        let mut full = BTreeMap::new();
+        for rule in Rule::ALL {
+            full.insert(
+                rule.slug().to_string(),
+                counts.get(rule.slug()).copied().unwrap_or(0),
+            );
+        }
+        Baseline { counts: full }
+    }
+
+    /// Renders the file, with the ratchet contract in a header comment.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# dfx-lint ratchet baseline. Regenerate with:\n\
+             #     cargo run -p dfx-lint --release -- --write-baseline\n\
+             # The build fails if any count RISES (new debt) or FALLS without\n\
+             # this file being updated (stale baseline) — debt only ratchets down.\n\
+             \n[counts]\n",
+        );
+        for rule in Rule::ALL {
+            let n = self.counts.get(rule.slug()).copied().unwrap_or(0);
+            out.push_str(&format!("{} = {}\n", rule.slug(), n));
+        }
+        out
+    }
+
+    /// Diffs actual per-rule counts against the baseline. Empty result
+    /// means the build is green.
+    pub fn drift(&self, actual: &BTreeMap<String, usize>) -> Vec<Drift> {
+        Rule::ALL
+            .into_iter()
+            .filter_map(|rule| {
+                let expected = self.counts.get(rule.slug()).copied().unwrap_or(0);
+                let actual = actual.get(rule.slug()).copied().unwrap_or(0);
+                (expected != actual).then_some(Drift {
+                    rule,
+                    expected,
+                    actual,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let b = Baseline::from_counts(&counts(&[("panic-policy", 7), ("ambient-time", 1)]));
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.counts["panic-policy"], 7);
+        assert_eq!(parsed.counts["nondet-collections"], 0);
+    }
+
+    #[test]
+    fn unknown_rules_and_missing_rules_are_rejected() {
+        assert!(Baseline::parse("[counts]\nnot-a-rule = 3\n").is_err());
+        assert!(Baseline::parse("[counts]\npanic-policy = 3\n").is_err());
+    }
+
+    #[test]
+    fn drift_flags_rises_and_falls_but_not_matches() {
+        let b = Baseline::from_counts(&counts(&[("panic-policy", 5)]));
+        assert!(b.drift(&counts(&[("panic-policy", 5)])).is_empty());
+        let up = b.drift(&counts(&[("panic-policy", 6)]));
+        assert_eq!(up.len(), 1);
+        assert_eq!((up[0].expected, up[0].actual), (5, 6));
+        let down = b.drift(&counts(&[("panic-policy", 4)]));
+        assert_eq!((down[0].expected, down[0].actual), (5, 4));
+    }
+}

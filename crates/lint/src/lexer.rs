@@ -1,0 +1,585 @@
+//! A minimal hand-rolled Rust lexer with line/column tracking.
+//!
+//! The build environment has no crates registry, so `dfx-lint` cannot
+//! lean on `syn` or `proc-macro2` — the same vendored-stand-in
+//! discipline as `vendor/proptest`. This lexer implements exactly what
+//! the rule engine needs: it splits source text into identifiers,
+//! numbers, string/char literals and punctuation, strips comments into
+//! a side channel (the rules read `// lint: allow(...)` and
+//! `// SAFETY:` annotations from it), and never confuses the word
+//! `unwrap` inside a string literal or a comment with a call site.
+//!
+//! Handled: line comments, *nested* block comments, string literals
+//! with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte
+//! and byte-raw strings, char literals vs lifetimes, raw identifiers
+//! (`r#type`), numeric literals (hex/octal/binary, floats, exponents,
+//! type suffixes) and a greedy multi-character operator set so `+=`
+//! and `::` arrive as single tokens.
+
+/// Token category — just enough granularity for the rule engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `for`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinct so char literals never
+    /// alias with them.
+    Lifetime,
+    /// Numeric literal, suffix included (`0x5EED`, `1.5e-3f64`).
+    Number,
+    /// String literal of any flavour (escaped, raw, byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Punctuation/operator. Multi-character operators (`+=`, `::`,
+    /// `..=`, …) are single tokens.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One comment (line or block), keyed by the line it starts on. Block
+/// comments carry their full multi-line text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// A lexed file: the token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the match is greedy.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "::", "->", "=>",
+    "..", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Malformed input (an unclosed
+/// string, say) never panics: the lexer consumes to end of file and
+/// returns what it saw.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Line comment (also `///` docs and `//!`).
+        if cur.starts_with("//") {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+
+        // Block comment, nesting tracked.
+        if cur.starts_with("/*") {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while cur.peek(0).is_some() {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#.
+        if c == 'r' || c == 'b' {
+            if let Some(text) = try_lex_string_like(&mut cur) {
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Raw identifier r#type.
+            if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                let mut text = String::new();
+                text.push(cur.bump().unwrap_or('r'));
+                text.push(cur.bump().unwrap_or('#'));
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Byte char b'x'.
+            if c == 'b' && cur.peek(1) == Some('\'') {
+                cur.bump(); // b
+                let text = lex_char_body(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'a` followed by anything but a closing quote is a
+            // lifetime; `'a'`, `'\n'`, `'('` are char literals.
+            let next = cur.peek(1);
+            let is_lifetime = next.is_some_and(is_ident_start) && {
+                // Scan the identifier run after the quote; a trailing
+                // quote makes it a char literal instead.
+                let mut i = 2;
+                while cur.peek(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                cur.peek(i) != Some('\'')
+            };
+            if is_lifetime {
+                let mut text = String::new();
+                text.push(cur.bump().unwrap_or('\''));
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let text = lex_char_body(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Multi-character operators, greedy.
+        if let Some(op) = OPERATORS.iter().find(|op| cur.starts_with(op)) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Single punctuation character.
+        if let Some(ch) = cur.bump() {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: ch.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+
+    out
+}
+
+/// Attempts to lex a raw/byte string starting at the cursor (`r"`,
+/// `r#"`, `b"`, `br"`, `br#"`). Returns `None` (cursor untouched) when
+/// the prefix does not introduce a string.
+fn try_lex_string_like(cur: &mut Cursor) -> Option<String> {
+    let mut i = 0;
+    if cur.peek(i) == Some('b') {
+        i += 1;
+    }
+    let raw = cur.peek(i) == Some('r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(i + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if hashes > 0 && !raw {
+        return None;
+    }
+    if cur.peek(i + hashes) != Some('"') {
+        return None;
+    }
+    // Commit: consume the prefix and the opening quote.
+    let mut text = String::new();
+    for _ in 0..(i + hashes + 1) {
+        if let Some(ch) = cur.bump() {
+            text.push(ch);
+        }
+    }
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` hashes.
+        loop {
+            match cur.peek(0) {
+                None => break,
+                Some('"') => {
+                    let closes = (0..hashes).all(|h| cur.peek(1 + h) == Some('#'));
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                    if closes {
+                        for _ in 0..hashes {
+                            if let Some(ch) = cur.bump() {
+                                text.push(ch);
+                            }
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+            }
+        }
+        Some(text)
+    } else {
+        // Escaped string body; the opening quote is already consumed.
+        text.push_str(&lex_quoted_body(cur, '"'));
+        Some(text)
+    }
+}
+
+/// Lexes a quoted literal whose opening delimiter is at the cursor.
+fn lex_quoted(cur: &mut Cursor, delim: char) -> String {
+    let mut text = String::new();
+    if let Some(ch) = cur.bump() {
+        text.push(ch); // opening delimiter
+    }
+    text.push_str(&lex_quoted_body(cur, delim));
+    text
+}
+
+/// Consumes an escaped literal body up to and including the closing
+/// delimiter.
+fn lex_quoted_body(cur: &mut Cursor, delim: char) -> String {
+    let mut text = String::new();
+    while let Some(ch) = cur.bump() {
+        text.push(ch);
+        if ch == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if ch == delim {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes a char literal whose opening `'` is at the cursor.
+fn lex_char_body(cur: &mut Cursor) -> String {
+    lex_quoted(cur, '\'')
+}
+
+/// Lexes a numeric literal whose first digit is at the cursor: integer
+/// or float, any radix, exponent and type suffix included. Never eats
+/// the `..` of a range (`0..n`) or a method call on an integer
+/// (`1.max(2)`).
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let radix_prefixed =
+        cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefixed {
+        // 0x/0o/0b: digits, underscores and (hex) letters, then a
+        // possible suffix — one alphanumeric run covers both.
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+        return text;
+    }
+    let digits = |cur: &mut Cursor, text: &mut String| {
+        while cur
+            .peek(0)
+            .is_some_and(|ch| ch.is_ascii_digit() || ch == '_')
+        {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+    };
+    digits(cur, &mut text);
+    // Fraction: only when `.` is followed by a digit (not `..`, not a
+    // method call).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|ch| ch.is_ascii_digit()) {
+        if let Some(ch) = cur.bump() {
+            text.push(ch);
+        }
+        digits(cur, &mut text);
+    }
+    // Exponent: e/E with an optional sign and at least one digit.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|ch| ch.is_ascii_digit()) {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+            if sign {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            digits(cur, &mut text);
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        if let Some(ch) = cur.bump() {
+            text.push(ch);
+        }
+    }
+    text
+}
+
+/// Whether a [`TokKind::Number`] literal denotes a float (`1.5`,
+/// `1e-9`, `2f64`) rather than an integer.
+pub fn is_float_literal(text: &str) -> bool {
+    let radix_prefixed = text.starts_with("0x")
+        || text.starts_with("0X")
+        || text.starts_with("0b")
+        || text.starts_with("0B")
+        || text.starts_with("0o")
+        || text.starts_with("0O");
+    if radix_prefixed {
+        return false;
+    }
+    // Integer suffixes contain letters ('usize' even contains an 'e');
+    // strip any suffix before looking for a fraction or exponent.
+    const INT_SUFFIXES: [&str; 12] = [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ];
+    if INT_SUFFIXES.iter().any(|s| text.ends_with(s)) {
+        return false;
+    }
+    text.contains('.')
+        || text.contains('e')
+        || text.contains('E')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents_from_the_token_stream() {
+        let src = r###"
+            // unwrap in a comment
+            /* HashMap in /* a nested */ block comment */
+            let s = "unwrap() and HashMap";
+            let r = r#"thread_rng "quoted" inside"#;
+            let c = 'x';
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "c", "real_ident"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'b' }").toks;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'b'");
+    }
+
+    #[test]
+    fn numbers_ranges_and_method_calls_disambiguate() {
+        let toks = lex("for i in 0..n { x += 1.5e-3; y = 0x5EED; z = 1.max(2); }").toks;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e-3", "0x5EED", "1", "2"]);
+        assert!(is_float_literal("1.5e-3"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("0x5EED"));
+        assert!(!is_float_literal("42"));
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "+=" && t.kind == TokKind::Punct));
+        assert!(toks
+            .iter()
+            .any(|t| t.text == ".." && t.kind == TokKind::Punct));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = lex("a\n  bc\n").toks;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_and_escaped_quotes_survive() {
+        let toks = lex(r#"let r#type = "a \" b"; escaped_ok();"#).toks;
+        assert!(toks.iter().any(|t| t.text == "r#type"));
+        assert!(toks.iter().any(|t| t.text == "escaped_ok"));
+    }
+}

@@ -1,0 +1,126 @@
+//! `dfx-lint`: workspace determinism & panic-safety analyzer.
+//!
+//! The DFX reproduction's core claim is that the serving simulator is
+//! *deterministic*: identical seeds produce bit-identical
+//! `ServiceReport`s, paged and reserved K/V paths match exactly, and
+//! sweeps reproduce across machines. The test suite pins this
+//! run-by-run; this crate pins it at the source level, with no
+//! third-party dependencies (there is no registry access, so `syn` and
+//! clippy plugins are off the table — the lexer in [`lexer`] is
+//! hand-rolled).
+//!
+//! Five rules (see [`rules::Rule`]) walk every workspace `.rs` file.
+//! Findings are compared against the committed `lint-baseline.toml`
+//! ([`baseline::Baseline`]): counts may never rise, and when cleanups
+//! push them down the baseline must be rewritten — a one-way ratchet.
+//!
+//! Run it as `cargo run -p dfx-lint --release` (what CI does) or let
+//! the `workspace_ratchet` integration test cover it under tier-1
+//! `cargo test`.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, Drift};
+pub use rules::{Rule, Violation};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories never walked: build output, vendored stand-in crates
+/// (external idiom, not ours to lint), and test fixture corpora
+/// (deliberately-violating sources scanned only by the self-tests).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Top-level entries walked from the workspace root. Everything a
+/// `cargo build`/`cargo test` compiles lives under these.
+const ROOTS: [&str; 4] = ["src", "crates", "tests", "examples"];
+
+/// Scans the workspace rooted at `root`. Returns violations ordered by
+/// (file, line, col); unreadable files are reported as errors rather
+/// than silently skipped (a lint that can't read a file must not claim
+/// the file is clean).
+pub fn scan_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(rules::scan_file(&rel, &src));
+    }
+    Ok(violations)
+}
+
+/// Per-rule counts for a violation list — the shape the baseline
+/// compares against.
+pub fn count_by_rule(violations: &[Violation]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for v in violations {
+        *counts.entry(v.rule.slug().to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping
+/// [`SKIP_DIRS`]. Entries are read in sorted order so the walk (and
+/// with it every report) is itself deterministic.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// directory containing `lint-baseline.toml` (preferred) or a
+/// workspace `Cargo.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    let mut cargo_fallback = None;
+    while let Some(dir) = cur {
+        if dir.join("lint-baseline.toml").is_file() {
+            return Some(dir);
+        }
+        if cargo_fallback.is_none() && dir.join("Cargo.toml").is_file() {
+            cargo_fallback = Some(dir.clone());
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    cargo_fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_aggregate_per_rule() {
+        let vs = rules::scan_file(
+            "crates/sim/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { x.unwrap(); y.unwrap(); }\n",
+        );
+        let counts = count_by_rule(&vs);
+        assert_eq!(counts["nondet-collections"], 1);
+        assert_eq!(counts["panic-policy"], 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! `dfx-lint` CLI — the command CI runs.
+//!
+//! ```text
+//! cargo run -p dfx-lint --release                     # ratchet check
+//! cargo run -p dfx-lint --release -- --list           # print every violation
+//! cargo run -p dfx-lint --release -- --write-baseline # regenerate lint-baseline.toml
+//! ```
+//!
+//! Exit codes: 0 clean, 1 drift from the baseline (new debt or stale
+//! baseline), 2 usage/IO error.
+
+use dfx_lint::{count_by_rule, find_root, scan_workspace, Baseline, Rule};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list = false;
+    let mut write = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--write-baseline" => write = true,
+            other => {
+                eprintln!("dfx-lint: unknown argument `{other}`");
+                eprintln!("usage: dfx-lint [--list] [--write-baseline]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dfx-lint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = find_root(&cwd) else {
+        eprintln!(
+            "dfx-lint: no lint-baseline.toml or Cargo.toml found above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let violations = match scan_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("dfx-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let counts = count_by_rule(&violations);
+
+    if list {
+        for v in &violations {
+            println!("{v}");
+        }
+    }
+
+    let baseline_path = root.join("lint-baseline.toml");
+    if write {
+        let baseline = Baseline::from_counts(&counts);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+            eprintln!("dfx-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("dfx-lint: wrote {}", baseline_path.display());
+        for rule in Rule::ALL {
+            println!(
+                "  {:<22} {}",
+                rule.slug(),
+                counts.get(rule.slug()).copied().unwrap_or(0)
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("dfx-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "dfx-lint: cannot read {} ({e}); run with --write-baseline to create it",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let drift = baseline.drift(&counts);
+    if drift.is_empty() {
+        println!(
+            "dfx-lint: clean — {} violation(s) across {} rule(s), all matching the baseline",
+            violations.len(),
+            Rule::ALL.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("dfx-lint: baseline drift detected:");
+    for d in &drift {
+        if d.actual > d.expected {
+            eprintln!(
+                "  {:<22} {} -> {}  NEW DEBT — fix the new sites or annotate them with \
+                 `// lint: allow({}, <reason>)`",
+                d.rule.slug(),
+                d.expected,
+                d.actual,
+                d.rule.slug()
+            );
+        } else {
+            eprintln!(
+                "  {:<22} {} -> {}  STALE BASELINE — cleanups landed; commit the ratchet with \
+                 `cargo run -p dfx-lint --release -- --write-baseline`",
+                d.rule.slug(),
+                d.expected,
+                d.actual
+            );
+        }
+    }
+    eprintln!("  (use --list to print every violation with file:line positions)");
+    ExitCode::FAILURE
+}

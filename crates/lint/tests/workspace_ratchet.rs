@@ -1,0 +1,74 @@
+//! Tier-1 enforcement of the lint ratchet: `cargo test` fails whenever
+//! `cargo run -p dfx-lint --release` would, so the baseline is checked
+//! even where CI's dedicated lint job doesn't run.
+
+use dfx_lint::{count_by_rule, scan_workspace, Baseline};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_matches_the_committed_baseline() {
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+
+    let violations = scan_workspace(root).expect("workspace scan succeeds");
+    let counts = count_by_rule(&violations);
+    let drift = baseline.drift(&counts);
+
+    if !drift.is_empty() {
+        let mut msg = String::from("lint baseline drift:\n");
+        for d in &drift {
+            let kind = if d.actual > d.expected {
+                "NEW DEBT"
+            } else {
+                "STALE BASELINE (re-run with --write-baseline)"
+            };
+            msg.push_str(&format!(
+                "  {}: {} -> {} {}\n",
+                d.rule.slug(),
+                d.expected,
+                d.actual,
+                kind
+            ));
+        }
+        msg.push_str("offending sites:\n");
+        for v in violations
+            .iter()
+            .filter(|v| drift.iter().any(|d| d.rule == v.rule))
+        {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn baseline_carries_no_debt_for_the_determinism_rules() {
+    // The ratchet's end state for R1/R2/R4/R5 is already reached: any
+    // regression is new debt, not a baseline bump. Only panic-policy
+    // still carries legacy sites.
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    for rule in [
+        "nondet-collections",
+        "ambient-time",
+        "undocumented-unsafe",
+        "float-accumulation",
+    ] {
+        assert_eq!(
+            baseline.counts[rule], 0,
+            "rule {rule} must stay at a zero baseline"
+        );
+    }
+}

@@ -148,7 +148,7 @@ impl GptConfig {
 
 /// A text-generation workload: `input_len` context tokens summarised, then
 /// `output_len` tokens generated (paper notation `[input:output]`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Workload {
     /// Number of input (context) tokens.
     pub input_len: usize,

@@ -112,7 +112,9 @@ impl ArrivalProcess {
     pub(crate) fn plan(&self, n: usize) -> Result<SubmissionPlan, SimError> {
         match self {
             ArrivalProcess::Poisson { .. } | ArrivalProcess::Trace(_) => {
-                let times = self.open_arrivals_ms(n)?.expect("open-loop process");
+                let times = self.open_arrivals_ms(n)?.ok_or_else(|| {
+                    SimError::Service("open-loop process yielded no arrival times".into())
+                })?;
                 Ok(SubmissionPlan::Open(times))
             }
             ArrivalProcess::ClosedLoop {

@@ -167,7 +167,9 @@ pub trait Backend {
         let mut generation_ms = 0.0;
         for &w in batch {
             let r = self.serve(w)?;
+            // lint: order-sensitive — per-member in batch order
             summarization_ms += r.summarization_ms;
+            // lint: order-sensitive — per-member in batch order
             generation_ms += r.generation_ms;
         }
         Ok(BatchReport {

@@ -27,7 +27,7 @@ use dfx_hw::MemoryModel;
 use dfx_model::Workload;
 use dfx_sim::{PagingStats, SimError};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One request entering the service: a workload plus its arrival time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -129,6 +129,7 @@ pub struct ServiceReport {
 impl ServiceReport {
     /// Mean sojourn time, ms.
     pub fn mean_sojourn_ms(&self) -> f64 {
+        // lint: order-sensitive — summed in response completion order
         self.responses.iter().map(Response::sojourn_ms).sum::<f64>() / self.responses.len() as f64
     }
 
@@ -151,7 +152,7 @@ impl ServiceReport {
 
     fn sorted_sojourns(&self) -> Vec<f64> {
         let mut s: Vec<f64> = self.responses.iter().map(Response::sojourn_ms).collect();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sojourns"));
+        s.sort_by(f64::total_cmp);
         s
     }
 }
@@ -188,7 +189,7 @@ pub struct ServingEngine<'a> {
     /// which every built-in implementation's name does. The
     /// token-boundary path does not use it (step costs depend on batch
     /// state); its steppers memoize per-run instead.
-    cache: HashMap<(String, Vec<Workload>), f64>,
+    cache: BTreeMap<(String, Vec<Workload>), f64>,
 }
 
 impl<'a> ServingEngine<'a> {
@@ -197,7 +198,7 @@ impl<'a> ServingEngine<'a> {
         ServingEngine {
             servers: vec![backend],
             scheduler: Box::new(Fifo),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -213,7 +214,7 @@ impl<'a> ServingEngine<'a> {
         Ok(ServingEngine {
             servers,
             scheduler: Box::new(Fifo),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         })
     }
 
@@ -264,7 +265,7 @@ impl<'a> ServingEngine<'a> {
                 let mut p: Vec<(f64, usize)> = times.iter().copied().zip(0..n).collect();
                 // Ascending already (validated), but keep the invariant
                 // explicit: pending is always sorted by (time, id).
-                p.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+                p.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 p
             }
             SubmissionPlan::Closed { clients, .. } => {
@@ -363,8 +364,8 @@ impl<'a> ServingEngine<'a> {
             }
 
             let server = (0..free_at.len())
-                .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite"))
-                .expect("non-empty pool");
+                .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+                .ok_or_else(|| SimError::Service("backend pool is empty".into()))?;
             let now = free_at[server].max(queue[0].arrival_ms).max(wake_ms);
 
             // Everything that has arrived by the dispatch instant is
@@ -443,6 +444,7 @@ impl<'a> ServingEngine<'a> {
             let start_ms = batch.iter().map(|r| r.arrival_ms).fold(now, f64::max);
             let finish_ms = start_ms + service_ms;
             free_at[server] = finish_ms;
+            // lint: order-sensitive — event-ordered timeline accumulation
             busy[server] += service_ms;
             dispatches += 1;
             peak_live_batch = peak_live_batch.max(batch.len());
@@ -553,22 +555,24 @@ impl<'a> ServingEngine<'a> {
 
         let servers = &self.servers;
         let prefill_chunk = self.scheduler.prefill_chunk();
-        let mut runs: Vec<Run<'_>> = servers
-            .iter()
-            .map(|s| {
-                let mut stepper = s.continuous().expect("checked by run()");
-                if prefill_chunk.is_some() {
-                    stepper.set_prefill_chunk(prefill_chunk);
-                }
-                Run {
-                    stepper,
-                    members: Vec::new(),
-                    memory: s.memory(),
-                    epoch_ms: 0.0,
-                    rel_ms: 0.0,
-                }
-            })
-            .collect();
+        let mut runs: Vec<Run<'_>> = Vec::with_capacity(servers.len());
+        for s in servers.iter() {
+            // run() routes here only when every backend is continuous,
+            // but re-check instead of panicking on a broken invariant.
+            let mut stepper = s.continuous().ok_or_else(|| {
+                SimError::Service(format!("backend {} cannot batch continuously", s.name()))
+            })?;
+            if prefill_chunk.is_some() {
+                stepper.set_prefill_chunk(prefill_chunk);
+            }
+            runs.push(Run {
+                stepper,
+                members: Vec::new(),
+                memory: s.memory(),
+                epoch_ms: 0.0,
+                rel_ms: 0.0,
+            });
+        }
 
         // Floor on the next idle-admission instant, set after a decline
         // so a future arrival can change the scheduler's mind.
@@ -584,7 +588,7 @@ impl<'a> ServingEngine<'a> {
                 .enumerate()
                 .filter(|(_, r)| r.stepper.live() > 0)
                 .map(|(s, r)| (r.clock_ms(), s))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             // Earliest instant the earliest-free idle server could meet
             // the earliest known request.
             let idle_next = runs
@@ -592,7 +596,7 @@ impl<'a> ServingEngine<'a> {
                 .enumerate()
                 .filter(|(_, r)| r.stepper.live() == 0)
                 .map(|(s, r)| (r.clock_ms(), s))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .and_then(|(clock, s)| {
                     let req_t = queue
                         .first()
@@ -666,7 +670,9 @@ impl<'a> ServingEngine<'a> {
                         // prefill begins.
                         let start_ms = run.clock_ms();
                         let ev = run.stepper.admit(request.id, request.workload)?;
+                        // lint: order-sensitive — event-ordered timeline accumulation
                         run.rel_ms += ev.ms;
+                        // lint: order-sensitive — event-ordered timeline accumulation
                         busy[server] += ev.ms;
                         dispatches += 1;
                         if ev.finished.contains(&request.id) {
@@ -711,7 +717,9 @@ impl<'a> ServingEngine<'a> {
                 // decode pass; exits happen the moment a member has its
                 // last token.
                 let ev = run.stepper.step_token()?;
+                // lint: order-sensitive — event-ordered timeline accumulation
                 run.rel_ms += ev.ms;
+                // lint: order-sensitive — event-ordered timeline accumulation
                 busy[server] += ev.ms;
                 dispatches += 1;
                 let finish_ms = run.clock_ms();
@@ -810,7 +818,7 @@ impl<'a> ServingEngine<'a> {
         let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
 
         let mut sojourns: Vec<f64> = responses.iter().map(Response::sojourn_ms).collect();
-        sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite sojourns"));
+        sojourns.sort_by(f64::total_cmp);
         let p50_sojourn_ms = stats::percentile(&sojourns, 0.50)?;
         let p95_sojourn_ms = stats::percentile(&sojourns, 0.95)?;
         let p99_sojourn_ms = stats::percentile(&sojourns, 0.99)?;
@@ -823,7 +831,7 @@ impl<'a> ServingEngine<'a> {
             events.push((r.request.arrival_ms, 1));
             events.push((r.start_ms, -1));
         }
-        events.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let (mut depth, mut max_depth, mut area, mut prev_t) = (0i64, 0i64, 0.0f64, 0.0f64);
         for (t, delta) in events {
             area += depth as f64 * (t - prev_t);
@@ -836,7 +844,7 @@ impl<'a> ServingEngine<'a> {
             0.0
         } else {
             let mut gaps = token_gaps.to_vec();
-            gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+            gaps.sort_by(f64::total_cmp);
             stats::percentile(&gaps, 0.99)?
         };
 
@@ -855,6 +863,7 @@ impl<'a> ServingEngine<'a> {
                 0.0
             },
             max_queue_depth: max_depth as usize,
+            // lint: order-sensitive — summed in server index order
             utilization: busy.iter().sum::<f64>()
                 / (self.servers.len() as f64 * makespan_ms.max(f64::MIN_POSITIVE)),
             goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),

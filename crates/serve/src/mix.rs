@@ -43,7 +43,7 @@ mod tests {
     #[test]
     fn mix_cycles_sixteen_distinct_sizes() {
         let mix = chatbot_mix(64, 1024);
-        let distinct: std::collections::HashSet<Workload> = mix.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<Workload> = mix.iter().copied().collect();
         assert_eq!(distinct.len(), 16);
         assert!(mix.iter().all(|w| w.input_len + w.output_len <= 1024));
     }

@@ -627,6 +627,7 @@ impl Scheduler for ContinuousBatching {
                         resident.pop();
                         continue;
                     }
+                    // lint: order-sensitive — stalls charged in admission order
                     pending_stall_ms += stall;
                 }
                 protected.push((req.arrival_ms, req.workload.output_len));

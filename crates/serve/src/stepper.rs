@@ -276,19 +276,17 @@ impl ContinuousStepper for GpuStepper<'_> {
     }
 
     fn step_token(&mut self) -> Result<StepEvent, SimError> {
-        if self.members.is_empty() {
-            return Err(SimError::InvalidRequest(
-                "no live members to step (admit first)".into(),
-            ));
-        }
         // Mirrors run_batch's decode loop: generating output token
         // `emitted + 1` costs a step at context `input_len + emitted`.
+        // `max()` is `None` exactly when there is nobody to step.
         let t = self
             .members
             .iter()
             .map(|m| m.workload.input_len + m.emitted)
             .max()
-            .expect("non-empty batch");
+            .ok_or_else(|| {
+                SimError::InvalidRequest("no live members to step (admit first)".into())
+            })?;
         let ms = self.gpu.generation_step_ms_batched(t, self.members.len());
         let mut finished = Vec::new();
         let mut i = 0;

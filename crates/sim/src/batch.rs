@@ -126,16 +126,8 @@ impl Appliance {
             return Err(SimError::InvalidRequest("empty batch".into()));
         }
         let padded = Workload::new(
-            batch
-                .iter()
-                .map(|w| w.input_len)
-                .max()
-                .expect("non-empty batch"),
-            batch
-                .iter()
-                .map(|w| w.output_len)
-                .max()
-                .expect("non-empty batch"),
+            batch.iter().map(|w| w.input_len).fold(0, usize::max),
+            batch.iter().map(|w| w.output_len).fold(0, usize::max),
         );
         if let Some(w) = batch.iter().find(|w| w.input_len == 0) {
             return Err(SimError::InvalidRequest(format!(

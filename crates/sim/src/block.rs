@@ -39,7 +39,7 @@
 use crate::error::SimError;
 use dfx_hw::MemoryModel;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What the executor does with a preemption victim's K/V state when a
 /// grow request finds the pool exhausted.
@@ -255,11 +255,11 @@ pub struct BlockPool {
     total_blocks: usize,
     /// Blocks neither member-held nor cached.
     free_blocks: usize,
-    leases: HashMap<u64, BlockLease>,
+    leases: BTreeMap<u64, BlockLease>,
     /// Prefix cache: `(key, block index)` → sharer ref-count. Entries
     /// with zero refs stay cached (hits for future sharers) until an
     /// allocation evicts them, oldest first.
-    cache: HashMap<(u64, usize), usize>,
+    cache: BTreeMap<(u64, usize), usize>,
     /// Cache entries in insertion order (the deterministic eviction
     /// order for idle entries).
     cache_order: Vec<(u64, usize)>,
@@ -282,8 +282,8 @@ impl BlockPool {
             block_tokens,
             total_blocks,
             free_blocks: total_blocks,
-            leases: HashMap::new(),
-            cache: HashMap::new(),
+            leases: BTreeMap::new(),
+            cache: BTreeMap::new(),
             cache_order: Vec::new(),
             stats: PagingStats {
                 block_tokens,
@@ -462,7 +462,12 @@ impl BlockPool {
             )));
         }
         for i in 0..hit_blocks {
-            *self.cache.get_mut(&(key, i)).expect("hit block cached") += 1;
+            let refs = self.cache.get_mut(&(key, i)).ok_or_else(|| {
+                SimError::Service(format!(
+                    "prefix block ({key:#x}, {i}) vanished mid-admission"
+                ))
+            })?;
+            *refs += 1;
         }
         self.stats.prefix_hit_tokens += hit_tokens;
         self.leases.insert(
@@ -477,8 +482,9 @@ impl BlockPool {
             },
         );
         if first_write > 0 {
-            self.write_impl(id, first_write, true)
-                .expect("admission feasibility was checked");
+            // Feasibility was checked above, so this only propagates a
+            // genuine accounting bug rather than aborting the process.
+            self.write_impl(id, first_write, true)?;
         }
         self.note_peaks();
         Ok(hit_tokens)
@@ -546,7 +552,10 @@ impl BlockPool {
             )));
         }
         self.take_blocks(delta);
-        let lease = self.leases.get_mut(&id).expect("lease exists");
+        let lease = self
+            .leases
+            .get_mut(&id)
+            .ok_or_else(|| SimError::Service(format!("member {id}'s lease vanished mid-write")))?;
         lease.owned_blocks += delta;
         if computed && lease.used_tokens < lease.shareable_tokens {
             self.stats.prefix_computed_tokens +=
@@ -572,7 +581,9 @@ impl BlockPool {
                     self.cache_order.push((key, idx));
                 }
             }
-            let l = self.leases.get_mut(&id).expect("lease exists");
+            let l = self.leases.get_mut(&id).ok_or_else(|| {
+                SimError::Service(format!("member {id}'s lease vanished mid-write"))
+            })?;
             l.owned_blocks -= 1;
             l.shared_blocks += 1;
         }
@@ -607,12 +618,18 @@ impl BlockPool {
             })
             .min((cap / self.block_tokens) * self.block_tokens);
         for i in 0..hit / self.block_tokens {
-            *self
-                .cache
-                .get_mut(&(lease.prefix_key, i))
-                .expect("hit block cached") += 1;
+            let refs = self.cache.get_mut(&(lease.prefix_key, i)).ok_or_else(|| {
+                SimError::Service(format!(
+                    "prefix block ({:#x}, {i}) vanished mid-attach",
+                    lease.prefix_key
+                ))
+            })?;
+            *refs += 1;
         }
-        let l = self.leases.get_mut(&id).expect("lease exists");
+        let l = self
+            .leases
+            .get_mut(&id)
+            .ok_or_else(|| SimError::Service(format!("member {id}'s lease vanished mid-attach")))?;
         l.used_tokens = hit;
         l.shared_blocks = hit / self.block_tokens;
         self.stats.prefix_hit_tokens += hit;
@@ -642,7 +659,11 @@ impl BlockPool {
         lease.shared_blocks = 0;
         self.free_blocks += owned;
         for i in 0..shared {
-            let refs = self.cache.get_mut(&(key, i)).expect("shared block cached");
+            let refs = self.cache.get_mut(&(key, i)).ok_or_else(|| {
+                SimError::Service(format!(
+                    "shared block ({key:#x}, {i}) vanished mid-eviction"
+                ))
+            })?;
             *refs -= 1;
         }
         self.stats.preemptions += 1;
@@ -666,9 +687,13 @@ impl BlockPool {
             Some(lease) => {
                 self.free_blocks += lease.owned_blocks;
                 for i in 0..lease.shared_blocks {
+                    // Release is infallible by contract (unknown ids
+                    // free nothing); a lease always references cached
+                    // blocks, pinned by its own refcount.
                     let refs = self
                         .cache
                         .get_mut(&(lease.prefix_key, i))
+                        // lint: allow(panic-policy, lease refcount pins its cached blocks)
                         .expect("shared block cached");
                     *refs -= 1;
                 }
@@ -683,10 +708,14 @@ impl BlockPool {
     /// cache entries oldest first.
     fn take_blocks(&mut self, n: usize) {
         while self.free_blocks < n {
+            // Private helper: both callers bound `n` by
+            // `available_blocks()` (free + idle cached) first, so an
+            // idle entry must exist whenever free blocks run short.
             let pos = self
                 .cache_order
                 .iter()
                 .position(|k| self.cache.get(k) == Some(&0))
+                // lint: allow(panic-policy, callers bound n by available_blocks)
                 .expect("caller checked available_blocks");
             let key = self.cache_order.remove(pos);
             self.cache.remove(&key);

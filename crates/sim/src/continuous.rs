@@ -80,7 +80,7 @@ use crate::block::{BlockPool, PagedKvConfig, PagingStats, PreemptionPolicy, Pref
 use crate::error::SimError;
 use crate::kv::KvPool;
 use dfx_model::Workload;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of admitting one member into a running batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -309,13 +309,13 @@ pub struct BatchState<'a> {
     /// Prefill chunk budget in tokens (`None`: whole-prefill admission).
     prefill_chunk: Option<usize>,
     /// Decode-step cost by `(program position, live batch)`.
-    step_cache: HashMap<(usize, u32), f64>,
+    step_cache: BTreeMap<(usize, u32), f64>,
     /// Whole-prefill cost by context length.
-    prefill_cache: HashMap<usize, f64>,
+    prefill_cache: BTreeMap<usize, f64>,
     /// Per-position prefill step cycles by `(position, lm_head)` (the
     /// chunked path's memo; chunk costs sum these like the unchunked
     /// pass sums its positions).
-    pos_cycles: HashMap<(usize, bool), dfx_hw::Cycles>,
+    pos_cycles: BTreeMap<(usize, bool), dfx_hw::Cycles>,
 }
 
 impl Appliance {
@@ -340,9 +340,9 @@ impl Appliance {
                 None => KvBacking::Reserved(KvPool::new(self.memory_model())),
             },
             prefill_chunk: None,
-            step_cache: HashMap::new(),
-            prefill_cache: HashMap::new(),
-            pos_cycles: HashMap::new(),
+            step_cache: BTreeMap::new(),
+            prefill_cache: BTreeMap::new(),
+            pos_cycles: BTreeMap::new(),
         }
     }
 }
@@ -605,7 +605,12 @@ impl BatchState<'_> {
         }
 
         let KvBacking::Reserved(pool) = &mut self.kv else {
-            unreachable!("paged admission returned above");
+            // The paged arm admits and returns above; reaching this
+            // point on a paged backing is a bug worth surfacing, not
+            // aborting the whole process for.
+            return Err(SimError::Service(
+                "paged K/V admission fell through to the reserved path".into(),
+            ));
         };
         pool.reserve(id, workload.input_len + workload.output_len)?;
 
@@ -698,9 +703,13 @@ impl BatchState<'_> {
         // Swap the oldest parked member back in once its footprint fits
         // again (the paged retain policy; charged as a DDR transfer).
         if let KvBacking::Paged { pool, .. } = &mut self.kv {
-            if let Some(i) = self.members.iter().position(|m| m.parked.is_some()) {
+            let oldest_parked = self
+                .members
+                .iter()
+                .enumerate()
+                .find_map(|(i, m)| m.parked.map(|p| (i, p)));
+            if let Some((i, swapped)) = oldest_parked {
                 let id = self.members[i].id;
-                let swapped = self.members[i].parked.expect("position matched on parked");
                 if pool.can_write(id, swapped) {
                     pool.restore(id, swapped)?;
                     let bytes = pool.memory().kv_claim_bytes(swapped);
@@ -818,8 +827,7 @@ impl BatchState<'_> {
                 .iter()
                 .filter(|m| decoding.contains(&m.id))
                 .map(|m| m.workload.input_len + m.emitted - 1)
-                .max()
-                .expect("non-empty decode set");
+                .fold(0, usize::max);
             let step_ms = self.decode_cost(pos, decoding.len());
             ms += step_ms;
             self.elapsed_ms += step_ms;
@@ -837,6 +845,7 @@ impl BatchState<'_> {
                 i += 1;
                 continue;
             }
+            // lint: order-sensitive — simulated-clock accumulation
             ms += self.make_room(id, 1)?;
             self.kv_grow(id, 1)?;
             self.members[i].emitted += 1;
@@ -913,7 +922,9 @@ impl BatchState<'_> {
                     let swap_ms = dfx_hw::DdrModel::default()
                         .transfer_cycles(bytes)
                         .to_millis();
+                    // lint: order-sensitive — simulated-clock accumulation
                     ms += swap_ms;
+                    // lint: order-sensitive — simulated-clock accumulation
                     self.elapsed_ms += swap_ms;
                 }
             }

@@ -20,7 +20,7 @@
 
 use crate::error::SimError;
 use dfx_hw::MemoryModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One member's lease on the pool, in context positions (tokens).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +52,7 @@ struct Lease {
 #[derive(Debug, Clone)]
 pub struct KvPool {
     memory: MemoryModel,
-    leases: HashMap<u64, Lease>,
+    leases: BTreeMap<u64, Lease>,
     /// Sum of every live lease's claim, in tokens.
     committed_tokens: usize,
 }
@@ -62,7 +62,7 @@ impl KvPool {
     pub fn new(memory: MemoryModel) -> Self {
         KvPool {
             memory,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             committed_tokens: 0,
         }
     }
