@@ -12,6 +12,7 @@ use crate::table::ExperimentReport;
 
 mod ablation;
 mod batching;
+mod cluster;
 mod continuous;
 mod design;
 mod evaluation;
@@ -23,6 +24,7 @@ mod tables;
 
 pub use ablation::run as ablation;
 pub use batching::{run as batching, run_setup as batching_setup};
+pub use cluster::{run as cluster, run_setup as cluster_setup};
 pub use continuous::{run as continuous, run_setup as continuous_setup};
 pub use design::{fig13, fig8};
 pub use evaluation::{fig15, fig16, fig17, fig18, table2};
@@ -134,6 +136,11 @@ pub const CATALOG: &[CatalogEntry] = &[
         id: "memory",
         what: "HBM/KV memory subsystem: capacity-bounded admission and chunked prefill",
         run: |_| memory(),
+    },
+    CatalogEntry {
+        id: "cluster",
+        what: "Cluster tier: placement policy, session affinity, disaggregation, wide sharding",
+        run: |_| cluster(),
     },
 ];
 

@@ -41,6 +41,20 @@ fn memory_sweep_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn cluster_sweep_is_bit_identical_across_runs() {
+    let run = || {
+        let cfg = GptConfig::new("cluster-smoke", 64, 2, 2, 512, 640);
+        experiments::cluster_setup(cfg, 2, 16, 200.0, 320, 4, &[1, 2])
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "two in-process cluster sweeps with identical seeds diverged"
+    );
+}
+
+#[test]
 fn service_reports_are_bit_identical_across_engine_runs() {
     // Below the sweep tables: the raw ServiceReport (every response's
     // timing, utilization, queue depths) from a seeded Poisson stream

@@ -137,6 +137,28 @@ fn memory_experiment_produces_report_on_a_tiny_config() {
 }
 
 #[test]
+fn cluster_experiment_produces_report_on_a_tiny_config() {
+    // The headline sweep (`reproduce cluster`) routes across four 1.5B
+    // replicas; this smoke config exercises the router/report machinery
+    // at test speed. The in-module tests cover the three acceptance
+    // shapes: K/V-aware placement beating round-robin's resonant p99,
+    // session affinity lifting prefix hits, and the disaggregated
+    // topology's nonzero transfer cost.
+    let cfg = GptConfig::new("cluster-smoke", 64, 2, 2, 512, 640);
+    let report = experiments::cluster_setup(cfg, 2, 16, 200.0, 320, 4, &[1, 2]);
+    assert_well_formed(&report, "cluster");
+    assert_eq!(report.tables.len(), 4);
+    // round-robin, least-outstanding, least-kv-loaded.
+    assert_eq!(report.tables[0].rows.len(), 3);
+    // sprayed vs pinned.
+    assert_eq!(report.tables[1].rows.len(), 2);
+    // unified vs disaggregated.
+    assert_eq!(report.tables[2].rows.len(), 2);
+    // one row per shard width.
+    assert_eq!(report.tables[3].rows.len(), 2);
+}
+
+#[test]
 fn every_catalog_id_is_runnable_and_vice_versa() {
     // The catalog is the single source of truth for `reproduce` — ids,
     // descriptions and dispatch live in one table, so an id cannot
@@ -160,10 +182,11 @@ fn every_catalog_id_is_runnable_and_vice_versa() {
         "batching",
         "continuous",
         "memory",
+        "cluster",
     ] {
         assert!(ids.contains(&required), "catalog is missing `{required}`");
     }
-    assert_eq!(ids.len(), 17, "unexpected catalog entries: {ids:?}");
+    assert_eq!(ids.len(), 18, "unexpected catalog entries: {ids:?}");
 }
 
 #[test]

@@ -35,7 +35,7 @@ mod tile;
 pub use clock::{Cycles, CORE_CLOCK_HZ};
 pub use dma::DmaModel;
 pub use memory::{DdrModel, HbmModel, MemoryModel};
-pub use net::{allgather_reorder, argmax_reduce, RingModel};
+pub use net::{allgather_reorder, argmax_reduce, LinkModel, RingModel};
 pub use power::PowerModel;
 pub use resource::{ComponentUsage, ResourceModel, Resources, U280_CAPACITY};
 pub use tile::{Tile, TileShape, TileWalk, WalkAnalysis, WalkOrder};

@@ -63,6 +63,64 @@ impl RingModel {
     }
 }
 
+/// Point-to-point link model for inter-replica transfers.
+///
+/// The ring ([`RingModel`]) synchronises cores *inside* one appliance;
+/// this models the datacenter link *between* replicas — the path a
+/// disaggregated prefill/decode topology pays to move a finished
+/// context's K/V cache from the prefill pool to the decode pool
+/// (Splitwise/DistServe-style). Cost is a fixed latency plus
+/// serialisation at the effective payload bandwidth; the transferred
+/// volume comes from [`MemoryModel::kv_bytes_per_token`] times the
+/// context length, so wider-sharded replicas (smaller per-device KV)
+/// move proportionally less per device.
+///
+/// [`MemoryModel::kv_bytes_per_token`]: crate::MemoryModel
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Raw serial bandwidth in Gb/s.
+    pub link_gbps: f64,
+    /// Line-coding efficiency (fraction of raw bits carrying payload).
+    pub encoding_efficiency: f64,
+    /// Fixed one-way latency in microseconds (NIC + switch + protocol).
+    pub latency_us: f64,
+}
+
+impl LinkModel {
+    /// A 100 Gb/s QSFP28-class datacenter link with Aurora-style 64b/66b
+    /// coding and ~5 µs one-way latency — the same physical layer the
+    /// appliance ring uses (paper §V-E), now point-to-point.
+    pub fn qsfp28() -> Self {
+        LinkModel {
+            link_gbps: 100.0,
+            encoding_efficiency: 64.0 / 66.0,
+            latency_us: 5.0,
+        }
+    }
+
+    /// A link with the given raw bandwidth and latency, payload-perfect
+    /// coding.
+    pub fn new(link_gbps: f64, latency_us: f64) -> Self {
+        LinkModel {
+            link_gbps,
+            encoding_efficiency: 1.0,
+            latency_us,
+        }
+    }
+
+    /// Effective payload bandwidth in bytes per second.
+    pub fn payload_bytes_per_s(&self) -> f64 {
+        self.link_gbps * 1e9 / 8.0 * self.encoding_efficiency
+    }
+
+    /// Milliseconds to move `bytes` across the link: fixed latency plus
+    /// serialisation. Zero bytes still pay the latency (the transfer
+    /// handshake is not free).
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.latency_us / 1e3 + bytes as f64 / self.payload_bytes_per_s() * 1e3
+    }
+}
+
 /// Functional helper: the reorder unit's view of an all-gather. Takes the
 /// per-core partial vectors (indexed by core id) and returns the full
 /// vector every core observes — identical everywhere by construction.
@@ -131,6 +189,28 @@ mod tests {
         let small = ring.allgather_cycles(768);
         // Serialization of 768 B is ~13 cycles vs 400 cycles hop latency.
         assert!((small.0 as f64) < (tiny.0 as f64) * 1.1);
+    }
+
+    #[test]
+    fn link_transfer_is_latency_plus_serialisation() {
+        let link = LinkModel::qsfp28();
+        // Zero bytes: pure latency, 5 µs = 0.005 ms.
+        assert!((link.transfer_ms(0) - 0.005).abs() < 1e-12);
+        // 1 GiB at ~12.12 GB/s payload: ~88 ms, dwarfing the latency.
+        let ms = link.transfer_ms(1 << 30);
+        assert!(ms > 80.0 && ms < 100.0, "{ms} ms");
+        // Monotone in bytes.
+        assert!(link.transfer_ms(2048) > link.transfer_ms(1024));
+    }
+
+    #[test]
+    fn link_bandwidth_scales_transfer_time() {
+        let fast = LinkModel::new(200.0, 5.0);
+        let slow = LinkModel::new(100.0, 5.0);
+        let bytes = 1u64 << 24;
+        let fast_ser = fast.transfer_ms(bytes) - fast.transfer_ms(0);
+        let slow_ser = slow.transfer_ms(bytes) - slow.transfer_ms(0);
+        assert!((slow_ser / fast_ser - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,1210 @@
+//! Cluster tier: deterministic routing across N serving-engine replicas.
+//!
+//! The paper's appliance stops at 2 servers / 8 FPGAs (§VI); a
+//! production deployment fronts many such appliances — possibly of
+//! different generations, possibly mixed with GPU servers — behind one
+//! request stream. [`ClusterRouter`] is that front door: it assigns
+//! every arrival to exactly one replica through a pluggable
+//! [`Placement`] policy, simulates each replica's sub-stream on its own
+//! [`ServingEngine`], and aggregates the per-replica
+//! [`ServiceReport`]s into a [`ClusterReport`] with *pooled*
+//! cross-replica percentiles (see [`stats::merged_percentile`] — never
+//! averaged), a Jain balance index and merged paging counters.
+//!
+//! # Exactness
+//!
+//! Routing is **incremental-exact**, not approximate: requests are
+//! assigned in arrival order, and a replica's state at time `t` is read
+//! from a full engine simulation of the sub-stream assigned *so far* —
+//! which by causality is its exact state at `t`, because requests that
+//! arrive later cannot influence earlier state. Placements that never
+//! read load ([`Placement::uses_load`] is `false`, e.g.
+//! [`RoundRobin`]) skip the intermediate simulations entirely and each
+//! replica runs once.
+//!
+//! Closed-loop arrivals are rejected with a typed error: a think-time
+//! loop couples submissions to completions on *one* queue, so it binds
+//! to a single replica's engine, not to a router.
+//!
+//! # Disaggregation
+//!
+//! [`DisaggregatedCluster`] chains two routers — a prefill pool and a
+//! decode pool — with a modelled K/V handoff over a
+//! [`LinkModel`]: a request prefills (and emits its first token) on
+//! the prefill pool, pays `context tokens × kv bytes/token × devices`
+//! of transfer, then decodes its remaining tokens on a
+//! [`DecodeOnly`]-wrapped replica whose admission charges no prefill
+//! (the K/V cache arrives pre-populated over the link).
+
+use crate::arrivals::ArrivalProcess;
+use crate::backend::{Backend, BatchReport, RunReport};
+use crate::engine::{Request, Response, ServiceReport, ServingEngine};
+use crate::scheduler::Scheduler;
+use crate::stats;
+use crate::stepper::{ContinuousStepper, StepEvent};
+use dfx_hw::{LinkModel, MemoryModel};
+use dfx_model::Workload;
+use dfx_sim::{PagingStats, SimError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One request as the router sees it at placement time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutedRequest {
+    /// Global submission index (also the index into the workload list).
+    pub id: u64,
+    /// What the request asks a replica to do.
+    pub workload: Workload,
+    /// Absolute arrival time, ms.
+    pub arrival_ms: f64,
+    /// Session the request belongs to, when the trace carries sessions
+    /// ([`ClusterRouter::run_sessions`]); requests of one session share
+    /// a prefix, so [`SessionAffinity`] keeps them on one replica.
+    pub session: Option<u64>,
+}
+
+/// A replica's state at one placement decision, exact at the arrival
+/// instant (see the module docs on incremental-exact routing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// Replica index in construction order.
+    pub index: usize,
+    /// Requests assigned to this replica so far (queued, running or
+    /// finished).
+    pub assigned: usize,
+    /// Requests in the replica's system (queued or running) at the
+    /// arrival instant. Zero unless the placement
+    /// [`uses_load`](Placement::uses_load).
+    pub outstanding: usize,
+    /// Fraction of the replica's K/V budget claimed by started,
+    /// unfinished requests at the arrival instant (whole
+    /// `input + output` claims against
+    /// [`MemoryModel::kv_budget_bytes`], summed over the replica's
+    /// memory-modelled servers). Zero when no server models memory or
+    /// the placement does not [`uses_load`](Placement::uses_load).
+    pub kv_load: f64,
+}
+
+/// A routing policy: picks the replica index for each arrival.
+///
+/// Implementations are deterministic state machines; the router calls
+/// [`reset`](Placement::reset) at the start of every run so a reused
+/// router reproduces identical reports.
+pub trait Placement {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+
+    /// Whether [`place`](Placement::place) reads the load-derived
+    /// snapshot fields (`outstanding`, `kv_load`). Returning `false`
+    /// (the default) lets the router skip all intermediate replica
+    /// simulations — each replica then runs exactly once.
+    fn uses_load(&self) -> bool {
+        false
+    }
+
+    /// Clears per-run state (dispatch counters, session tables).
+    fn reset(&mut self) {}
+
+    /// Chooses the replica for `request`. Must return an index below
+    /// `replicas.len()`; the router turns an out-of-range choice into a
+    /// typed [`SimError::Service`].
+    fn place(&mut self, request: &RoutedRequest, replicas: &[ReplicaSnapshot]) -> usize;
+}
+
+/// Cycles through replicas in construction order: dispatch counts never
+/// differ by more than one.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin policy starting at replica 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Placement for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn place(&mut self, _request: &RoutedRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        let choice = self.next % replicas.len().max(1);
+        self.next = choice + 1;
+        choice
+    }
+}
+
+/// Joins the replica with the fewest in-system requests (TGI-router
+/// style least-outstanding-requests), ties to the lowest index.
+#[derive(Debug, Default)]
+pub struct LeastOutstanding;
+
+impl Placement for LeastOutstanding {
+    fn name(&self) -> String {
+        "least-outstanding".into()
+    }
+
+    fn uses_load(&self) -> bool {
+        true
+    }
+
+    fn place(&mut self, _request: &RoutedRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas
+            .iter()
+            .min_by(|a, b| (a.outstanding, a.index).cmp(&(b.outstanding, b.index)))
+            .map(|r| r.index)
+            .unwrap_or(0)
+    }
+}
+
+/// Joins the replica with the lowest claimed fraction of its K/V budget
+/// — the memory-aware policy: on memory-bound replicas, queue length
+/// undercounts pressure because one long-context request claims as much
+/// HBM as many short ones. Ties break on outstanding count, then index.
+#[derive(Debug, Default)]
+pub struct LeastKvLoaded;
+
+impl Placement for LeastKvLoaded {
+    fn name(&self) -> String {
+        "least-kv-loaded".into()
+    }
+
+    fn uses_load(&self) -> bool {
+        true
+    }
+
+    fn place(&mut self, _request: &RoutedRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas
+            .iter()
+            .min_by(|a, b| {
+                a.kv_load
+                    .total_cmp(&b.kv_load)
+                    .then((a.outstanding, a.index).cmp(&(b.outstanding, b.index)))
+            })
+            .map(|r| r.index)
+            .unwrap_or(0)
+    }
+}
+
+/// Pins every session to the replica that served its first request, so
+/// same-session requests hit the prefix-cache blocks their predecessors
+/// left behind ([`dfx_sim::BlockPool`]'s shared-prefix cache); requests
+/// without a session — and each session's first request — fall through
+/// to the wrapped policy.
+pub struct SessionAffinity {
+    fallback: Box<dyn Placement>,
+    sessions: BTreeMap<u64, usize>,
+}
+
+impl SessionAffinity {
+    /// Session affinity over `fallback` for unpinned requests.
+    pub fn new(fallback: Box<dyn Placement>) -> Self {
+        SessionAffinity {
+            fallback,
+            sessions: BTreeMap::new(),
+        }
+    }
+}
+
+impl Placement for SessionAffinity {
+    fn name(&self) -> String {
+        format!("session-affinity({})", self.fallback.name())
+    }
+
+    fn uses_load(&self) -> bool {
+        self.fallback.uses_load()
+    }
+
+    fn reset(&mut self) {
+        self.sessions.clear();
+        self.fallback.reset();
+    }
+
+    fn place(&mut self, request: &RoutedRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        if let Some(session) = request.session {
+            if let Some(&pinned) = self.sessions.get(&session) {
+                return pinned;
+            }
+            let choice = self.fallback.place(request, replicas);
+            self.sessions.insert(session, choice);
+            return choice;
+        }
+        self.fallback.place(request, replicas)
+    }
+}
+
+/// Jain's fairness index of the per-replica dispatch counts:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]` — `1.0` means perfectly even,
+/// `1/n` means one replica took everything. An all-zero vector is
+/// trivially balanced (`1.0`).
+pub fn jain_fairness(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for &c in counts {
+        let x = c as f64;
+        // lint: order-sensitive — summed in replica index order
+        sum += x;
+        // lint: order-sensitive — summed in replica index order
+        sum_sq += x * x;
+    }
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (counts.len() as f64 * sum_sq)
+}
+
+/// Total modelled K/V bytes one context token occupies across a
+/// replica's devices: the per-device [`MemoryModel::kv_bytes_per_token`]
+/// of the first memory-modelled server, times its device count (wider
+/// sharding splits a token's K/V across more devices but the *total*
+/// moved over a link is the whole token). Zero when no server models
+/// memory.
+fn replica_kv_bytes_per_token(servers: &[&dyn Backend]) -> u64 {
+    servers
+        .iter()
+        .find_map(|s| {
+            s.memory()
+                .map(|m| m.kv_bytes_per_token * s.device_count() as u64)
+        })
+        .unwrap_or(0)
+}
+
+fn replica_name(servers: &[&dyn Backend]) -> String {
+    if servers.len() == 1 {
+        servers[0].name()
+    } else {
+        let names: Vec<String> = servers.iter().map(|s| s.name()).collect();
+        format!("pool({})", names.join(" + "))
+    }
+}
+
+/// One replica behind the router: a server pool plus the sub-stream
+/// assigned to it and a cached simulation of that sub-stream.
+struct Replica<'a> {
+    servers: Vec<&'a dyn Backend>,
+    /// `(global id, workload, arrival ms)` in assignment (= arrival)
+    /// order.
+    assigned: Vec<(u64, Workload, f64)>,
+    /// Simulation of the first `len` assigned requests. Exact for any
+    /// query at or before the newest assigned arrival (causality).
+    cache: Option<(usize, ServiceReport)>,
+}
+
+impl Replica<'_> {
+    /// K/V bytes claimed at `t` by started, unfinished requests,
+    /// against the replica's summed budget.
+    fn kv_load_at(&self, report: &ServiceReport, t: f64) -> f64 {
+        let mut budget = 0.0f64;
+        for s in &self.servers {
+            if let Some(m) = s.memory() {
+                // lint: order-sensitive — summed in server index order
+                budget += m.kv_budget_bytes() as f64;
+            }
+        }
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        let mut claimed = 0.0f64;
+        for r in &report.responses {
+            if r.start_ms <= t && r.finish_ms > t {
+                if let Some(m) = self.servers.get(r.server).and_then(|s| s.memory()) {
+                    let tokens = r.request.workload.input_len + r.request.workload.output_len;
+                    // lint: order-sensitive — summed in response order
+                    claimed += m.kv_claim_bytes(tokens) as f64;
+                }
+            }
+        }
+        claimed / budget
+    }
+}
+
+/// Per-replica slice of a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Replica description (server name, or `pool(...)`).
+    pub name: String,
+    /// Requests the router dispatched to this replica.
+    pub dispatched: usize,
+    /// The replica's own engine report (request ids are replica-local
+    /// submission indices). `None` when nothing was dispatched here.
+    pub report: Option<ServiceReport>,
+}
+
+/// Modelled K/V-handoff cost of a disaggregated run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Requests that moved prefill→decode over the link.
+    pub transfers: usize,
+    /// Total K/V bytes moved.
+    pub bytes: u64,
+    /// Total link time across all transfers, ms.
+    pub total_ms: f64,
+    /// Mean link time per transferred request, ms (zero when nothing
+    /// transferred).
+    pub mean_ms: f64,
+}
+
+/// Service-level view of a whole cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Placement policy name.
+    pub placement: String,
+    /// Scheduler each replica engine ran.
+    pub scheduler: String,
+    /// Per-replica dispatch counts and engine reports.
+    pub replicas: Vec<ReplicaReport>,
+    /// Every response, with *global* request ids, ascending by id;
+    /// [`Response::server`] is the replica index.
+    pub responses: Vec<Response>,
+    /// Requests served.
+    pub total_requests: usize,
+    /// Last completion across the cluster, ms.
+    pub makespan_ms: f64,
+    /// Median sojourn of the *pooled* per-replica samples, ms.
+    pub p50_sojourn_ms: f64,
+    /// 95th-percentile pooled sojourn, ms.
+    pub p95_sojourn_ms: f64,
+    /// 99th-percentile pooled sojourn, ms.
+    pub p99_sojourn_ms: f64,
+    /// Output tokens delivered per second of cluster makespan.
+    pub goodput_tps: f64,
+    /// Jain fairness of the dispatch counts ([`jain_fairness`]).
+    pub balance_index: f64,
+    /// Paged-K/V counters merged across every replica that paged.
+    pub paging: Option<PagingStats>,
+    /// K/V-handoff cost; `None` outside disaggregated topologies.
+    pub transfer: Option<TransferStats>,
+}
+
+impl ClusterReport {
+    /// Mean per-replica utilization over replicas that served anything.
+    pub fn mean_utilization(&self) -> f64 {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for r in &self.replicas {
+            if let Some(report) = &r.report {
+                // lint: order-sensitive — summed in replica index order
+                sum += report.utilization;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Cluster-wide prefix-cache hit rate, when any replica pages.
+    pub fn prefix_hit_rate(&self) -> Option<f64> {
+        self.paging.as_ref().map(PagingStats::hit_rate)
+    }
+}
+
+/// A deterministic router over N serving-engine replicas. See the
+/// module docs for the routing model and its exactness guarantees.
+pub struct ClusterRouter<'a> {
+    replicas: Vec<Replica<'a>>,
+    placement: Box<dyn Placement>,
+    make_scheduler: Box<dyn Fn() -> Box<dyn Scheduler> + 'a>,
+}
+
+impl<'a> ClusterRouter<'a> {
+    /// A router over replicas, each a non-empty server pool behind one
+    /// queue ([`ServingEngine::pool`] semantics).
+    ///
+    /// Replica engines default to FIFO; install any discipline with
+    /// [`with_scheduler_factory`](ClusterRouter::with_scheduler_factory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Service`] when there are no replicas or a
+    /// replica has no servers.
+    pub fn new(
+        replicas: Vec<Vec<&'a dyn Backend>>,
+        placement: Box<dyn Placement>,
+    ) -> Result<Self, SimError> {
+        if replicas.is_empty() {
+            return Err(SimError::Service("cluster has no replicas".into()));
+        }
+        for (i, servers) in replicas.iter().enumerate() {
+            if servers.is_empty() {
+                return Err(SimError::Service(format!("replica {i} has no servers")));
+            }
+        }
+        Ok(ClusterRouter {
+            replicas: replicas
+                .into_iter()
+                .map(|servers| Replica {
+                    servers,
+                    assigned: Vec::new(),
+                    cache: None,
+                })
+                .collect(),
+            placement,
+            make_scheduler: Box::new(|| Box::new(crate::scheduler::Fifo)),
+        })
+    }
+
+    /// A router with one single-server replica per backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Service`] for an empty backend list.
+    pub fn uniform(
+        servers: Vec<&'a dyn Backend>,
+        placement: Box<dyn Placement>,
+    ) -> Result<Self, SimError> {
+        ClusterRouter::new(servers.into_iter().map(|s| vec![s]).collect(), placement)
+    }
+
+    /// Installs the scheduler every replica engine runs. A factory, not
+    /// an instance: each replica needs its own scheduler state, and the
+    /// incremental-exact snapshots re-simulate sub-streams from scratch.
+    pub fn with_scheduler_factory(mut self, factory: impl Fn() -> Box<dyn Scheduler> + 'a) -> Self {
+        self.make_scheduler = Box::new(factory);
+        self
+    }
+
+    /// Number of replicas behind the router.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Routes and serves a sessionless stream; see
+    /// [`run_sessions`](ClusterRouter::run_sessions).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_sessions`](ClusterRouter::run_sessions).
+    pub fn run(
+        &mut self,
+        workloads: &[Workload],
+        arrivals: &ArrivalProcess,
+    ) -> Result<ClusterReport, SimError> {
+        self.run_sessions(workloads, &vec![None; workloads.len()], arrivals)
+    }
+
+    /// Routes every arrival to one replica and serves all sub-streams,
+    /// producing a [`ClusterReport`]. `sessions[i]` tags workload `i`
+    /// with a session for [`SessionAffinity`] (use `None` for
+    /// sessionless requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Service`] for an empty workload list, a
+    /// session list of mismatched length, a closed-loop arrival process
+    /// (think-time loops bind to one replica's engine — see the module
+    /// docs), or a placement returning an out-of-range replica index;
+    /// propagates engine and backend errors from replica simulation.
+    pub fn run_sessions(
+        &mut self,
+        workloads: &[Workload],
+        sessions: &[Option<u64>],
+        arrivals: &ArrivalProcess,
+    ) -> Result<ClusterReport, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::Service("nothing to route".into()));
+        }
+        if sessions.len() != workloads.len() {
+            return Err(SimError::Service(format!(
+                "{} session tags for {} workloads",
+                sessions.len(),
+                workloads.len()
+            )));
+        }
+        let times = arrivals.open_arrivals_ms(workloads.len())?.ok_or_else(|| {
+            SimError::Service(
+                "cluster routing requires an open-loop arrival process (Poisson or \
+                 Trace); a closed loop couples submissions to completions on one \
+                 queue, so it binds to a single replica's ServingEngine"
+                    .into(),
+            )
+        })?;
+
+        self.placement.reset();
+        for r in &mut self.replicas {
+            r.assigned.clear();
+            r.cache = None;
+        }
+
+        let uses_load = self.placement.uses_load();
+        for (i, (&workload, &arrival_ms)) in workloads.iter().zip(&times).enumerate() {
+            let request = RoutedRequest {
+                id: i as u64,
+                workload,
+                arrival_ms,
+                session: sessions[i],
+            };
+            let snapshots = self.snapshots(arrival_ms, uses_load)?;
+            let choice = self.placement.place(&request, &snapshots);
+            if choice >= self.replicas.len() {
+                return Err(SimError::Service(format!(
+                    "placement `{}` chose replica {choice} of {}",
+                    self.placement.name(),
+                    self.replicas.len()
+                )));
+            }
+            self.replicas[choice]
+                .assigned
+                .push((request.id, workload, arrival_ms));
+        }
+
+        self.finalize(workloads)
+    }
+
+    /// Exact per-replica state at `t` (see module docs). Skips all
+    /// simulation when the placement never reads load.
+    fn snapshots(&mut self, t: f64, uses_load: bool) -> Result<Vec<ReplicaSnapshot>, SimError> {
+        let mut out = Vec::with_capacity(self.replicas.len());
+        for index in 0..self.replicas.len() {
+            if !uses_load || self.replicas[index].assigned.is_empty() {
+                out.push(ReplicaSnapshot {
+                    index,
+                    assigned: self.replicas[index].assigned.len(),
+                    outstanding: 0,
+                    kv_load: 0.0,
+                });
+                continue;
+            }
+            self.refresh(index)?;
+            let replica = &self.replicas[index];
+            // refresh() always leaves a cache behind for a non-empty
+            // sub-stream; an empty one was handled above.
+            let report = match &replica.cache {
+                Some((_, report)) => report,
+                None => {
+                    return Err(SimError::Service(format!(
+                        "replica {index} has no cached run after refresh"
+                    )))
+                }
+            };
+            // All assigned arrivals are <= t (assignment follows arrival
+            // order), so in-system means not yet finished.
+            let outstanding = report.responses.iter().filter(|r| r.finish_ms > t).count();
+            out.push(ReplicaSnapshot {
+                index,
+                assigned: replica.assigned.len(),
+                outstanding,
+                kv_load: replica.kv_load_at(report, t),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Re-simulates replica `index`'s assigned sub-stream unless the
+    /// cache already covers it.
+    fn refresh(&mut self, index: usize) -> Result<(), SimError> {
+        let current = match &self.replicas[index].cache {
+            Some((len, _)) => *len == self.replicas[index].assigned.len(),
+            None => false,
+        };
+        if current {
+            return Ok(());
+        }
+        let replica = &self.replicas[index];
+        let workloads: Vec<Workload> = replica.assigned.iter().map(|a| a.1).collect();
+        let trace: Vec<f64> = replica.assigned.iter().map(|a| a.2).collect();
+        let report = ServingEngine::pool(replica.servers.clone())?
+            .with_scheduler((self.make_scheduler)())
+            .run(&workloads, &ArrivalProcess::Trace(trace))?;
+        self.replicas[index].cache = Some((self.replicas[index].assigned.len(), report));
+        Ok(())
+    }
+
+    /// Runs every non-empty replica to completion and aggregates the
+    /// cluster report.
+    fn finalize(&mut self, workloads: &[Workload]) -> Result<ClusterReport, SimError> {
+        for index in 0..self.replicas.len() {
+            if !self.replicas[index].assigned.is_empty() {
+                self.refresh(index)?;
+            }
+        }
+
+        let mut replica_reports = Vec::with_capacity(self.replicas.len());
+        let mut responses: Vec<Response> = Vec::with_capacity(workloads.len());
+        let mut paging: Option<PagingStats> = None;
+        let mut makespan_ms = 0.0f64;
+        for (index, replica) in self.replicas.iter().enumerate() {
+            let report = replica.cache.as_ref().map(|(_, r)| r.clone());
+            if let Some(report) = &report {
+                for r in &report.responses {
+                    let local = r.request.id as usize;
+                    let global_id = match replica.assigned.get(local) {
+                        Some(&(gid, _, _)) => gid,
+                        None => {
+                            return Err(SimError::Service(format!(
+                                "replica {index} reported unknown local request {local}"
+                            )))
+                        }
+                    };
+                    responses.push(Response {
+                        request: Request {
+                            id: global_id,
+                            workload: r.request.workload,
+                            arrival_ms: r.request.arrival_ms,
+                        },
+                        server: index,
+                        start_ms: r.start_ms,
+                        finish_ms: r.finish_ms,
+                    });
+                }
+                if let Some(stats) = &report.paging {
+                    match paging.as_mut() {
+                        Some(merged) => merged.merge(stats),
+                        None => paging = Some(*stats),
+                    }
+                }
+                makespan_ms = makespan_ms.max(report.makespan_ms);
+            }
+            replica_reports.push(ReplicaReport {
+                name: replica_name(&replica.servers),
+                dispatched: replica.assigned.len(),
+                report,
+            });
+        }
+        responses.sort_by_key(|r| r.request.id);
+
+        // Pooled cross-replica percentiles through the shared merge
+        // seam — averaging per-replica percentiles is the bug this
+        // module's stats satellite exists to prevent.
+        let sojourn_groups: Vec<Vec<f64>> = replica_reports
+            .iter()
+            .filter_map(|r| r.report.as_ref().map(ServiceReport::sorted_sojourns))
+            .collect();
+        let group_refs: Vec<&[f64]> = sojourn_groups.iter().map(Vec::as_slice).collect();
+        let pooled = stats::merge_sorted(&group_refs)?;
+        let counts: Vec<usize> = replica_reports.iter().map(|r| r.dispatched).collect();
+        let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
+
+        Ok(ClusterReport {
+            placement: self.placement.name(),
+            scheduler: (self.make_scheduler)().name().to_string(),
+            replicas: replica_reports,
+            responses,
+            total_requests: workloads.len(),
+            makespan_ms,
+            p50_sojourn_ms: stats::percentile(&pooled, 0.50)?,
+            p95_sojourn_ms: stats::percentile(&pooled, 0.95)?,
+            p99_sojourn_ms: stats::percentile(&pooled, 0.99)?,
+            goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
+            balance_index: jain_fairness(&counts),
+            paging,
+            transfer: None,
+        })
+    }
+}
+
+/// A backend wrapper whose admission charges no prefill: the K/V cache
+/// for the context is already resident (delivered over the
+/// [`LinkModel`] of a [`DisaggregatedCluster`], which pays the
+/// transfer on the shared timeline instead). Static serving zeroes the
+/// summarization stage; the continuous stepper zeroes the admission
+/// charge. Everything else — decode costs, memory budget, paging —
+/// delegates to the wrapped backend.
+pub struct DecodeOnly<'a> {
+    inner: &'a dyn Backend,
+}
+
+impl<'a> DecodeOnly<'a> {
+    /// Wraps `inner` as a decode-pool backend.
+    pub fn new(inner: &'a dyn Backend) -> Self {
+        DecodeOnly { inner }
+    }
+}
+
+impl Backend for DecodeOnly<'_> {
+    fn name(&self) -> String {
+        format!("decode-only({})", self.inner.name())
+    }
+
+    fn device_count(&self) -> usize {
+        self.inner.device_count()
+    }
+
+    fn nominal_power_w(&self) -> Option<f64> {
+        self.inner.nominal_power_w()
+    }
+
+    fn serve(&self, workload: Workload) -> Result<RunReport, SimError> {
+        let mut report = self.inner.serve(workload)?;
+        report.backend = Backend::name(self);
+        report.summarization_ms = 0.0;
+        Ok(report)
+    }
+
+    fn serve_batch(&self, batch: &[Workload]) -> Result<BatchReport, SimError> {
+        let mut report = self.inner.serve_batch(batch)?;
+        report.backend = Backend::name(self);
+        report.summarization_ms = 0.0;
+        Ok(report)
+    }
+
+    fn memory(&self) -> Option<MemoryModel> {
+        self.inner.memory()
+    }
+
+    fn batch_feasible(&self, batch: &[Workload]) -> bool {
+        self.inner.batch_feasible(batch)
+    }
+
+    fn continuous(&self) -> Option<Box<dyn ContinuousStepper + '_>> {
+        self.inner
+            .continuous()
+            .map(|inner| Box::new(DecodeOnlyStepper { inner }) as Box<dyn ContinuousStepper>)
+    }
+}
+
+/// Stepper adapter behind [`DecodeOnly`]: admissions allocate K/V and
+/// join the batch as usual but charge zero time.
+struct DecodeOnlyStepper<'a> {
+    inner: Box<dyn ContinuousStepper + 'a>,
+}
+
+impl ContinuousStepper for DecodeOnlyStepper<'_> {
+    fn admit(&mut self, id: u64, workload: Workload) -> Result<StepEvent, SimError> {
+        let mut event = self.inner.admit(id, workload)?;
+        event.ms = 0.0;
+        Ok(event)
+    }
+
+    fn step_token(&mut self) -> Result<StepEvent, SimError> {
+        self.inner.step_token()
+    }
+
+    fn live(&self) -> usize {
+        self.inner.live()
+    }
+
+    fn set_prefill_chunk(&mut self, _chunk: Option<usize>) {
+        // There is no prefill to chunk on the decode pool.
+    }
+
+    fn prefill_cost_ms(&mut self, _workload: Workload) -> f64 {
+        0.0
+    }
+
+    fn step_cost_ms(&mut self, live: usize) -> f64 {
+        self.inner.step_cost_ms(live)
+    }
+
+    fn kv_fits_resident(&self, members: &[Workload]) -> Option<bool> {
+        self.inner.kv_fits_resident(members)
+    }
+
+    fn kv_stats(&self) -> Option<PagingStats> {
+        self.inner.kv_stats()
+    }
+}
+
+/// Prefill/decode disaggregation: a prefill router, a decode router and
+/// the link between them (Splitwise/DistServe-style, on top of the
+/// paper's observation that summarization is compute-bound while
+/// generation is memory-bound, §III-B).
+///
+/// A request runs `(input, 1)` on the prefill pool (the prefill emits
+/// the first token), pays `input tokens × kv bytes/token × devices`
+/// over the link, then runs `(input + 1, output − 1)` on the decode
+/// pool, whose replicas should be [`DecodeOnly`]-wrapped so admission
+/// charges no second prefill. Requests asking for a single output token
+/// never transfer.
+pub struct DisaggregatedCluster<'a> {
+    prefill: ClusterRouter<'a>,
+    decode: ClusterRouter<'a>,
+    link: LinkModel,
+}
+
+impl<'a> DisaggregatedCluster<'a> {
+    /// A disaggregated topology over the two routers and the K/V link.
+    pub fn new(prefill: ClusterRouter<'a>, decode: ClusterRouter<'a>, link: LinkModel) -> Self {
+        DisaggregatedCluster {
+            prefill,
+            decode,
+            link,
+        }
+    }
+
+    /// Serves the stream through both phases, producing one
+    /// [`ClusterReport`]: `replicas` lists the prefill replicas then
+    /// the decode replicas (each phase's inner reports keep
+    /// phase-local request ids), `responses` are end-to-end per
+    /// original request, and `transfer` carries the modelled K/V
+    /// handoff cost.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterRouter::run`], for either phase.
+    pub fn run(
+        &mut self,
+        workloads: &[Workload],
+        arrivals: &ArrivalProcess,
+    ) -> Result<ClusterReport, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::Service("nothing to route".into()));
+        }
+        // Phase 1: prefill each context and emit the first token.
+        let prefill_workloads: Vec<Workload> = workloads
+            .iter()
+            .map(|w| Workload::new(w.input_len, 1))
+            .collect();
+        let prefill_report = self.prefill.run(&prefill_workloads, arrivals)?;
+
+        // Phase 2 arrivals: prefill completion plus the K/V transfer.
+        // Bytes per context token come from the prefill replica that
+        // served the request (its sharding fixes how much K/V exists).
+        let mut transfers = 0usize;
+        let mut transfer_bytes = 0u64;
+        let mut transfer_total_ms = 0.0f64;
+        let mut decode_stream: Vec<(u64, Workload, f64)> = Vec::new();
+        let mut prefill_finish = vec![(0usize, 0.0f64, 0.0f64); workloads.len()];
+        for r in &prefill_report.responses {
+            let i = r.request.id as usize;
+            prefill_finish[i] = (r.server, r.start_ms, r.finish_ms);
+            let original = workloads[i];
+            if original.output_len < 2 {
+                continue;
+            }
+            let bytes_per_token =
+                replica_kv_bytes_per_token(&self.prefill.replicas[r.server].servers);
+            let bytes = bytes_per_token * original.input_len as u64;
+            let link_ms = self.link.transfer_ms(bytes);
+            transfers += 1;
+            transfer_bytes += bytes;
+            // lint: order-sensitive — summed in prefill response order
+            transfer_total_ms += link_ms;
+            decode_stream.push((
+                r.request.id,
+                Workload::new(original.input_len + 1, original.output_len - 1),
+                r.finish_ms + link_ms,
+            ));
+        }
+        decode_stream.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+
+        let decode_report = if decode_stream.is_empty() {
+            None
+        } else {
+            let decode_workloads: Vec<Workload> = decode_stream.iter().map(|d| d.1).collect();
+            let decode_trace: Vec<f64> = decode_stream.iter().map(|d| d.2).collect();
+            Some(
+                self.decode
+                    .run(&decode_workloads, &ArrivalProcess::Trace(decode_trace))?,
+            )
+        };
+
+        // End-to-end responses per original request.
+        let n_prefill = self.prefill.replicas.len();
+        let mut responses: Vec<Response> = Vec::with_capacity(workloads.len());
+        for (i, &w) in workloads.iter().enumerate() {
+            let (server, start_ms, finish_ms) = prefill_finish[i];
+            responses.push(Response {
+                request: Request {
+                    id: i as u64,
+                    workload: w,
+                    arrival_ms: prefill_report.responses[i].request.arrival_ms,
+                },
+                server,
+                start_ms,
+                finish_ms,
+            });
+        }
+        if let Some(decode) = &decode_report {
+            for r in &decode.responses {
+                let local = r.request.id as usize;
+                let global = decode_stream[local].0 as usize;
+                responses[global].server = n_prefill + r.server;
+                responses[global].finish_ms = r.finish_ms;
+            }
+        }
+
+        // Aggregate the combined report.
+        let mut replicas = prefill_report.replicas.clone();
+        if let Some(decode) = &decode_report {
+            replicas.extend(decode.replicas.iter().cloned());
+        } else {
+            for replica in &self.decode.replicas {
+                replicas.push(ReplicaReport {
+                    name: replica_name(&replica.servers),
+                    dispatched: 0,
+                    report: None,
+                });
+            }
+        }
+        let mut paging = prefill_report.paging;
+        if let Some(stats) = decode_report.as_ref().and_then(|d| d.paging.as_ref()) {
+            match paging.as_mut() {
+                Some(merged) => merged.merge(stats),
+                None => paging = Some(*stats),
+            }
+        }
+        let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
+        let mut sojourns: Vec<f64> = responses.iter().map(Response::sojourn_ms).collect();
+        sojourns.sort_by(f64::total_cmp);
+        let counts: Vec<usize> = replicas.iter().map(|r| r.dispatched).collect();
+        let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
+
+        Ok(ClusterReport {
+            placement: format!(
+                "disaggregated(prefill: {}, decode: {})",
+                prefill_report.placement,
+                decode_report
+                    .as_ref()
+                    .map_or_else(|| self.decode.placement.name(), |d| d.placement.clone()),
+            ),
+            scheduler: prefill_report.scheduler.clone(),
+            replicas,
+            responses,
+            total_requests: workloads.len(),
+            makespan_ms,
+            p50_sojourn_ms: stats::percentile(&sojourns, 0.50)?,
+            p95_sojourn_ms: stats::percentile(&sojourns, 0.95)?,
+            p99_sojourn_ms: stats::percentile(&sojourns, 0.99)?,
+            goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
+            balance_index: jain_fairness(&counts),
+            paging,
+            transfer: Some(TransferStats {
+                transfers,
+                bytes: transfer_bytes,
+                total_ms: transfer_total_ms,
+                mean_ms: if transfers == 0 {
+                    0.0
+                } else {
+                    transfer_total_ms / transfers as f64
+                },
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ContinuousBatching;
+    use dfx_model::GptConfig;
+    use dfx_sim::Appliance;
+
+    fn tiny_appliance() -> Appliance {
+        Appliance::timing_only(GptConfig::tiny(), 1).unwrap()
+    }
+
+    fn burst(n: usize) -> (Vec<Workload>, ArrivalProcess) {
+        let w = vec![Workload::new(8, 4); n];
+        let times = (0..n).map(|i| i as f64 * 0.1).collect();
+        (w, ArrivalProcess::Trace(times))
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_clusters() {
+        let a = tiny_appliance();
+        assert!(matches!(
+            ClusterRouter::new(vec![], Box::new(RoundRobin::new())),
+            Err(SimError::Service(_))
+        ));
+        assert!(matches!(
+            ClusterRouter::new(vec![vec![&a], vec![]], Box::new(RoundRobin::new())),
+            Err(SimError::Service(_))
+        ));
+    }
+
+    #[test]
+    fn closed_loop_arrivals_are_rejected_with_a_typed_error() {
+        let a = tiny_appliance();
+        let b = tiny_appliance();
+        let mut cluster =
+            ClusterRouter::uniform(vec![&a, &b], Box::new(RoundRobin::new())).unwrap();
+        let err = cluster
+            .run(
+                &[Workload::new(8, 4); 4],
+                &ArrivalProcess::ClosedLoop {
+                    clients: 2,
+                    think_time_ms: 10.0,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Service(m) if m.contains("open-loop")));
+    }
+
+    #[test]
+    fn empty_streams_and_mismatched_sessions_are_rejected() {
+        let a = tiny_appliance();
+        let mut cluster = ClusterRouter::uniform(vec![&a], Box::new(RoundRobin::new())).unwrap();
+        assert!(matches!(
+            cluster.run(&[], &ArrivalProcess::Trace(vec![])),
+            Err(SimError::Service(_))
+        ));
+        assert!(matches!(
+            cluster.run_sessions(
+                &[Workload::new(8, 4)],
+                &[None, None],
+                &ArrivalProcess::Trace(vec![0.0]),
+            ),
+            Err(SimError::Service(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_placement_is_a_typed_error() {
+        struct Broken;
+        impl Placement for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn place(&mut self, _r: &RoutedRequest, _s: &[ReplicaSnapshot]) -> usize {
+                99
+            }
+        }
+        let a = tiny_appliance();
+        let mut cluster = ClusterRouter::uniform(vec![&a], Box::new(Broken)).unwrap();
+        let (w, arr) = burst(2);
+        let err = cluster.run(&w, &arr).unwrap_err();
+        assert!(matches!(err, SimError::Service(m) if m.contains("chose replica 99")));
+    }
+
+    #[test]
+    fn round_robin_cycles_and_balances() {
+        let (a, b, c) = (tiny_appliance(), tiny_appliance(), tiny_appliance());
+        let mut cluster =
+            ClusterRouter::uniform(vec![&a, &b, &c], Box::new(RoundRobin::new())).unwrap();
+        let (w, arr) = burst(8);
+        let report = cluster.run(&w, &arr).unwrap();
+        let counts: Vec<usize> = report.replicas.iter().map(|r| r.dispatched).collect();
+        assert_eq!(counts, vec![3, 3, 2]);
+        assert_eq!(report.total_requests, 8);
+        assert_eq!(report.responses.len(), 8);
+        // Ids are globally unique and ascending after the merge.
+        let ids: Vec<u64> = report.responses.iter().map(|r| r.request.id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+        assert!(report.balance_index > 0.9);
+    }
+
+    #[test]
+    fn least_outstanding_avoids_the_busy_replica() {
+        // Replica 0 gets a long request at t=0; a burst right after
+        // should pile onto replica 1 until the queues even out.
+        let a = tiny_appliance();
+        let b = tiny_appliance();
+        let mut cluster = ClusterRouter::uniform(vec![&a, &b], Box::new(LeastOutstanding)).unwrap();
+        let w = vec![
+            Workload::new(64, 32),
+            Workload::new(8, 4),
+            Workload::new(8, 4),
+        ];
+        let arr = ArrivalProcess::Trace(vec![0.0, 0.1, 0.2]);
+        let report = cluster.run(&w, &arr).unwrap();
+        // First request -> replica 0 (tie at zero load); the second
+        // avoids the grinding long request and lands on replica 1; the
+        // third sees one outstanding on each and ties back to 0.
+        let servers: Vec<usize> = report.responses.iter().map(|r| r.server).collect();
+        assert_eq!(servers, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn session_affinity_pins_sessions_and_falls_back() {
+        let a = tiny_appliance();
+        let b = tiny_appliance();
+        let mut cluster = ClusterRouter::uniform(
+            vec![&a, &b],
+            Box::new(SessionAffinity::new(Box::new(RoundRobin::new()))),
+        )
+        .unwrap();
+        let w = vec![Workload::new(8, 4); 5];
+        let sessions = vec![Some(7), None, Some(7), Some(7), None];
+        let arr = ArrivalProcess::Trace(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let report = cluster.run_sessions(&w, &sessions, &arr).unwrap();
+        let by_id: Vec<usize> = report.responses.iter().map(|r| r.server).collect();
+        // Session 7 pinned to replica 0 (round-robin's first pick);
+        // sessionless requests alternate through the fallback.
+        assert_eq!(by_id[0], 0);
+        assert_eq!(by_id[2], 0);
+        assert_eq!(by_id[3], 0);
+        assert_ne!(by_id[1], by_id[4]);
+        assert!(report.placement.contains("session-affinity"));
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0, 0]), 1.0);
+        assert_eq!(jain_fairness(&[5, 5, 5]), 1.0);
+        let skewed = jain_fairness(&[12, 0, 0, 0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        let near = jain_fairness(&[3, 3, 2]);
+        assert!(near > 0.9 && near < 1.0);
+    }
+
+    #[test]
+    fn decode_only_zeroes_prefill_but_keeps_decode() {
+        let a = tiny_appliance();
+        let wrapped = DecodeOnly::new(&a);
+        let w = Workload::new(16, 8);
+        let full = a.serve(w).unwrap();
+        let decode = wrapped.serve(w).unwrap();
+        assert_eq!(decode.summarization_ms, 0.0);
+        assert_eq!(decode.generation_ms, full.generation_ms);
+        assert!(decode.total_ms() < full.total_ms());
+        // The stepper admission is free too; decode steps still cost.
+        let mut stepper = Backend::continuous(&wrapped).unwrap();
+        let ev = stepper.admit(0, w).unwrap();
+        assert_eq!(ev.ms, 0.0);
+        let step = stepper.step_token().unwrap();
+        assert!(step.ms > 0.0);
+        assert_eq!(stepper.prefill_cost_ms(w), 0.0);
+    }
+
+    #[test]
+    fn disaggregated_run_reports_nonzero_transfer() {
+        let p1 = tiny_appliance();
+        let p2 = tiny_appliance();
+        let d1 = tiny_appliance();
+        let wrapped = DecodeOnly::new(&d1);
+        let prefill = ClusterRouter::uniform(vec![&p1, &p2], Box::new(RoundRobin::new())).unwrap();
+        let decode = ClusterRouter::uniform(vec![&wrapped], Box::new(RoundRobin::new()))
+            .unwrap()
+            .with_scheduler_factory(|| Box::new(ContinuousBatching::new(4)));
+        let mut cluster = DisaggregatedCluster::new(prefill, decode, LinkModel::qsfp28());
+        let w = vec![
+            Workload::new(16, 8),
+            Workload::new(16, 1), // single-token: never transfers
+            Workload::new(16, 8),
+        ];
+        let arr = ArrivalProcess::Trace(vec![0.0, 0.5, 1.0]);
+        let report = cluster.run(&w, &arr).unwrap();
+        let transfer = report.transfer.unwrap();
+        assert_eq!(transfer.transfers, 2);
+        assert!(transfer.bytes > 0);
+        assert!(transfer.total_ms > 0.0);
+        assert!((transfer.mean_ms - transfer.total_ms / 2.0).abs() < 1e-12);
+        // End-to-end: one response per original request, finishing after
+        // its own prefill; 3 replicas listed (2 prefill + 1 decode).
+        assert_eq!(report.responses.len(), 3);
+        assert_eq!(report.replicas.len(), 3);
+        assert_eq!(report.replicas[2].dispatched, 2);
+        assert!(report.placement.starts_with("disaggregated"));
+        for r in &report.responses {
+            assert!(r.finish_ms > r.start_ms);
+            assert!(r.start_ms >= r.request.arrival_ms);
+        }
+        // The single-token request finished at its prefill replica.
+        assert!(report.responses[1].server < 2);
+    }
+
+    #[test]
+    fn reused_router_reproduces_reports() {
+        let a = tiny_appliance();
+        let b = tiny_appliance();
+        let mut cluster = ClusterRouter::uniform(vec![&a, &b], Box::new(LeastOutstanding)).unwrap();
+        let (w, arr) = burst(6);
+        let first = cluster.run(&w, &arr).unwrap();
+        let second = cluster.run(&w, &arr).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -150,7 +150,11 @@ impl ServiceReport {
         stats::percentile(&self.sorted_sojourns(), p)
     }
 
-    fn sorted_sojourns(&self) -> Vec<f64> {
+    /// This report's sojourn samples, ascending — the seam cluster-level
+    /// aggregation pools across replicas (percentiles of a cluster are
+    /// percentiles of the pooled samples, never averages of per-replica
+    /// percentiles; see [`stats::merged_percentile`]).
+    pub fn sorted_sojourns(&self) -> Vec<f64> {
         let mut s: Vec<f64> = self.responses.iter().map(Response::sojourn_ms).collect();
         s.sort_by(f64::total_cmp);
         s

@@ -43,6 +43,7 @@
 
 mod arrivals;
 mod backend;
+mod cluster;
 mod engine;
 mod mix;
 mod scheduler;
@@ -51,6 +52,18 @@ mod stepper;
 
 pub use arrivals::ArrivalProcess;
 pub use backend::{validate_workload, Backend, BatchReport, RunReport};
+/// Cluster tier ([`ClusterRouter`]): deterministic routing across N
+/// replica engines with pluggable [`Placement`] policies
+/// ([`RoundRobin`], [`LeastOutstanding`], [`LeastKvLoaded`],
+/// [`SessionAffinity`]), pooled cross-replica percentiles and a Jain
+/// [`jain_fairness`] balance index in the [`ClusterReport`]; a
+/// [`DisaggregatedCluster`] chains a prefill router and a
+/// [`DecodeOnly`]-wrapped decode router over a modelled K/V link.
+pub use cluster::{
+    jain_fairness, ClusterReport, ClusterRouter, DecodeOnly, DisaggregatedCluster, LeastKvLoaded,
+    LeastOutstanding, Placement, ReplicaReport, ReplicaSnapshot, RoundRobin, RoutedRequest,
+    SessionAffinity, TransferStats,
+};
 pub use engine::{Request, Response, ServiceReport, ServingEngine};
 pub use mix::chatbot_mix;
 /// Queue disciplines for [`ServingEngine::with_scheduler`]: [`Fifo`]

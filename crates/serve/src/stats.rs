@@ -33,6 +33,63 @@ pub fn percentile(sorted: &[f64], p: f64) -> Result<f64, SimError> {
     Ok(sorted[idx])
 }
 
+/// Merges ascending-sorted sample groups into one ascending pool.
+///
+/// The cross-replica aggregation primitive: percentiles of a cluster are
+/// percentiles of the *pooled* samples, never averages of per-replica
+/// percentiles. Averaging p99s is wrong in both directions — a cluster
+/// where one replica is saturated and three are idle has a pooled p99
+/// near the saturated replica's tail, while the average of the four p99s
+/// reports a latency no request ever experienced. See
+/// `averaged_p99_diverges_from_pooled_p99` in this module's tests for a
+/// concrete two-replica counterexample.
+///
+/// # Errors
+///
+/// Returns [`SimError::Service`] if any group is not ascending (same
+/// contract as [`percentile`]).
+pub fn merge_sorted(groups: &[&[f64]]) -> Result<Vec<f64>, SimError> {
+    for g in groups {
+        if g.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SimError::Service(
+                "merge_sorted group is not sorted ascending".into(),
+            ));
+        }
+    }
+    // Groups are few (replica count) and long (request count): repeated
+    // two-way merges are fine, and stable order keeps this deterministic.
+    let mut pooled: Vec<f64> = Vec::with_capacity(groups.iter().map(|g| g.len()).sum());
+    for g in groups {
+        let mut merged = Vec::with_capacity(pooled.len() + g.len());
+        let (mut i, mut j) = (0, 0);
+        while i < pooled.len() && j < g.len() {
+            if pooled[i] <= g[j] {
+                merged.push(pooled[i]);
+                i += 1;
+            } else {
+                merged.push(g[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&pooled[i..]);
+        merged.extend_from_slice(&g[j..]);
+        pooled = merged;
+    }
+    Ok(pooled)
+}
+
+/// Nearest-rank percentile of several ascending-sorted groups, computed
+/// on the pooled samples (see [`merge_sorted`] for why pooling — not
+/// averaging per-group percentiles — is the only correct merge).
+///
+/// # Errors
+///
+/// Returns [`SimError::Service`] for unsorted groups, an overall-empty
+/// pool, or `p` outside `[0, 1]`.
+pub fn merged_percentile(groups: &[&[f64]], p: f64) -> Result<f64, SimError> {
+    percentile(&merge_sorted(groups)?, p)
+}
+
 /// One exponential inter-arrival gap of a Poisson process with the given
 /// rate, in seconds.
 ///
@@ -95,6 +152,48 @@ mod tests {
     #[test]
     fn equal_neighbours_are_accepted() {
         assert_eq!(percentile(&[1.0, 1.0, 2.0], 0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn merge_sorted_pools_in_order() {
+        let a = [1.0, 4.0, 9.0];
+        let b = [2.0, 3.0];
+        let c: [f64; 0] = [];
+        let pooled = merge_sorted(&[&a, &b, &c]).unwrap();
+        assert_eq!(pooled, vec![1.0, 2.0, 3.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn merge_sorted_rejects_unsorted_groups() {
+        let err = merge_sorted(&[&[2.0, 1.0]]).unwrap_err();
+        assert!(matches!(err, SimError::Service(m) if m.contains("not sorted")));
+    }
+
+    #[test]
+    fn merged_percentile_of_empty_pool_is_rejected() {
+        let empty: [f64; 0] = [];
+        assert!(matches!(
+            merged_percentile(&[&empty, &empty], 0.5),
+            Err(SimError::Service(_))
+        ));
+    }
+
+    #[test]
+    fn averaged_p99_diverges_from_pooled_p99() {
+        // Replica A: 99 fast requests. Replica B: 99 slow ones — the
+        // saturated half of a cluster. Averaging the per-replica p99s
+        // reports a "cluster p99" no request experienced; the pooled p99
+        // sits in B's tail, where the cluster's worst 1% actually lives.
+        let fast: Vec<f64> = (0..99).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let slow: Vec<f64> = (0..99).map(|i| 100.0 + i as f64).collect();
+        let p99_a = percentile(&fast, 0.99).unwrap();
+        let p99_b = percentile(&slow, 0.99).unwrap();
+        let averaged = (p99_a + p99_b) / 2.0;
+        let pooled = merged_percentile(&[&fast, &slow], 0.99).unwrap();
+        // Averaged: ~(2.0 + 198.0)/2 = 100. Pooled: ~196 — the averaged
+        // figure understates the cluster tail by nearly 2x.
+        assert!(pooled > averaged * 1.5, "pooled {pooled} vs avg {averaged}");
+        assert!(pooled >= p99_a && pooled <= p99_b);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Cluster routing: placement policy on a heterogeneous replica fleet,
+//! session-affine prefix caching, and prefill/decode disaggregation.
+//!
+//! `multi_appliance.rs` scales one shared queue *out*; real fleets
+//! instead put a router in front of independent replica engines and
+//! choose a replica per request. This example runs the cluster tier on
+//! a deliberately lopsided fleet — one 2-FPGA replica next to two
+//! 1-FPGA replicas — where round-robin's blindness to capacity shows
+//! up directly in the tail, then demonstrates the two specialised
+//! topologies: session affinity on paged replicas (warm prefix cache)
+//! and a prefill pool feeding a decode pool over a modelled 100 Gb/s
+//! link.
+//!
+//! ```sh
+//! cargo run --release --example cluster_routing
+//! ```
+
+use dfx::hw::LinkModel;
+use dfx::model::{GptConfig, Workload};
+use dfx::serve::{
+    chatbot_mix, ArrivalProcess, Backend, ClusterRouter, ContinuousBatching, DecodeOnly,
+    DisaggregatedCluster, LeastKvLoaded, LeastOutstanding, Placement, RoundRobin, SessionAffinity,
+};
+use dfx::sim::{Appliance, PagedKvConfig, PreemptionPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GptConfig::gpt2_345m();
+
+    // --- 1. Placement on a heterogeneous fleet -----------------------
+    // One wide replica and two narrow ones: the 2-FPGA replica serves
+    // roughly twice as fast, but round-robin still hands each replica
+    // a third of the stream.
+    let wide = Appliance::timing_only(cfg.clone(), 2)?;
+    let narrow_a = Appliance::timing_only(cfg.clone(), 1)?;
+    let narrow_b = Appliance::timing_only(cfg.clone(), 1)?;
+    let mix = chatbot_mix(48, cfg.max_seq_len);
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 3.0,
+        seed: 0xD0C5,
+    };
+
+    println!(
+        "48 chatbot-mix requests at 3.0 req/s on [2-FPGA, 1-FPGA, 1-FPGA] {} replicas\n",
+        cfg.name
+    );
+    println!(
+        "{:>18} {:>10} {:>10} {:>12} {:>14}",
+        "placement", "p50 ms", "p99 ms", "goodput t/s", "dispatched"
+    );
+    let placements: Vec<Box<dyn Placement>> = vec![
+        Box::new(RoundRobin::new()),
+        Box::new(LeastOutstanding),
+        Box::new(LeastKvLoaded),
+    ];
+    for placement in placements {
+        let mut router = ClusterRouter::new(
+            vec![
+                vec![&wide as &dyn Backend],
+                vec![&narrow_a as &dyn Backend],
+                vec![&narrow_b as &dyn Backend],
+            ],
+            placement,
+        )?
+        .with_scheduler_factory(|| Box::new(ContinuousBatching::new(4)));
+        let report = router.run(&mix, &arrivals)?;
+        let counts: Vec<usize> = report.replicas.iter().map(|r| r.dispatched).collect();
+        println!(
+            "{:>18} {:>10.0} {:>10.0} {:>12.1} {:>14}",
+            report.placement,
+            report.p50_sojourn_ms,
+            report.p99_sojourn_ms,
+            report.goodput_tps,
+            format!("{counts:?}"),
+        );
+    }
+
+    // --- 2. Session affinity on paged replicas -----------------------
+    // A 64-token system prompt shared by one session: pinning the
+    // session computes it once; spraying recomputes it per replica.
+    let prefix = 64usize;
+    let paged: Vec<Appliance> = (0..2)
+        .map(|_| {
+            Appliance::timing_only(cfg.clone(), 1)?.with_kv_paging(
+                PagedKvConfig::new(16)
+                    .with_policy(PreemptionPolicy::Retain)
+                    .with_shared_prefix(prefix),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let session_stream = vec![Workload::new(prefix + 32, 16); 16];
+    let sessions = vec![Some(1u64); session_stream.len()];
+    println!("\nOne 16-request session, {prefix}-token shared prompt, 2 paged replicas:");
+    for placement in [
+        Box::new(RoundRobin::new()) as Box<dyn Placement>,
+        Box::new(SessionAffinity::new(Box::new(RoundRobin::new()))),
+    ] {
+        let servers: Vec<&dyn Backend> = paged.iter().map(|a| a as &dyn Backend).collect();
+        let report = ClusterRouter::uniform(servers, placement)?
+            .with_scheduler_factory(|| Box::new(ContinuousBatching::new(4)))
+            .run_sessions(&session_stream, &sessions, &arrivals)?;
+        let paging = report.paging.expect("paged replicas report paging stats");
+        println!(
+            "  {:>30}: {} prefix tokens hit, {} computed ({:.0}% hit rate)",
+            report.placement,
+            paging.prefix_hit_tokens,
+            paging.prefix_computed_tokens,
+            100.0 * paging.hit_rate(),
+        );
+    }
+
+    // --- 3. Prefill/decode disaggregation ----------------------------
+    // The wide replica prefills every context; a DecodeOnly-wrapped
+    // narrow replica decodes, with each request's K/V cache handed
+    // over a 100 Gb/s link in between.
+    let decode_backend = DecodeOnly::new(&narrow_a as &dyn Backend);
+    let prefill = ClusterRouter::uniform(vec![&wide as &dyn Backend], Box::new(RoundRobin::new()))?
+        .with_scheduler_factory(|| Box::new(ContinuousBatching::new(4)));
+    let decode = ClusterRouter::uniform(
+        vec![&decode_backend as &dyn Backend],
+        Box::new(RoundRobin::new()),
+    )?
+    .with_scheduler_factory(|| Box::new(ContinuousBatching::new(4)));
+    let report =
+        DisaggregatedCluster::new(prefill, decode, LinkModel::qsfp28()).run(&mix, &arrivals)?;
+    let transfer = report.transfer.expect("disaggregated runs report transfer");
+    println!(
+        "\nDisaggregated (1 prefill + 1 decode): p99 {:.0} ms, {} K/V transfers, \
+         {:.1} MiB moved, {:.3} ms mean link time",
+        report.p99_sojourn_ms,
+        transfer.transfers,
+        transfer.bytes as f64 / (1 << 20) as f64,
+        transfer.mean_ms,
+    );
+    Ok(())
+}

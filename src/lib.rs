@@ -30,7 +30,12 @@
 //!   request-serving engine (schedulers — size-and-timeout
 //!   [`Batching`](serve::Batching), token-boundary, memory- and
 //!   prefill-aware [`ContinuousBatching`](serve::ContinuousBatching)
-//!   with chunked prefill — arrival processes, tail-latency reports).
+//!   with chunked prefill — arrival processes, tail-latency reports),
+//!   plus the cluster tier: a deterministic
+//!   [`ClusterRouter`](serve::ClusterRouter) over N replica engines
+//!   with pluggable [`Placement`](serve::Placement) policies, session
+//!   affinity, and prefill/decode disaggregation over a modelled
+//!   [`LinkModel`](hw::LinkModel).
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's sections,
 //! figures and tables onto these crates and the `reproduce` ids that
@@ -104,6 +109,43 @@
 //! // K/V budget per device.
 //! assert_eq!(memory.kv_bytes_per_token, 73_728);
 //! assert!(memory.max_resident_tokens() > 100_000);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Routing across a cluster of replicas
+//!
+//! A fleet puts a [`ClusterRouter`](serve::ClusterRouter) in front of
+//! independent replica engines and picks a replica per request through
+//! a [`Placement`](serve::Placement) policy — round-robin,
+//! least-outstanding, K/V-load-aware
+//! ([`LeastKvLoaded`](serve::LeastKvLoaded)), or session-affine
+//! ([`SessionAffinity`](serve::SessionAffinity), which keeps a
+//! session's shared-prefix cache warm on one replica). Replicas may be
+//! heterogeneous (different shard widths per replica), and a
+//! [`DisaggregatedCluster`](serve::DisaggregatedCluster) splits
+//! prefill from decode with the K/V handoff costed over an
+//! [`hw::LinkModel`]. The report pools percentiles across replicas —
+//! never averages them — and carries a Jain balance index:
+//!
+//! ```
+//! use dfx::model::GptConfig;
+//! use dfx::serve::{ArrivalProcess, Backend, ClusterRouter, RoundRobin};
+//! use dfx::serve::chatbot_mix;
+//! use dfx::sim::Appliance;
+//!
+//! # fn main() -> Result<(), dfx::sim::SimError> {
+//! let a = Appliance::timing_only(GptConfig::tiny(), 1)?;
+//! let b = Appliance::timing_only(GptConfig::tiny(), 1)?;
+//! let mut router = ClusterRouter::uniform(
+//!     vec![&a as &dyn Backend, &b as &dyn Backend],
+//!     Box::new(RoundRobin::new()),
+//! )?;
+//! let stream = chatbot_mix(8, 128);
+//! let poisson = ArrivalProcess::Poisson { rate_per_s: 20.0, seed: 7 };
+//! let report = router.run(&stream, &poisson)?;
+//! assert_eq!(report.total_requests, 8);
+//! assert_eq!(report.balance_index, 1.0); // round-robin splits 4:4
 //! # Ok(())
 //! # }
 //! ```
