@@ -158,9 +158,23 @@ fn build(
             .with_scheduler_factory(move || Box::new(ContinuousBatching::new(max_batch)))
             .run(&mix, &arrivals)
     };
-    let rr = run_placement(Box::new(RoundRobin::new()))?;
-    let lo = run_placement(Box::new(LeastOutstanding))?;
-    let lkl = run_placement(Box::new(LeastKvLoaded))?;
+    // The three placement sweeps share nothing (each builds its own
+    // router over the same replica pool), so they fan out over the
+    // work-stealing pool; results come back in placement order.
+    let mut placement_reports = rayon_lite::par_map(&[0usize, 1, 2], |&which| {
+        let placement: Box<dyn Placement> = match which {
+            0 => Box::new(RoundRobin::new()),
+            1 => Box::new(LeastOutstanding),
+            _ => Box::new(LeastKvLoaded),
+        };
+        run_placement(placement)
+    })
+    .into_iter();
+    // lint: allow(panic-policy, par_map returns exactly one result per input index)
+    let mut next_report = || placement_reports.next().expect("one report per placement");
+    let rr = next_report()?;
+    let lo = next_report()?;
+    let lkl = next_report()?;
     for r in [&rr, &lo, &lkl] {
         placement_table.push_row(vec![
             r.placement.clone(),
@@ -336,18 +350,22 @@ fn build(
             "tok/s",
         ],
     );
-    for &devices in shard_counts {
-        let wide = Appliance::timing_only(cfg.clone(), devices)?;
-        let memory = wide.memory_model();
-        let run = wide.serve(point)?;
-        shard_table.push_row(vec![
-            devices.to_string(),
-            fmt(memory.weight_bytes as f64 / (1 << 20) as f64, 1),
-            fmt(memory.kv_bytes_per_token as f64 / 1024.0, 2),
-            memory.max_resident_tokens().to_string(),
-            fmt(run.total_ms(), 1),
-            fmt(run.tokens_per_second(), 1),
-        ]);
+    let shard_rows =
+        rayon_lite::par_map(shard_counts, |&devices| -> Result<Vec<String>, SimError> {
+            let wide = Appliance::timing_only(cfg.clone(), devices)?;
+            let memory = wide.memory_model();
+            let run = wide.serve(point)?;
+            Ok(vec![
+                devices.to_string(),
+                fmt(memory.weight_bytes as f64 / (1 << 20) as f64, 1),
+                fmt(memory.kv_bytes_per_token as f64 / 1024.0, 2),
+                memory.max_resident_tokens().to_string(),
+                fmt(run.total_ms(), 1),
+                fmt(run.tokens_per_second(), 1),
+            ])
+        });
+    for row in shard_rows {
+        shard_table.push_row(row?);
     }
     report.note(
         "Wider shards shrink the per-device weight slice and K/V footprint, buying \

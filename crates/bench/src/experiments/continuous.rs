@@ -72,58 +72,53 @@ pub fn run_setup(
         ],
     );
     // One engine per (appliance, discipline, batch size): the static
-    // path's service-time memo persists across the rate sweep.
-    let sweep = |t: &mut MdTable,
-                 label: &str,
-                 discipline: &str,
-                 max_batch: usize,
-                 backend: &dyn Backend,
-                 scheduler: Box<dyn Scheduler>| {
-        let mut engine = ServingEngine::new(backend).with_scheduler(scheduler);
-        for &rate_per_s in rates_per_s {
-            let arrivals = ArrivalProcess::Poisson {
-                rate_per_s,
-                seed: 0x5EED,
-            };
-            let r: ServiceReport = engine.run(&stream, &arrivals).expect("valid stream");
-            t.push_row(vec![
-                label.into(),
-                discipline.into(),
-                max_batch.to_string(),
-                fmt(rate_per_s, 2),
-                fmt(r.p50_sojourn_ms, 0),
-                fmt(r.p99_sojourn_ms, 0),
-                fmt(100.0 * r.utilization, 1),
-                fmt(r.goodput_tps, 1),
-            ]);
-        }
-    };
-    for (label, backend) in [("DFX", &dfx as &dyn Backend), ("GPU", &gpu)] {
-        sweep(
-            &mut t,
-            label,
-            "batch-1",
-            1,
-            backend,
-            Box::new(dfx_serve::Fifo),
-        );
+    // path's service-time memo persists across the rate sweep. Groups
+    // share nothing, so they fan out over the work-stealing pool; the
+    // rate loop inside a group stays sequential (it reuses the memo)
+    // and `par_map` returns row blocks in group order, keeping the
+    // table bit-identical to a serial sweep.
+    let mut groups: Vec<(bool, &str, usize)> = Vec::new();
+    for is_gpu in [false, true] {
+        groups.push((is_gpu, "batch-1", 1));
         for &max_batch in batch_sizes {
-            sweep(
-                &mut t,
-                label,
-                "static",
-                max_batch,
-                backend,
-                Box::new(Batching::new(max_batch, max_wait_ms)),
-            );
-            sweep(
-                &mut t,
-                label,
-                "continuous",
-                max_batch,
-                backend,
-                Box::new(ContinuousBatching::new(max_batch)),
-            );
+            groups.push((is_gpu, "static", max_batch));
+            groups.push((is_gpu, "continuous", max_batch));
+        }
+    }
+    let row_blocks: Vec<Vec<Vec<String>>> =
+        rayon_lite::par_map(&groups, |&(is_gpu, discipline, max_batch)| {
+            let (label, backend): (&str, &dyn Backend) =
+                if is_gpu { ("GPU", &gpu) } else { ("DFX", &dfx) };
+            let scheduler: Box<dyn Scheduler> = match discipline {
+                "batch-1" => Box::new(dfx_serve::Fifo),
+                "static" => Box::new(Batching::new(max_batch, max_wait_ms)),
+                _ => Box::new(ContinuousBatching::new(max_batch)),
+            };
+            let mut engine = ServingEngine::new(backend).with_scheduler(scheduler);
+            rates_per_s
+                .iter()
+                .map(|&rate_per_s| {
+                    let arrivals = ArrivalProcess::Poisson {
+                        rate_per_s,
+                        seed: 0x5EED,
+                    };
+                    let r: ServiceReport = engine.run(&stream, &arrivals).expect("valid stream");
+                    vec![
+                        label.into(),
+                        discipline.into(),
+                        max_batch.to_string(),
+                        fmt(rate_per_s, 2),
+                        fmt(r.p50_sojourn_ms, 0),
+                        fmt(r.p99_sojourn_ms, 0),
+                        fmt(100.0 * r.utilization, 1),
+                        fmt(r.goodput_tps, 1),
+                    ]
+                })
+                .collect()
+        });
+    for block in row_blocks {
+        for row in block {
+            t.push_row(row);
         }
     }
     report.table(t);

@@ -40,24 +40,14 @@ impl ModelGrid {
 }
 
 /// End-to-end latency of every grid point on one [`Backend`], ms.
-/// Workloads are independent; fan out across threads.
+/// Workloads are independent; fan out over the work-stealing pool
+/// (results come back in grid order regardless of thread count).
 pub fn grid_latencies_ms(backend: &(impl Backend + Sync)) -> Vec<f64> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = paper::GRID
-            .iter()
-            .map(|&(input, output)| {
-                s.spawn(move || {
-                    backend
-                        .serve(Workload::new(input, output))
-                        .expect("valid workload")
-                        .total_ms()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
+    rayon_lite::par_map(&paper::GRID, |&(input, output)| {
+        backend
+            .serve(Workload::new(input, output))
+            .expect("valid workload")
+            .total_ms()
     })
 }
 

@@ -110,7 +110,10 @@ pub fn run_setup(
     );
     let stream = vec![point; n_requests];
     let backlog = ArrivalProcess::Trace(vec![0.0; n_requests]);
-    for &claims in capacity_claims {
+    // Each capacity cell builds its own appliance and engine, so the
+    // cells fan out over the work-stealing pool; `par_map` returns
+    // rows in sweep order, keeping the table bit-identical.
+    let cap_rows = rayon_lite::par_map(capacity_claims, |&claims| {
         let capacity =
             memory.weight_bytes + claims as u64 * claim_tokens * memory.kv_bytes_per_token;
         let capped = Appliance::timing_only(cfg.clone(), devices)
@@ -121,14 +124,17 @@ pub fn run_setup(
             .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
             .run(&stream, &backlog)
             .expect("valid stream");
-        cap_table.push_row(vec![
+        vec![
             fmt(capacity as f64 / (1 << 30) as f64, 3),
             capped.memory_model().max_resident_tokens().to_string(),
             claims.to_string(),
             r.peak_live_batch.to_string(),
             fmt(r.p99_sojourn_ms, 0),
             fmt(r.goodput_tps, 1),
-        ]);
+        ]
+    });
+    for row in cap_rows {
+        cap_table.push_row(row);
     }
     let r = ServingEngine::new(&dfx)
         .with_scheduler(Box::new(ContinuousBatching::new(max_batch)))
@@ -161,32 +167,42 @@ pub fn run_setup(
         ],
     );
     let mix = chatbot_mix(n_requests, cfg.max_seq_len);
+    // Every (rate, chunk) cell runs its own engine: fan out, collect
+    // rows in sweep order.
+    let mut chunk_cells: Vec<(f64, Option<usize>)> = Vec::new();
     for &rate_per_s in rates_per_s {
+        chunk_cells.push((rate_per_s, None));
+        for &chunk in chunk_budgets {
+            chunk_cells.push((rate_per_s, Some(chunk)));
+        }
+    }
+    let chunk_rows = rayon_lite::par_map(&chunk_cells, |&(rate_per_s, chunk)| {
         let arrivals = ArrivalProcess::Poisson {
             rate_per_s,
             seed: 0x5EED,
         };
-        let mut sweep = |label: String, scheduler: Box<dyn Scheduler>| {
-            let r = ServingEngine::new(&dfx)
-                .with_scheduler(scheduler)
-                .run(&mix, &arrivals)
-                .expect("valid stream");
-            chunk_table.push_row(vec![
-                fmt(rate_per_s, 2),
-                label,
-                fmt(r.p99_token_gap_ms, 1),
-                fmt(r.p50_sojourn_ms, 0),
-                fmt(r.p99_sojourn_ms, 0),
-                fmt(r.goodput_tps, 1),
-            ]);
-        };
-        sweep("whole".into(), Box::new(ContinuousBatching::new(max_batch)));
-        for &chunk in chunk_budgets {
-            sweep(
+        let (label, scheduler): (String, Box<dyn Scheduler>) = match chunk {
+            None => ("whole".into(), Box::new(ContinuousBatching::new(max_batch))),
+            Some(chunk) => (
                 chunk.to_string(),
                 Box::new(ContinuousBatching::new(max_batch).with_prefill_chunk(chunk)),
-            );
-        }
+            ),
+        };
+        let r = ServingEngine::new(&dfx)
+            .with_scheduler(scheduler)
+            .run(&mix, &arrivals)
+            .expect("valid stream");
+        vec![
+            fmt(rate_per_s, 2),
+            label,
+            fmt(r.p99_token_gap_ms, 1),
+            fmt(r.p50_sojourn_ms, 0),
+            fmt(r.p99_sojourn_ms, 0),
+            fmt(r.goodput_tps, 1),
+        ]
+    });
+    for row in chunk_rows {
+        chunk_table.push_row(row);
     }
     report.table(chunk_table);
 
@@ -270,8 +286,18 @@ pub fn run_setup(
         ],
     );
     let backlog_mix = ArrivalProcess::Trace(vec![0.0; mix.len()]);
-    let mut headline: Option<(f64, f64, f64)> = None;
-    for &claims in &paged_claims {
+    // The "vs reserved" column ties each allocator row to the reserved
+    // goodput of the *same* claims group, so a group is the unit of
+    // parallelism: its four allocator runs stay sequential inside one
+    // worker, groups fan out, and the cross-group headline maxima fold
+    // afterwards in group order (bit-identical to the serial sweep).
+    struct PagedGroup {
+        rows: Vec<Vec<String>>,
+        retain_gain: f64,
+        prefix_gain: f64,
+        prefix_hit: f64,
+    }
+    let groups = rayon_lite::par_map(&paged_claims, |&claims| {
         let capacity =
             memory.weight_bytes + claims as u64 * claim_tokens * memory.kv_bytes_per_token;
         let capped = || {
@@ -313,6 +339,12 @@ pub fn run_setup(
                     .expect("block size fits"),
             ),
         ];
+        let mut group = PagedGroup {
+            rows: Vec::new(),
+            retain_gain: 0.0,
+            prefix_gain: 0.0,
+            prefix_hit: 0.0,
+        };
         let mut reserved_goodput = 0.0;
         for (label, appliance) in &allocators {
             let r = run(appliance);
@@ -329,21 +361,16 @@ pub fn run_setup(
             } else {
                 let gain = 100.0 * (r.goodput_tps / reserved_goodput - 1.0);
                 match *label {
-                    "paged/retain" => {
-                        let h = headline.get_or_insert((gain, 0.0, 0.0));
-                        h.0 = h.0.max(gain);
-                    }
+                    "paged/retain" => group.retain_gain = gain,
                     "paged/retain+prefix" => {
-                        if let Some(h) = headline.as_mut() {
-                            h.1 = h.1.max(gain);
-                            h.2 = h.2.max(r.paging.map_or(0.0, |s| s.hit_rate()));
-                        }
+                        group.prefix_gain = gain;
+                        group.prefix_hit = r.paging.as_ref().map_or(0.0, |s| s.hit_rate());
                     }
                     _ => {}
                 }
                 format!("{gain:+.1}%")
             };
-            paged_table.push_row(vec![
+            group.rows.push(vec![
                 claims.to_string(),
                 (*label).into(),
                 r.peak_live_batch.to_string(),
@@ -354,6 +381,17 @@ pub fn run_setup(
                 vs,
             ]);
         }
+        group
+    });
+    let mut headline: Option<(f64, f64, f64)> = None;
+    for group in groups {
+        for row in group.rows {
+            paged_table.push_row(row);
+        }
+        let h = headline.get_or_insert((group.retain_gain, 0.0, 0.0));
+        h.0 = h.0.max(group.retain_gain);
+        h.1 = h.1.max(group.prefix_gain);
+        h.2 = h.2.max(group.prefix_hit);
     }
     report.table(paged_table);
     if let Some((gain, prefix_gain, hit)) = headline {

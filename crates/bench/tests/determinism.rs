@@ -55,6 +55,34 @@ fn cluster_sweep_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn sweeps_are_bit_identical_with_the_worker_pool_off() {
+    // The experiment sweeps fan independent cells out over the
+    // rayon-lite pool; `with_max_threads(1)` forces the same sweep
+    // fully serial on the calling thread. Any divergence means a cell
+    // read something it shouldn't (shared memo, accumulation order,
+    // thread identity) — results must not depend on the thread count.
+    let continuous = || {
+        let cfg = GptConfig::new("continuous-smoke", 64, 2, 2, 512, 640);
+        experiments::continuous_setup(cfg, 1, 24, &[1, 4], &[5.0, 50.0], 20.0)
+    };
+    let memory = || {
+        let cfg = GptConfig::new("memory-smoke", 64, 2, 2, 512, 640);
+        experiments::memory_setup(cfg, 1, 12, &[1, 2], &[8], &[5.0, 50.0], 4)
+    };
+    let cluster = || {
+        let cfg = GptConfig::new("cluster-smoke", 64, 2, 2, 512, 640);
+        experiments::cluster_setup(cfg, 2, 16, 200.0, 320, 4, &[1, 2])
+    };
+    let (pooled_c, pooled_m, pooled_k) = (continuous(), memory(), cluster());
+    let serial_c = rayon_lite::with_max_threads(1, continuous);
+    let serial_m = rayon_lite::with_max_threads(1, memory);
+    let serial_k = rayon_lite::with_max_threads(1, cluster);
+    assert_eq!(pooled_c, serial_c, "continuous sweep depends on the pool");
+    assert_eq!(pooled_m, serial_m, "memory sweep depends on the pool");
+    assert_eq!(pooled_k, serial_k, "cluster sweep depends on the pool");
+}
+
+#[test]
 fn service_reports_are_bit_identical_across_engine_runs() {
     // Below the sweep tables: the raw ServiceReport (every response's
     // timing, utilization, queue depths) from a seeded Poisson stream

@@ -38,6 +38,7 @@
 
 use crate::arrivals::ArrivalProcess;
 use crate::backend::{Backend, BatchReport, RunReport};
+use crate::checkpoint::EngineCheckpoint;
 use crate::engine::{Request, Response, ServiceReport, ServingEngine};
 use crate::scheduler::Scheduler;
 use crate::stats;
@@ -298,6 +299,11 @@ struct Replica<'a> {
     /// Simulation of the first `len` assigned requests. Exact for any
     /// query at or before the newest assigned arrival (causality).
     cache: Option<(usize, ServiceReport)>,
+    /// The replica's incrementally-advanced engine state, when this run
+    /// snapshots load through checkpoints instead of full prefix
+    /// replays (load-aware placements outside
+    /// [`with_full_replay`](ClusterRouter::with_full_replay) mode).
+    live: Option<EngineCheckpoint<'a>>,
 }
 
 impl Replica<'_> {
@@ -417,6 +423,11 @@ pub struct ClusterRouter<'a> {
     replicas: Vec<Replica<'a>>,
     placement: Box<dyn Placement>,
     make_scheduler: Box<dyn Fn() -> Box<dyn Scheduler> + 'a>,
+    /// Answer load snapshots by re-simulating each replica's full
+    /// assigned prefix (the O(n²) reference path) instead of advancing
+    /// incremental checkpoints. Kept as the oracle the equivalence
+    /// property tests pin the checkpoint path against.
+    full_replay: bool,
 }
 
 impl<'a> ClusterRouter<'a> {
@@ -449,10 +460,12 @@ impl<'a> ClusterRouter<'a> {
                     servers,
                     assigned: Vec::new(),
                     cache: None,
+                    live: None,
                 })
                 .collect(),
             placement,
             make_scheduler: Box::new(|| Box::new(crate::scheduler::Fifo)),
+            full_replay: false,
         })
     }
 
@@ -469,10 +482,23 @@ impl<'a> ClusterRouter<'a> {
     }
 
     /// Installs the scheduler every replica engine runs. A factory, not
-    /// an instance: each replica needs its own scheduler state, and the
-    /// incremental-exact snapshots re-simulate sub-streams from scratch.
+    /// an instance: each replica needs its own scheduler state (one per
+    /// checkpoint, or one per replay in
+    /// [`with_full_replay`](ClusterRouter::with_full_replay) mode).
     pub fn with_scheduler_factory(mut self, factory: impl Fn() -> Box<dyn Scheduler> + 'a) -> Self {
         self.make_scheduler = Box::new(factory);
+        self
+    }
+
+    /// Answers load-aware placement snapshots by re-simulating each
+    /// replica's full assigned prefix at every arrival — the O(n²)
+    /// reference implementation the incremental checkpoints replaced.
+    /// Bit-identical to the default path; kept as the oracle for the
+    /// checkpoint-equivalence property tests and has no effect on
+    /// load-blind placements (which never simulate while routing).
+    #[must_use]
+    pub fn with_full_replay(mut self) -> Self {
+        self.full_replay = true;
         self
     }
 
@@ -533,12 +559,25 @@ impl<'a> ClusterRouter<'a> {
         })?;
 
         self.placement.reset();
+        let uses_load = self.placement.uses_load();
+        // Load-aware placements stream each replica through an
+        // incremental checkpoint: every snapshot advances the replica
+        // from its last simulated event to the new arrival instead of
+        // replaying its whole prefix (O(n) events total, not O(n²)).
+        let incremental = uses_load && !self.full_replay;
         for r in &mut self.replicas {
             r.assigned.clear();
             r.cache = None;
+            r.live = if incremental {
+                Some(EngineCheckpoint::new(
+                    r.servers.clone(),
+                    (self.make_scheduler)(),
+                )?)
+            } else {
+                None
+            };
         }
 
-        let uses_load = self.placement.uses_load();
         for (i, (&workload, &arrival_ms)) in workloads.iter().zip(&times).enumerate() {
             let request = RoutedRequest {
                 id: i as u64,
@@ -546,7 +585,11 @@ impl<'a> ClusterRouter<'a> {
                 arrival_ms,
                 session: sessions[i],
             };
-            let snapshots = self.snapshots(arrival_ms, uses_load)?;
+            let snapshots = if incremental {
+                self.snapshots_incremental(arrival_ms)?
+            } else {
+                self.snapshots(arrival_ms, uses_load)?
+            };
             let choice = self.placement.place(&request, &snapshots);
             if choice >= self.replicas.len() {
                 return Err(SimError::Service(format!(
@@ -555,16 +598,84 @@ impl<'a> ClusterRouter<'a> {
                     self.replicas.len()
                 )));
             }
-            self.replicas[choice]
-                .assigned
-                .push((request.id, workload, arrival_ms));
+            let replica = &mut self.replicas[choice];
+            replica.assigned.push((request.id, workload, arrival_ms));
+            if let Some(live) = replica.live.as_mut() {
+                live.push(workload, arrival_ms);
+            }
         }
 
         self.finalize(workloads)
     }
 
-    /// Exact per-replica state at `t` (see module docs). Skips all
-    /// simulation when the placement never reads load.
+    /// Exact per-replica state at `t` through the incremental
+    /// checkpoints: each replica advances from its last simulated event
+    /// to `t` and answers outstanding/K/V-load from its sliding
+    /// accounting heaps. Bit-identical to [`snapshots`] with
+    /// `uses_load` (the full-replay reference), which the
+    /// checkpoint-equivalence property test pins.
+    ///
+    /// One corner cannot be read off the stream: a replica whose
+    /// scheduler stalled (declined with no later-assigned arrival known
+    /// — see [`EngineCheckpoint::is_stalled`]). The full-replay
+    /// reference resolves that decline by *assuming the sub-stream is
+    /// complete*, which can commit further admissions before `t` that
+    /// the parked stream must not guess at (the replay itself rewrites
+    /// that history once another arrival joins). While a replica is
+    /// stalled, this falls back to the old cached prefix replay for its
+    /// snapshot — same values, and still cached per assignment — and
+    /// the live stream resumes untouched.
+    ///
+    /// [`snapshots`]: ClusterRouter::snapshots
+    fn snapshots_incremental(&mut self, t: f64) -> Result<Vec<ReplicaSnapshot>, SimError> {
+        let mut out = Vec::with_capacity(self.replicas.len());
+        for index in 0..self.replicas.len() {
+            let replica = &mut self.replicas[index];
+            if replica.assigned.is_empty() {
+                out.push(ReplicaSnapshot {
+                    index,
+                    assigned: 0,
+                    outstanding: 0,
+                    kv_load: 0.0,
+                });
+                continue;
+            }
+            let live = replica.live.as_mut().ok_or_else(|| {
+                SimError::Service(format!("replica {index} has no live checkpoint"))
+            })?;
+            live.advance_to(t)?;
+            if live.is_stalled() {
+                self.refresh(index)?;
+                let replica = &self.replicas[index];
+                let report = match &replica.cache {
+                    Some((_, report)) => report,
+                    None => {
+                        return Err(SimError::Service(format!(
+                            "replica {index} has no cached run after refresh"
+                        )))
+                    }
+                };
+                out.push(ReplicaSnapshot {
+                    index,
+                    assigned: replica.assigned.len(),
+                    outstanding: report.responses.iter().filter(|r| r.finish_ms > t).count(),
+                    kv_load: replica.kv_load_at(report, t),
+                });
+                continue;
+            }
+            out.push(ReplicaSnapshot {
+                index,
+                assigned: replica.assigned.len(),
+                outstanding: live.outstanding_at(t),
+                kv_load: live.kv_load_at(t),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Exact per-replica state at `t` (see module docs), answered by
+    /// re-simulating assigned prefixes. Skips all simulation when the
+    /// placement never reads load.
     fn snapshots(&mut self, t: f64, uses_load: bool) -> Result<Vec<ReplicaSnapshot>, SimError> {
         let mut out = Vec::with_capacity(self.replicas.len());
         for index in 0..self.replicas.len() {
@@ -626,7 +737,17 @@ impl<'a> ClusterRouter<'a> {
     /// cluster report.
     fn finalize(&mut self, workloads: &[Workload]) -> Result<ClusterReport, SimError> {
         for index in 0..self.replicas.len() {
-            if !self.replicas[index].assigned.is_empty() {
+            if self.replicas[index].assigned.is_empty() {
+                self.replicas[index].live = None;
+                continue;
+            }
+            // A live checkpoint already simulated a prefix of this
+            // sub-stream; draining it costs only the remaining events
+            // and yields the same report a fresh full run would.
+            if let Some(live) = self.replicas[index].live.take() {
+                let report = live.finish()?;
+                self.replicas[index].cache = Some((self.replicas[index].assigned.len(), report));
+            } else {
                 self.refresh(index)?;
             }
         }
@@ -678,11 +799,10 @@ impl<'a> ClusterRouter<'a> {
         // Pooled cross-replica percentiles through the shared merge
         // seam — averaging per-replica percentiles is the bug this
         // module's stats satellite exists to prevent.
-        let sojourn_groups: Vec<Vec<f64>> = replica_reports
+        let group_refs: Vec<&[f64]> = replica_reports
             .iter()
             .filter_map(|r| r.report.as_ref().map(ServiceReport::sorted_sojourns))
             .collect();
-        let group_refs: Vec<&[f64]> = sojourn_groups.iter().map(Vec::as_slice).collect();
         let pooled = stats::merge_sorted(&group_refs)?;
         let counts: Vec<usize> = replica_reports.iter().map(|r| r.dispatched).collect();
         let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();

@@ -17,6 +17,21 @@
 //!   one decode token at a time, members exit the moment they finish,
 //!   and the scheduler's admission seam ([`Scheduler::admit`]) can join
 //!   queued requests to a *running* batch between steps.
+//!
+//! Both paths run as **resumable state machines**: the loop state lives
+//! in an explicit [`EngineState`] and advances one event per step call,
+//! so a run can be driven to completion in one go
+//! ([`ServingEngine::run`]) or held at a time horizon and resumed as
+//! later arrivals become known
+//! ([`EngineCheckpoint`](crate::EngineCheckpoint) — the seam the
+//! cluster tier's O(n) incremental placement snapshots are built on).
+//! The hot paths are kept deliberately cheap: not-yet-queued
+//! submissions wait in a binary heap keyed `(time, id)`, the arrival
+//! queue pops its head without shifting the tail, and the static
+//! service-time memo probes with an interned backend id plus a
+//! workload-shape hash instead of allocating a
+//! `(String, Vec<Workload>)` key per dispatch (see ARCHITECTURE.md,
+//! "Performance").
 
 use crate::arrivals::{ArrivalProcess, SubmissionPlan};
 use crate::backend::Backend;
@@ -27,7 +42,8 @@ use dfx_hw::MemoryModel;
 use dfx_model::Workload;
 use dfx_sim::{PagingStats, SimError};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One request entering the service: a workload plus its arrival time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,6 +140,10 @@ pub struct ServiceReport {
     /// ([`Appliance::with_kv_paging`](dfx_sim::Appliance)) on the
     /// token-boundary path.
     pub paging: Option<PagingStats>,
+    /// The sojourn samples sorted ascending, computed once when the
+    /// report is built — percentile queries and cluster-level pooling
+    /// read this without re-sorting per call.
+    pub sorted_sojourns: Vec<f64>,
 }
 
 impl ServiceReport {
@@ -147,17 +167,418 @@ impl ServiceReport {
     ///
     /// Returns [`SimError::Service`] for a fraction outside `[0, 1]`.
     pub fn sojourn_percentile_ms(&self, p: f64) -> Result<f64, SimError> {
-        stats::percentile(&self.sorted_sojourns(), p)
+        stats::percentile(&self.sorted_sojourns, p)
     }
 
     /// This report's sojourn samples, ascending — the seam cluster-level
     /// aggregation pools across replicas (percentiles of a cluster are
     /// percentiles of the pooled samples, never averages of per-replica
-    /// percentiles; see [`stats::merged_percentile`]).
-    pub fn sorted_sojourns(&self) -> Vec<f64> {
-        let mut s: Vec<f64> = self.responses.iter().map(Response::sojourn_ms).collect();
-        s.sort_by(f64::total_cmp);
-        s
+    /// percentiles; see [`stats::merged_percentile`]). Sorted once at
+    /// report construction; this accessor is free.
+    pub fn sorted_sojourns(&self) -> &[f64] {
+        &self.sorted_sojourns
+    }
+}
+
+/// Heap key for a not-yet-queued submission: ascending `(time, id)`
+/// with `total_cmp` on the time, the exact order the old sorted-`Vec`
+/// pending list popped in.
+#[derive(Debug, PartialEq)]
+struct PendKey {
+    time_ms: f64,
+    id: usize,
+}
+
+impl Eq for PendKey {}
+
+impl Ord for PendKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time_ms
+            .total_cmp(&other.time_ms)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for PendKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of not-yet-queued submissions ordered by `(time, id)`.
+/// Replaces the sorted `Vec<(f64, usize)>` whose `remove(0)` shifted
+/// the whole tail on every pull: push and pop are now O(log n) and the
+/// pop order is identical (times are never NaN, ids are unique, so
+/// `total_cmp`-then-id is a strict total order agreeing with the old
+/// partial-ordered tuple comparisons).
+#[derive(Debug, Default)]
+struct PendingHeap {
+    heap: BinaryHeap<Reverse<PendKey>>,
+}
+
+impl PendingHeap {
+    fn push(&mut self, time_ms: f64, id: usize) {
+        self.heap.push(Reverse(PendKey { time_ms, id }));
+    }
+
+    fn pop(&mut self) -> Option<(f64, usize)> {
+        self.heap.pop().map(|Reverse(k)| (k.time_ms, k.id))
+    }
+
+    fn peek(&self) -> Option<(f64, usize)> {
+        self.heap.peek().map(|Reverse(k)| (k.time_ms, k.id))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The arrival queue: requests that have arrived but not yet been
+/// dispatched, sorted by `(arrival, id)`. Schedulers index into it
+/// arbitrarily, so it stays a contiguous sorted slice — but the
+/// overwhelmingly common mutations are *pop the head* (FIFO-ish picks)
+/// and *append at the tail* (pulled arrivals are globally ascending),
+/// so the head is tracked as an offset instead of shifting the tail on
+/// every `remove(0)`, and inserts try the tail before binary-searching.
+#[derive(Debug, Default)]
+struct ArrivalQueue {
+    buf: Vec<Request>,
+    head: usize,
+}
+
+impl ArrivalQueue {
+    fn as_slice(&self) -> &[Request] {
+        &self.buf[self.head..]
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    fn first(&self) -> Option<&Request> {
+        self.buf.get(self.head)
+    }
+
+    /// Inserts keeping `(arrival, id)` order — the same tuple
+    /// comparison the old `partition_point` insert used. Closed-loop
+    /// resubmissions always land at the tail (a completion's next
+    /// submission never precedes arrivals already pulled), so the
+    /// binary-search path is a cold fallback.
+    fn insert_sorted(&mut self, req: Request) {
+        let key = (req.arrival_ms, req.id);
+        if self.buf.last().is_none_or(|l| (l.arrival_ms, l.id) <= key) {
+            self.buf.push(req);
+        } else {
+            let live = &self.buf[self.head..];
+            let pos = live.partition_point(|q| (q.arrival_ms, q.id) <= key);
+            self.buf.insert(self.head + pos, req);
+        }
+    }
+
+    /// Removes and returns the request at `idx` (relative to the live
+    /// slice). `idx == 0` is O(1); the storage is compacted once the
+    /// dead prefix dominates.
+    fn remove(&mut self, idx: usize) -> Request {
+        if idx == 0 {
+            let r = self.buf[self.head];
+            self.head += 1;
+            if self.head >= 64 && self.head * 2 >= self.buf.len() {
+                self.buf.drain(..self.head);
+                self.head = 0;
+            }
+            r
+        } else {
+            self.buf.remove(self.head + idx)
+        }
+    }
+}
+
+/// The static path's service-time memo.
+///
+/// Entries are bucketed by `(interned backend id, workload-shape
+/// hash)`; each bucket holds the full `(batch workloads, service ms)`
+/// pairs, compared exactly on probe, so a hash collision costs one
+/// extra comparison instead of a wrong answer. Backend ids are interned
+/// by *name* at engine construction — equal names share an id, so
+/// identical replicas share entries exactly as the old
+/// `(String, Vec<Workload>)` key did, but a probe no longer allocates a
+/// name `String` (or clones the batch into a key) per dispatch.
+/// One memo bucket: exact `(batch workloads, service ms)` pairs behind
+/// a shared `(backend id, shape hash)` key.
+type MemoBucket = Vec<(Vec<Workload>, f64)>;
+
+#[derive(Debug, Default)]
+struct MemoCache {
+    names: Vec<String>,
+    buckets: BTreeMap<(u32, u64), MemoBucket>,
+}
+
+impl MemoCache {
+    /// Interns `name`, returning its id; equal names get equal ids.
+    fn intern(&mut self, name: &str) -> u32 {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i as u32,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as u32
+            }
+        }
+    }
+
+    /// FNV-1a over the batch's token lengths — cheap, deterministic,
+    /// and platform-independent. Collisions are tolerated (buckets are
+    /// compared exactly), they just cost a linear probe.
+    fn shape_hash(batch: &[Workload]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for w in batch {
+            mix(w.input_len as u64);
+            mix(w.output_len as u64);
+        }
+        h
+    }
+
+    fn get(&self, server_id: u32, batch: &[Workload]) -> Option<f64> {
+        self.buckets
+            .get(&(server_id, Self::shape_hash(batch)))?
+            .iter()
+            .find(|(k, _)| k == batch)
+            .map(|&(_, ms)| ms)
+    }
+
+    fn insert(&mut self, server_id: u32, batch: &[Workload], ms: f64) {
+        let bucket = self
+            .buckets
+            .entry((server_id, Self::shape_hash(batch)))
+            .or_default();
+        if !bucket.iter().any(|(k, _)| k == batch) {
+            bucket.push((batch.to_vec(), ms));
+        }
+    }
+}
+
+/// A live member on the token-boundary path: its request, when its
+/// prefill began, how many output tokens it has produced, and when it
+/// last emitted one.
+struct Active {
+    request: Request,
+    start_ms: f64,
+    tokens_done: usize,
+    last_emit_ms: f64,
+}
+
+/// One server's continuous run: the stepper, the live members, and the
+/// server's timeline as `epoch + rel`. The epoch is the absolute start
+/// of the current busy period and `rel` the time charged since; keeping
+/// the busy period relative means a solo member's finish is computed as
+/// `start + accumulated service` — the same association the static FIFO
+/// path uses, so `max_batch == 1` continuous batching reproduces it
+/// exactly.
+struct Run<'b> {
+    stepper: Box<dyn ContinuousStepper + 'b>,
+    members: Vec<Active>,
+    /// The backend's capacity model (None: unbounded), for the
+    /// scheduler's admission probe.
+    memory: Option<MemoryModel>,
+    epoch_ms: f64,
+    rel_ms: f64,
+}
+
+impl Run<'_> {
+    /// The absolute time the server has been simulated to: its next
+    /// token boundary while members are live, its free time while idle.
+    fn clock_ms(&self) -> f64 {
+        self.epoch_ms + self.rel_ms
+    }
+}
+
+/// The [`AdmissionProbe`] over one server: estimates from its stepper,
+/// capacity from its backend's memory model.
+struct Probe<'p, 'b> {
+    stepper: &'p mut (dyn ContinuousStepper + 'b),
+    memory: Option<MemoryModel>,
+}
+
+impl AdmissionProbe for Probe<'_, '_> {
+    fn prefill_ms(&mut self, workload: Workload) -> f64 {
+        self.stepper.prefill_cost_ms(workload)
+    }
+    fn step_ms(&mut self, live: usize) -> f64 {
+        self.stepper.step_cost_ms(live)
+    }
+    fn kv_fits(&self, members: &[Workload]) -> bool {
+        // A paged stepper answers at block granularity (free blocks vs
+        // the joiners' prompts); otherwise fall back to summing whole
+        // `input + output` claims.
+        if let Some(fits) = self.stepper.kv_fits_resident(members) {
+            return fits;
+        }
+        self.memory.is_none_or(|m| {
+            let tokens: usize = members.iter().map(|w| w.input_len + w.output_len).sum();
+            m.fits_tokens(tokens)
+        })
+    }
+}
+
+/// What one `step` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// One event was committed (or a stashed decision was resolved).
+    Progressed,
+    /// The next event's instant is at or past the horizon — nothing was
+    /// mutated — or a stashed decision needs arrivals the stream has
+    /// not revealed yet. Never returned without a horizon.
+    Blocked,
+    /// No event exists: the pending heap and queue are empty and (on
+    /// the token-boundary path) no member is live. In a batch run with
+    /// requests unserved this is a starvation error; on a stream it
+    /// just means the engine has caught up with everything pushed.
+    Exhausted,
+}
+
+/// Resumable state of the static event loop.
+pub(crate) struct StaticState {
+    workloads: Vec<Workload>,
+    plan: SubmissionPlan,
+    pending: PendingHeap,
+    queue: ArrivalQueue,
+    free_at: Vec<f64>,
+    busy: Vec<f64>,
+    responses: Vec<Response>,
+    /// `(server, start_ms, input + output tokens)` per admitted
+    /// request, appended at the event that committed the admission —
+    /// starts become known here long before the response retires, which
+    /// is what lets streamed K/V-load accounting see in-flight claims.
+    admissions: Vec<(usize, f64, usize)>,
+    dispatches: usize,
+    peak_live_batch: usize,
+    /// Floor on the next decision instant, set by a `Wait` decision.
+    wake_ms: f64,
+    /// Consecutive decisions that neither dispatched nor saw a new
+    /// arrival: a scheduler stalling past its own deadline.
+    stalls: u32,
+    /// A `Wait(until)` whose wake instant could still be lowered by an
+    /// arrival the stream has not revealed (wake = the first arrival
+    /// strictly before `until`, else `until`). Resolved on resume once
+    /// an earlier arrival is known or the horizon covers `until`, and
+    /// unconditionally at finalization.
+    stashed_wait_ms: Option<f64>,
+}
+
+/// Resumable state of the token-boundary event loop.
+pub(crate) struct ContState<'b> {
+    workloads: Vec<Workload>,
+    plan: SubmissionPlan,
+    pending: PendingHeap,
+    queue: ArrivalQueue,
+    runs: Vec<Run<'b>>,
+    busy: Vec<f64>,
+    responses: Vec<Response>,
+    /// `(server, start_ms, input + output tokens)` per admitted
+    /// request, appended at the event that committed the admission (see
+    /// [`StaticState::admissions`]).
+    admissions: Vec<(usize, f64, usize)>,
+    dispatches: usize,
+    peak_live_batch: usize,
+    /// Gaps between a member's consecutive token emissions (the decode
+    /// stall admissions inject), pooled across members.
+    token_gaps: Vec<f64>,
+    /// Floor on the next idle-admission instant, set after a decline so
+    /// a future arrival can change the scheduler's mind.
+    wake_ms: f64,
+    /// Consecutive boundaries where an idle server faced a non-empty
+    /// queue and the scheduler admitted nobody.
+    stalls: u32,
+    /// An idle-decline whose wake instant depends on the next arrival,
+    /// which the stream has not revealed yet. Nothing advanced since
+    /// the decline, so resolution just re-runs the wake bookkeeping
+    /// with the pending heap as it stands at resume (or finalization).
+    stashed_decline: bool,
+}
+
+/// Resumable engine state: which event path is running plus everything
+/// its loop carries between events. Built by
+/// [`ServingEngine::build_state`], advanced by [`ServingEngine::step`],
+/// harvested by [`ServingEngine::build_report`].
+pub(crate) enum EngineState<'b> {
+    Static(StaticState),
+    Continuous(ContState<'b>),
+}
+
+impl EngineState<'_> {
+    /// Appends one request to the stream: its id is its push index.
+    /// Pushes must arrive in nondecreasing `arrival_ms` order for
+    /// horizon-bounded stepping to be faithful to a batch replay.
+    pub(crate) fn push(&mut self, workload: Workload, arrival_ms: f64) {
+        let (workloads, pending) = match self {
+            EngineState::Static(st) => (&mut st.workloads, &mut st.pending),
+            EngineState::Continuous(st) => (&mut st.workloads, &mut st.pending),
+        };
+        let id = workloads.len();
+        workloads.push(workload);
+        pending.push(arrival_ms, id);
+    }
+
+    /// Requests pushed so far (batch runs: the full workload list).
+    pub(crate) fn pushed(&self) -> usize {
+        match self {
+            EngineState::Static(st) => st.workloads.len(),
+            EngineState::Continuous(st) => st.workloads.len(),
+        }
+    }
+
+    /// Every response committed so far, in event order.
+    pub(crate) fn responses(&self) -> &[Response] {
+        match self {
+            EngineState::Static(st) => &st.responses,
+            EngineState::Continuous(st) => &st.responses,
+        }
+    }
+
+    /// Every admission committed so far, in event order:
+    /// `(server, start_ms, input + output tokens)`. A request appears
+    /// here at the event that admitted it — possibly long before its
+    /// response — so streamed K/V accounting can see in-flight claims.
+    pub(crate) fn admissions(&self) -> &[(usize, f64, usize)] {
+        match self {
+            EngineState::Static(st) => &st.admissions,
+            EngineState::Continuous(st) => &st.admissions,
+        }
+    }
+
+    /// Whether the stream is parked on a stashed scheduler decision —
+    /// a `Wait` or an admission decline taken when no later arrival was
+    /// known yet. Such a decision's outcome depends on whether the
+    /// stream ever receives another request, so a horizon-bounded
+    /// advance stops there rather than guessing; callers that need
+    /// "state at `t` assuming no more arrivals" semantics (the cluster
+    /// snapshot contract) must answer from a prefix replay instead.
+    pub(crate) fn is_stalled(&self) -> bool {
+        match self {
+            EngineState::Static(st) => st.stashed_wait_ms.is_some(),
+            EngineState::Continuous(st) => st.stashed_decline,
+        }
+    }
+
+    /// The error a batch run raises when the loop runs dry with
+    /// requests unserved.
+    pub(crate) fn starvation_error(&self) -> SimError {
+        match self {
+            EngineState::Static(_) => SimError::Service(
+                "static loop ran out of submissions with requests unserved".into(),
+            ),
+            EngineState::Continuous(_) => {
+                SimError::Service("continuous loop ran out of events with requests unserved".into())
+            }
+        }
     }
 }
 
@@ -184,26 +605,25 @@ impl ServiceReport {
 pub struct ServingEngine<'a> {
     servers: Vec<&'a dyn Backend>,
     scheduler: Box<dyn Scheduler>,
-    /// Service times memoized by `(backend name, batch workloads)` — a
-    /// single request is the one-element batch; persists across `run`
-    /// calls, so a rate sweep on one engine times each distinct workload
-    /// (or batch composition) once. Keying by name (not pool index) lets
-    /// identical replicas share entries — [`Backend::name`] must
-    /// therefore identify the timing behaviour (model + cluster size),
-    /// which every built-in implementation's name does. The
-    /// token-boundary path does not use it (step costs depend on batch
-    /// state); its steppers memoize per-run instead.
-    cache: BTreeMap<(String, Vec<Workload>), f64>,
+    /// Static-path service times memoized per `(backend, batch
+    /// workloads)` — a single request is the one-element batch;
+    /// persists across `run` calls, so a rate sweep on one engine times
+    /// each distinct workload (or batch composition) once. Keyed by the
+    /// interned backend *name* (not pool index), so identical replicas
+    /// share entries — [`Backend::name`] must therefore identify the
+    /// timing behaviour (model + cluster size), which every built-in
+    /// implementation's name does. The token-boundary path does not use
+    /// it (step costs depend on batch state); its steppers memoize
+    /// per-run instead.
+    cache: MemoCache,
+    /// Per-pool-slot interned memo id, precomputed at construction.
+    server_ids: Vec<u32>,
 }
 
 impl<'a> ServingEngine<'a> {
     /// An engine over a single backend with the FIFO discipline.
     pub fn new(backend: &'a dyn Backend) -> Self {
-        ServingEngine {
-            servers: vec![backend],
-            scheduler: Box::new(Fifo),
-            cache: BTreeMap::new(),
-        }
+        Self::assemble(vec![backend])
     }
 
     /// An engine over a pool of backends sharing one queue (FIFO).
@@ -215,11 +635,18 @@ impl<'a> ServingEngine<'a> {
         if servers.is_empty() {
             return Err(SimError::Service("backend pool is empty".into()));
         }
-        Ok(ServingEngine {
+        Ok(Self::assemble(servers))
+    }
+
+    fn assemble(servers: Vec<&'a dyn Backend>) -> Self {
+        let mut cache = MemoCache::default();
+        let server_ids = servers.iter().map(|s| cache.intern(&s.name())).collect();
+        ServingEngine {
             servers,
             scheduler: Box::new(Fifo),
-            cache: BTreeMap::new(),
-        })
+            cache,
+            server_ids,
+        }
     }
 
     /// Replaces the queue discipline.
@@ -253,50 +680,135 @@ impl<'a> ServingEngine<'a> {
             return Err(SimError::Service("nothing to serve".into()));
         }
         let plan = arrivals.plan(workloads.len())?;
+        let mut state = self.build_state(workloads.to_vec(), plan)?;
+        let n = workloads.len();
+        while state.responses().len() < n {
+            match self.step(&mut state, None)? {
+                StepOutcome::Progressed => {}
+                // With no horizon a step never blocks, so both arms mean
+                // the event loop ran dry with requests unserved.
+                StepOutcome::Blocked | StepOutcome::Exhausted => {
+                    return Err(state.starvation_error());
+                }
+            }
+        }
+        self.build_report(state)
+    }
+
+    /// Builds the resumable state for a run over `workloads` under
+    /// `plan`, choosing the event path exactly as [`run`](Self::run)
+    /// describes.
+    pub(crate) fn build_state(
+        &mut self,
+        workloads: Vec<Workload>,
+        plan: SubmissionPlan,
+    ) -> Result<EngineState<'a>, SimError> {
+        let n = workloads.len();
+        let pending = Self::initial_pending(&plan, n);
         if self.scheduler.is_continuous() && self.servers.iter().all(|s| s.continuous().is_some()) {
-            self.simulate_continuous(workloads, plan)
+            let prefill_chunk = self.scheduler.prefill_chunk();
+            let mut runs: Vec<Run<'a>> = Vec::with_capacity(self.servers.len());
+            for i in 0..self.servers.len() {
+                let s: &'a dyn Backend = self.servers[i];
+                // build_state routes here only when every backend is
+                // continuous, but re-check instead of panicking on a
+                // broken invariant.
+                let mut stepper = s.continuous().ok_or_else(|| {
+                    SimError::Service(format!("backend {} cannot batch continuously", s.name()))
+                })?;
+                if prefill_chunk.is_some() {
+                    stepper.set_prefill_chunk(prefill_chunk);
+                }
+                runs.push(Run {
+                    stepper,
+                    members: Vec::new(),
+                    memory: s.memory(),
+                    epoch_ms: 0.0,
+                    rel_ms: 0.0,
+                });
+            }
+            Ok(EngineState::Continuous(ContState {
+                workloads,
+                plan,
+                pending,
+                queue: ArrivalQueue::default(),
+                busy: vec![0.0f64; runs.len()],
+                runs,
+                responses: Vec::with_capacity(n),
+                admissions: Vec::with_capacity(n),
+                dispatches: 0,
+                peak_live_batch: 0,
+                token_gaps: Vec::new(),
+                wake_ms: 0.0,
+                stalls: 0,
+                stashed_decline: false,
+            }))
         } else {
-            self.simulate(workloads, plan)
+            Ok(EngineState::Static(StaticState {
+                workloads,
+                plan,
+                pending,
+                queue: ArrivalQueue::default(),
+                free_at: vec![0.0f64; self.servers.len()],
+                busy: vec![0.0f64; self.servers.len()],
+                responses: Vec::with_capacity(n),
+                admissions: Vec::with_capacity(n),
+                dispatches: 0,
+                peak_live_batch: 0,
+                wake_ms: 0.0,
+                stalls: 0,
+                stashed_wait_ms: None,
+            }))
         }
     }
 
+    /// An empty open-loop stream: requests enter via
+    /// [`EngineState::push`] and the state is advanced with
+    /// horizon-bounded [`step`](Self::step) calls. The seam
+    /// [`EngineCheckpoint`](crate::EngineCheckpoint) wraps.
+    pub(crate) fn start_stream(&mut self) -> Result<EngineState<'a>, SimError> {
+        self.build_state(Vec::new(), SubmissionPlan::Open(Vec::new()))
+    }
+
     /// The initial submission list: every open-loop arrival up front, or
-    /// one request per closed-loop client at t=0. Always sorted by
-    /// `(time, id)`.
-    fn initial_pending(plan: &SubmissionPlan, n: usize) -> Vec<(f64, usize)> {
+    /// one request per closed-loop client at t=0.
+    fn initial_pending(plan: &SubmissionPlan, n: usize) -> PendingHeap {
+        let mut pending = PendingHeap::default();
         match plan {
             SubmissionPlan::Open(times) => {
-                let mut p: Vec<(f64, usize)> = times.iter().copied().zip(0..n).collect();
-                // Ascending already (validated), but keep the invariant
-                // explicit: pending is always sorted by (time, id).
-                p.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                p
+                for (id, &t) in times.iter().enumerate().take(n) {
+                    pending.push(t, id);
+                }
             }
             SubmissionPlan::Closed { clients, .. } => {
-                (0..n.min(*clients)).map(|j| (0.0, j)).collect()
+                for j in 0..n.min(*clients) {
+                    pending.push(0.0, j);
+                }
             }
         }
+        pending
     }
 
     /// Moves every pending submission with time `<= now_ms` into the
     /// queue (kept sorted by `(arrival, id)`). Returns whether anything
     /// arrived.
     fn pull_arrivals(
-        pending: &mut Vec<(f64, usize)>,
-        queue: &mut Vec<Request>,
+        pending: &mut PendingHeap,
+        queue: &mut ArrivalQueue,
         workloads: &[Workload],
         now_ms: f64,
     ) -> bool {
         let mut admitted = false;
-        while !pending.is_empty() && pending[0].0 <= now_ms {
-            let (arrival_ms, id) = pending.remove(0);
-            let req = Request {
+        while let Some((arrival_ms, id)) = pending.peek() {
+            if arrival_ms > now_ms {
+                break;
+            }
+            pending.pop();
+            queue.insert_sorted(Request {
                 id: id as u64,
                 workload: workloads[id],
                 arrival_ms,
-            };
-            let pos = queue.partition_point(|q| (q.arrival_ms, q.id) <= (arrival_ms, id as u64));
-            queue.insert(pos, req);
+            });
             admitted = true;
         }
         admitted
@@ -306,7 +818,7 @@ impl<'a> ServingEngine<'a> {
     /// next round-robin submission. Open-loop plans do nothing.
     fn schedule_next_submission(
         plan: &SubmissionPlan,
-        pending: &mut Vec<(f64, usize)>,
+        pending: &mut PendingHeap,
         n: usize,
         finished_id: u64,
         finish_ms: f64,
@@ -320,68 +832,111 @@ impl<'a> ServingEngine<'a> {
             // round-robin request.
             let next = finished_id as usize + clients;
             if next < n {
-                let submit = finish_ms + think_time_ms;
-                let pos = pending.partition_point(|p| (p.0, p.1) <= (submit, next));
-                pending.insert(pos, (submit, next));
+                pending.push(finish_ms + think_time_ms, next);
             }
         }
     }
 
-    /// The static discrete-event core. Requests become known either up
-    /// front (open loop) or as completions schedule the owning client's
-    /// next submission (closed loop); either way the queue holds every
-    /// request that has arrived by the dispatch instant, the scheduler
-    /// picks a batch (usually of one), and it runs as a unit on the
-    /// earliest-free server. A scheduler may also *wait* — hold the free
-    /// server until a batch fills or its deadline passes — which advances
-    /// the decision instant without dispatching.
-    fn simulate(
+    /// Advances the state by one event.
+    ///
+    /// With `horizon = None` every event is committable and the call
+    /// never returns [`StepOutcome::Blocked`]. With `horizon = Some(t)`
+    /// only events whose decision instant is strictly before `t` are
+    /// committed, and decisions whose outcome could still change with
+    /// arrivals at or after `t` are stashed instead of guessed — so a
+    /// horizon-bounded stream that receives every arrival before
+    /// advancing past it commits exactly the event prefix a full batch
+    /// replay would.
+    pub(crate) fn step(
         &mut self,
-        workloads: &[Workload],
-        plan: SubmissionPlan,
-    ) -> Result<ServiceReport, SimError> {
-        let n = workloads.len();
-        let mut pending = Self::initial_pending(&plan, n);
+        state: &mut EngineState<'a>,
+        horizon: Option<f64>,
+    ) -> Result<StepOutcome, SimError> {
+        match state {
+            EngineState::Static(st) => self.static_step(st, horizon),
+            EngineState::Continuous(st) => self.cont_step(st, horizon),
+        }
+    }
 
-        let mut free_at = vec![0.0f64; self.servers.len()];
-        let mut busy = vec![0.0f64; self.servers.len()];
-        let mut queue: Vec<Request> = Vec::new();
-        let mut responses: Vec<Response> = Vec::with_capacity(n);
-        let mut dispatches = 0usize;
-        let mut peak_live_batch = 0usize;
-        // Floor on the next decision instant, set by a `Wait` decision.
-        let mut wake_ms = 0.0f64;
-        // Consecutive decisions that neither dispatched nor saw a new
-        // arrival: a scheduler stalling past its own deadline.
-        let mut stalls = 0u32;
-
-        while responses.len() < n {
-            if queue.is_empty() {
-                // Idle system: jump to the next submission.
-                let (arrival_ms, id) = pending.remove(0);
-                queue.push(Request {
-                    id: id as u64,
-                    workload: workloads[id],
-                    arrival_ms,
-                });
-                continue;
+    /// One event of the static discrete-event core. Requests become
+    /// known either up front (open loop) or as completions schedule the
+    /// owning client's next submission (closed loop); either way the
+    /// queue holds every request that has arrived by the dispatch
+    /// instant, the scheduler picks a batch (usually of one), and it
+    /// runs as a unit on the earliest-free server. A scheduler may also
+    /// *wait* — hold the free server until a batch fills or its deadline
+    /// passes — which advances the decision instant without dispatching.
+    fn static_step(
+        &mut self,
+        st: &mut StaticState,
+        horizon: Option<f64>,
+    ) -> Result<StepOutcome, SimError> {
+        // A stashed Wait resolves once the stream can name the wake
+        // instant: an arrival strictly before `until` is known, or the
+        // horizon covers `until` (no earlier arrival can appear), or
+        // the stream is being finalized (no horizon).
+        if let Some(until_ms) = st.stashed_wait_ms {
+            let head = st.pending.peek();
+            let resolvable = match horizon {
+                None => true,
+                Some(t) => head.is_some_and(|(a, _)| a < until_ms) || until_ms <= t,
+            };
+            if !resolvable {
+                return Ok(StepOutcome::Blocked);
             }
+            st.stashed_wait_ms = None;
+            // Wake at the requested time, or earlier if a new arrival
+            // lands first and may complete the batch.
+            st.wake_ms = match head {
+                Some((arrival_ms, _)) if arrival_ms < until_ms => arrival_ms,
+                _ => until_ms,
+            };
+            return Ok(StepOutcome::Progressed);
+        }
 
-            let server = (0..free_at.len())
-                .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
-                .ok_or_else(|| SimError::Service("backend pool is empty".into()))?;
-            let now = free_at[server].max(queue[0].arrival_ms).max(wake_ms);
+        let server = (0..st.free_at.len())
+            .min_by(|&a, &b| st.free_at[a].total_cmp(&st.free_at[b]))
+            .ok_or_else(|| SimError::Service("backend pool is empty".into()))?;
 
-            // Everything that has arrived by the dispatch instant is
-            // visible to the scheduler.
-            if Self::pull_arrivals(&mut pending, &mut queue, workloads, now) {
-                stalls = 0;
+        if st.queue.is_empty() {
+            // Idle system: jump to the next submission. The jump itself
+            // is timeless, but gate it on the post-jump decision
+            // instant so a blocked stream's state is untouched.
+            let Some((arrival_ms, id)) = st.pending.peek() else {
+                return Ok(StepOutcome::Exhausted);
+            };
+            let instant = st.free_at[server].max(arrival_ms).max(st.wake_ms);
+            if horizon.is_some_and(|t| instant >= t) {
+                return Ok(StepOutcome::Blocked);
             }
+            st.pending.pop();
+            st.queue.insert_sorted(Request {
+                id: id as u64,
+                workload: st.workloads[id],
+                arrival_ms,
+            });
+            return Ok(StepOutcome::Progressed);
+        }
 
-            let servers = &self.servers;
-            let picked = match self.scheduler.pick_batch(&queue, now, &|ws: &[Workload]| {
-                servers[server].batch_feasible(ws)
-            }) {
+        let head_arrival = st.queue.first().expect("queue is non-empty").arrival_ms;
+        let now = st.free_at[server].max(head_arrival).max(st.wake_ms);
+        if horizon.is_some_and(|t| now >= t) {
+            return Ok(StepOutcome::Blocked);
+        }
+
+        // Everything that has arrived by the dispatch instant is
+        // visible to the scheduler.
+        if Self::pull_arrivals(&mut st.pending, &mut st.queue, &st.workloads, now) {
+            st.stalls = 0;
+        }
+
+        let servers = &self.servers;
+        let picked =
+            match self
+                .scheduler
+                .pick_batch(st.queue.as_slice(), now, &|ws: &[Workload]| {
+                    servers[server].batch_feasible(ws)
+                }) {
                 BatchDecision::Dispatch(picked) => picked,
                 BatchDecision::Wait(until_ms) => {
                     if !until_ms.is_finite() || until_ms <= now {
@@ -390,422 +945,394 @@ impl<'a> ServingEngine<'a> {
                             self.scheduler.name()
                         )));
                     }
-                    stalls += 1;
-                    if stalls > 2 {
+                    st.stalls += 1;
+                    if st.stalls > 2 {
                         return Err(SimError::Service(format!(
                             "scheduler {} keeps waiting without dispatching",
                             self.scheduler.name()
                         )));
                     }
                     // Wake at the requested time, or earlier if a new
-                    // arrival lands first and may complete the batch.
-                    wake_ms = match pending.first() {
-                        Some(&(arrival_ms, _)) if arrival_ms < until_ms => arrival_ms,
+                    // arrival lands first and may complete the batch. On a
+                    // horizon-bounded stream that earlier arrival may not
+                    // be known yet — stash the decision instead of
+                    // committing a wake instant that could be wrong.
+                    let resolvable = match horizon {
+                        None => true,
+                        Some(t) => {
+                            st.pending.peek().is_some_and(|(a, _)| a < until_ms) || until_ms <= t
+                        }
+                    };
+                    if !resolvable {
+                        st.stashed_wait_ms = Some(until_ms);
+                        return Ok(StepOutcome::Blocked);
+                    }
+                    st.wake_ms = match st.pending.peek() {
+                        Some((arrival_ms, _)) if arrival_ms < until_ms => arrival_ms,
                         _ => until_ms,
                     };
-                    continue;
+                    return Ok(StepOutcome::Progressed);
                 }
             };
-            let mut picked = picked;
-            picked.sort_unstable();
-            let in_range = picked.last().is_some_and(|&i| i < queue.len());
-            if !in_range || picked.windows(2).any(|w| w[0] == w[1]) {
-                return Err(SimError::Service(format!(
-                    "scheduler {} picked invalid batch {picked:?} from a queue of {}",
-                    self.scheduler.name(),
-                    queue.len()
-                )));
-            }
-            stalls = 0;
-            wake_ms = 0.0;
-
-            // Extract in descending index order, then restore arrival
-            // order within the batch.
-            let mut batch: Vec<Request> = picked.iter().rev().map(|&i| queue.remove(i)).collect();
-            batch.reverse();
-            let batch_workloads: Vec<Workload> = batch.iter().map(|r| r.workload).collect();
-
-            let key = (self.servers[server].name(), batch_workloads);
-            let service_ms = match self.cache.get(&key) {
-                Some(&ms) => ms,
-                None => {
-                    // A one-element batch goes through the single-request
-                    // path (bit-identical numbers to the pre-batching
-                    // engine); larger batches execute as one unit.
-                    let ms = match key.1.as_slice() {
-                        [single] => self.servers[server].serve(*single)?.total_ms(),
-                        many => self.servers[server].serve_batch(many)?.total_ms(),
-                    };
-                    self.cache.insert(key, ms);
-                    ms
-                }
-            };
-            // `now` dominates the server's free time and the queue
-            // head's arrival, but not necessarily every member's: after
-            // a Wait-elevated round admits late arrivals, a different
-            // (earlier-free) server's `now` can lapse behind them, so
-            // clamp the start to the batch's newest arrival.
-            let start_ms = batch.iter().map(|r| r.arrival_ms).fold(now, f64::max);
-            let finish_ms = start_ms + service_ms;
-            free_at[server] = finish_ms;
-            // lint: order-sensitive — event-ordered timeline accumulation
-            busy[server] += service_ms;
-            dispatches += 1;
-            peak_live_batch = peak_live_batch.max(batch.len());
-
-            for request in batch {
-                responses.push(Response {
-                    request,
-                    server,
-                    start_ms,
-                    finish_ms,
-                });
-                Self::schedule_next_submission(&plan, &mut pending, n, request.id, finish_ms);
-            }
+        let mut picked = picked;
+        picked.sort_unstable();
+        let in_range = picked.last().is_some_and(|&i| i < st.queue.len());
+        if !in_range || picked.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SimError::Service(format!(
+                "scheduler {} picked invalid batch {picked:?} from a queue of {}",
+                self.scheduler.name(),
+                st.queue.len()
+            )));
         }
+        st.stalls = 0;
+        st.wake_ms = 0.0;
 
-        self.report(
-            workloads,
-            responses,
-            &busy,
-            dispatches,
-            peak_live_batch,
-            &[],
-            None,
-        )
+        // Extract in descending index order, then restore arrival
+        // order within the batch.
+        let mut batch: Vec<Request> = picked.iter().rev().map(|&i| st.queue.remove(i)).collect();
+        batch.reverse();
+        let batch_workloads: Vec<Workload> = batch.iter().map(|r| r.workload).collect();
+
+        let server_id = self.server_ids[server];
+        let service_ms = match self.cache.get(server_id, &batch_workloads) {
+            Some(ms) => ms,
+            None => {
+                // A one-element batch goes through the single-request
+                // path (bit-identical numbers to the pre-batching
+                // engine); larger batches execute as one unit.
+                let ms = match batch_workloads.as_slice() {
+                    [single] => self.servers[server].serve(*single)?.total_ms(),
+                    many => self.servers[server].serve_batch(many)?.total_ms(),
+                };
+                self.cache.insert(server_id, &batch_workloads, ms);
+                ms
+            }
+        };
+        // `now` dominates the server's free time and the queue head's
+        // arrival, but not necessarily every member's: after a
+        // Wait-elevated round admits late arrivals, a different
+        // (earlier-free) server's `now` can lapse behind them, so clamp
+        // the start to the batch's newest arrival.
+        let start_ms = batch.iter().map(|r| r.arrival_ms).fold(now, f64::max);
+        let finish_ms = start_ms + service_ms;
+        st.free_at[server] = finish_ms;
+        // lint: order-sensitive — event-ordered timeline accumulation
+        st.busy[server] += service_ms;
+        st.dispatches += 1;
+        st.peak_live_batch = st.peak_live_batch.max(batch.len());
+
+        let n = st.workloads.len();
+        for request in batch {
+            st.admissions.push((
+                server,
+                start_ms,
+                request.workload.input_len + request.workload.output_len,
+            ));
+            st.responses.push(Response {
+                request,
+                server,
+                start_ms,
+                finish_ms,
+            });
+            Self::schedule_next_submission(&st.plan, &mut st.pending, n, request.id, finish_ms);
+        }
+        Ok(StepOutcome::Progressed)
     }
 
-    /// The token-boundary event loop: every server owns a
+    /// Next token boundary among servers with live members.
+    fn cont_busy_next(runs: &[Run<'_>]) -> Option<(f64, usize)> {
+        runs.iter()
+            .enumerate()
+            .filter(|(_, r)| r.stepper.live() > 0)
+            .map(|(s, r)| (r.clock_ms(), s))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+    }
+
+    /// The decline bookkeeping shared by the live decline branch and
+    /// stashed-decline resolution: pick the wake instant from the next
+    /// known arrival or the next busy boundary, and count the stall.
+    fn cont_note_decline(&self, st: &mut ContState<'_>) -> Result<(), SimError> {
+        match (st.pending.peek(), Self::cont_busy_next(&st.runs)) {
+            (Some((arrival_ms, _)), _) => {
+                st.wake_ms = arrival_ms;
+                st.stalls += 1;
+            }
+            (None, Some((boundary_ms, _))) => {
+                // Defer the idle retry past the next busy boundary
+                // (ties prefer the busy event, so that boundary
+                // processes first and resets the counter if it makes
+                // progress).
+                st.wake_ms = st.wake_ms.max(boundary_ms);
+                st.stalls += 1;
+            }
+            (None, None) => st.stalls = 3,
+        }
+        if st.stalls > 2 {
+            return Err(SimError::Service(format!(
+                "scheduler {} declines to admit queued requests",
+                self.scheduler.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// One event of the token-boundary loop: every server owns a
     /// [`ContinuousStepper`], decode advances one token at a time, and
     /// at each boundary the scheduler's admission seam may join queued
     /// requests to the running batch (each paying its prefill before
     /// decode resumes). Members exit the moment they produce their last
     /// token — no padding to the longest batch-mate.
-    fn simulate_continuous(
+    fn cont_step(
         &mut self,
-        workloads: &[Workload],
-        plan: SubmissionPlan,
-    ) -> Result<ServiceReport, SimError> {
-        let n = workloads.len();
-        let mut pending = Self::initial_pending(&plan, n);
-        let mut queue: Vec<Request> = Vec::new();
-        let mut responses: Vec<Response> = Vec::with_capacity(n);
-        let mut busy = vec![0.0f64; self.servers.len()];
-        let mut dispatches = 0usize;
-        let mut peak_live_batch = 0usize;
-        // Gaps between a member's consecutive token emissions (the
-        // decode stall admissions inject), pooled across members.
-        let mut token_gaps: Vec<f64> = Vec::new();
-
-        /// A live member: its request, when its prefill began, how many
-        /// output tokens it has produced, and when it last emitted one.
-        struct Active {
-            request: Request,
-            start_ms: f64,
-            tokens_done: usize,
-            last_emit_ms: f64,
-        }
-        /// One server's continuous run: the stepper, the live members,
-        /// and the server's timeline as `epoch + rel`. The epoch is the
-        /// absolute start of the current busy period and `rel` the time
-        /// charged since; keeping the busy period relative means a solo
-        /// member's finish is computed as `start + accumulated service`
-        /// — the same association the static FIFO path uses, so
-        /// `max_batch == 1` continuous batching reproduces it exactly.
-        struct Run<'b> {
-            stepper: Box<dyn ContinuousStepper + 'b>,
-            members: Vec<Active>,
-            /// The backend's capacity model (None: unbounded), for the
-            /// scheduler's admission probe.
-            memory: Option<MemoryModel>,
-            epoch_ms: f64,
-            rel_ms: f64,
-        }
-        impl Run<'_> {
-            /// The absolute time the server has been simulated to: its
-            /// next token boundary while members are live, its free
-            /// time while idle.
-            fn clock_ms(&self) -> f64 {
-                self.epoch_ms + self.rel_ms
+        st: &mut ContState<'a>,
+        horizon: Option<f64>,
+    ) -> Result<StepOutcome, SimError> {
+        // A stashed decline resolves once the next arrival is known (or
+        // at finalization, when the pending heap is complete): nothing
+        // advanced since the decline, so the wake bookkeeping re-runs
+        // with the heap as it stands now.
+        if st.stashed_decline {
+            if horizon.is_some() && st.pending.is_empty() {
+                return Ok(StepOutcome::Blocked);
             }
+            st.stashed_decline = false;
+            self.cont_note_decline(st)?;
+            return Ok(StepOutcome::Progressed);
         }
 
-        /// The [`AdmissionProbe`] over one server: estimates from its
-        /// stepper, capacity from its backend's memory model.
-        struct Probe<'p, 'b> {
-            stepper: &'p mut (dyn ContinuousStepper + 'b),
-            memory: Option<MemoryModel>,
-        }
-        impl AdmissionProbe for Probe<'_, '_> {
-            fn prefill_ms(&mut self, workload: Workload) -> f64 {
-                self.stepper.prefill_cost_ms(workload)
-            }
-            fn step_ms(&mut self, live: usize) -> f64 {
-                self.stepper.step_cost_ms(live)
-            }
-            fn kv_fits(&self, members: &[Workload]) -> bool {
-                // A paged stepper answers at block granularity (free
-                // blocks vs the joiners' prompts); otherwise fall back
-                // to summing whole `input + output` claims.
-                if let Some(fits) = self.stepper.kv_fits_resident(members) {
-                    return fits;
-                }
-                self.memory.is_none_or(|m| {
-                    let tokens: usize = members.iter().map(|w| w.input_len + w.output_len).sum();
-                    m.fits_tokens(tokens)
-                })
-            }
-        }
-
-        let servers = &self.servers;
-        let prefill_chunk = self.scheduler.prefill_chunk();
-        let mut runs: Vec<Run<'_>> = Vec::with_capacity(servers.len());
-        for s in servers.iter() {
-            // run() routes here only when every backend is continuous,
-            // but re-check instead of panicking on a broken invariant.
-            let mut stepper = s.continuous().ok_or_else(|| {
-                SimError::Service(format!("backend {} cannot batch continuously", s.name()))
-            })?;
-            if prefill_chunk.is_some() {
-                stepper.set_prefill_chunk(prefill_chunk);
-            }
-            runs.push(Run {
-                stepper,
-                members: Vec::new(),
-                memory: s.memory(),
-                epoch_ms: 0.0,
-                rel_ms: 0.0,
+        let busy_next = Self::cont_busy_next(&st.runs);
+        // Earliest instant the earliest-free idle server could meet
+        // the earliest known request.
+        let idle_next = st
+            .runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.stepper.live() == 0)
+            .map(|(s, r)| (r.clock_ms(), s))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .and_then(|(clock, s)| {
+                let req_t = st
+                    .queue
+                    .first()
+                    .map(|q| q.arrival_ms)
+                    .or_else(|| st.pending.peek().map(|p| p.0));
+                req_t.map(|t| (t.max(clock).max(st.wake_ms), s))
             });
+        let (now, server) = match (busy_next, idle_next) {
+            (Some(b), Some(i)) if b.0 <= i.0 => b,
+            (Some(_), Some(i)) => i,
+            (Some(b), None) => b,
+            (None, Some(i)) => i,
+            (None, None) => return Ok(StepOutcome::Exhausted),
+        };
+        if horizon.is_some_and(|t| now >= t) {
+            return Ok(StepOutcome::Blocked);
         }
 
-        // Floor on the next idle-admission instant, set after a decline
-        // so a future arrival can change the scheduler's mind.
-        let mut wake_ms = 0.0f64;
-        // Consecutive boundaries where an idle server faced a non-empty
-        // queue and the scheduler admitted nobody.
-        let mut stalls = 0u32;
+        let run = &mut st.runs[server];
+        if run.stepper.live() == 0 {
+            // A fresh busy period may start here: re-anchor the
+            // relative timeline at this instant (`now` never lies
+            // before the idle server's free time).
+            run.epoch_ms = now;
+            run.rel_ms = 0.0;
+        }
+        if Self::pull_arrivals(&mut st.pending, &mut st.queue, &st.workloads, now) {
+            st.stalls = 0;
+        }
 
-        while responses.len() < n {
-            // Next token boundary among servers with live members.
-            let busy_next = runs
+        // The admission seam: queued requests may join the running
+        // batch at this boundary.
+        let n = st.workloads.len();
+        let run = &mut st.runs[server];
+        let mut admitted_any = false;
+        if !st.queue.is_empty() {
+            let running: Vec<RunningMember> = run
+                .members
                 .iter()
-                .enumerate()
-                .filter(|(_, r)| r.stepper.live() > 0)
-                .map(|(s, r)| (r.clock_ms(), s))
-                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-            // Earliest instant the earliest-free idle server could meet
-            // the earliest known request.
-            let idle_next = runs
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.stepper.live() == 0)
-                .map(|(s, r)| (r.clock_ms(), s))
-                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
-                .and_then(|(clock, s)| {
-                    let req_t = queue
-                        .first()
-                        .map(|q| q.arrival_ms)
-                        .or_else(|| pending.first().map(|p| p.0));
-                    req_t.map(|t| (t.max(clock).max(wake_ms), s))
-                });
-            let (now, server) = match (busy_next, idle_next) {
-                (Some(b), Some(i)) if b.0 <= i.0 => b,
-                (Some(_), Some(i)) => i,
-                (Some(b), None) => b,
-                (None, Some(i)) => i,
-                (None, None) => {
-                    return Err(SimError::Service(
-                        "continuous loop ran out of events with requests unserved".into(),
-                    ))
-                }
+                .map(|m| RunningMember {
+                    id: m.request.id,
+                    workload: m.request.workload,
+                    tokens_done: m.tokens_done,
+                    arrival_ms: m.request.arrival_ms,
+                })
+                .collect();
+            let clock_ms = run.clock_ms();
+            let mut probe = Probe {
+                stepper: run.stepper.as_mut(),
+                memory: run.memory,
             };
-
-            let run = &mut runs[server];
-            if run.stepper.live() == 0 {
-                // A fresh busy period may start here: re-anchor the
-                // relative timeline at this instant (`now` never lies
-                // before the idle server's free time).
-                run.epoch_ms = now;
-                run.rel_ms = 0.0;
+            let mut picks =
+                self.scheduler
+                    .admit(&running, st.queue.as_slice(), clock_ms, &mut probe);
+            picks.sort_unstable();
+            let in_range = picks.iter().all(|&i| i < st.queue.len());
+            if !in_range || picks.windows(2).any(|w| w[0] == w[1]) {
+                return Err(SimError::Service(format!(
+                    "scheduler {} admitted invalid indices {picks:?} from a queue of {}",
+                    self.scheduler.name(),
+                    st.queue.len()
+                )));
             }
-            if Self::pull_arrivals(&mut pending, &mut queue, workloads, now) {
-                stalls = 0;
+            if !picks.is_empty() {
+                admitted_any = true;
+                st.stalls = 0;
+                st.wake_ms = 0.0;
+                let mut joining: Vec<Request> =
+                    picks.iter().rev().map(|&i| st.queue.remove(i)).collect();
+                joining.reverse();
+                for request in joining {
+                    // Prefills run back to back: each member starts
+                    // (and is no longer "waiting") when its own
+                    // prefill begins.
+                    let start_ms = run.clock_ms();
+                    st.admissions.push((
+                        server,
+                        start_ms,
+                        request.workload.input_len + request.workload.output_len,
+                    ));
+                    let ev = run.stepper.admit(request.id, request.workload)?;
+                    // lint: order-sensitive — event-ordered timeline accumulation
+                    run.rel_ms += ev.ms;
+                    // lint: order-sensitive — event-ordered timeline accumulation
+                    st.busy[server] += ev.ms;
+                    st.dispatches += 1;
+                    if ev.finished.contains(&request.id) {
+                        let finish_ms = run.clock_ms();
+                        st.responses.push(Response {
+                            request,
+                            server,
+                            start_ms,
+                            finish_ms,
+                        });
+                        Self::schedule_next_submission(
+                            &st.plan,
+                            &mut st.pending,
+                            n,
+                            request.id,
+                            finish_ms,
+                        );
+                    } else if ev.prefilling.contains(&request.id) {
+                        // A chunked admission: no token yet, the
+                        // remaining chunks interleave with decode.
+                        run.members.push(Active {
+                            request,
+                            start_ms,
+                            tokens_done: 0,
+                            last_emit_ms: 0.0,
+                        });
+                    } else {
+                        run.members.push(Active {
+                            request,
+                            start_ms,
+                            tokens_done: 1,
+                            last_emit_ms: run.clock_ms(),
+                        });
+                    }
+                }
+                st.peak_live_batch = st.peak_live_batch.max(run.stepper.live());
             }
+        }
 
-            // The admission seam: queued requests may join the running
-            // batch at this boundary.
-            let mut admitted_any = false;
-            if !queue.is_empty() {
-                let running: Vec<RunningMember> = run
+        let run = &mut st.runs[server];
+        if run.stepper.live() > 0 {
+            // One step: a prefill chunk if one is in flight, then a
+            // decode pass; exits happen the moment a member has its
+            // last token.
+            let ev = run.stepper.step_token()?;
+            // lint: order-sensitive — event-ordered timeline accumulation
+            run.rel_ms += ev.ms;
+            // lint: order-sensitive — event-ordered timeline accumulation
+            st.busy[server] += ev.ms;
+            st.dispatches += 1;
+            let finish_ms = run.clock_ms();
+            for m in &mut run.members {
+                if ev.prefilling.contains(&m.request.id) {
+                    continue; // mid-prefill: no token this step
+                }
+                if m.tokens_done > 0 {
+                    // The inter-token gap a decoding member felt.
+                    st.token_gaps.push(finish_ms - m.last_emit_ms);
+                }
+                m.tokens_done += 1;
+                m.last_emit_ms = finish_ms;
+            }
+            for id in ev.finished {
+                let pos = run
                     .members
                     .iter()
-                    .map(|m| RunningMember {
-                        id: m.request.id,
-                        workload: m.request.workload,
-                        tokens_done: m.tokens_done,
-                        arrival_ms: m.request.arrival_ms,
-                    })
-                    .collect();
-                let clock_ms = run.clock_ms();
-                let mut probe = Probe {
-                    stepper: run.stepper.as_mut(),
-                    memory: run.memory,
-                };
-                let mut picks = self.scheduler.admit(&running, &queue, clock_ms, &mut probe);
-                picks.sort_unstable();
-                let in_range = picks.iter().all(|&i| i < queue.len());
-                if !in_range || picks.windows(2).any(|w| w[0] == w[1]) {
-                    return Err(SimError::Service(format!(
-                        "scheduler {} admitted invalid indices {picks:?} from a queue of {}",
-                        self.scheduler.name(),
-                        queue.len()
-                    )));
-                }
-                if !picks.is_empty() {
-                    admitted_any = true;
-                    stalls = 0;
-                    wake_ms = 0.0;
-                    let mut joining: Vec<Request> =
-                        picks.iter().rev().map(|&i| queue.remove(i)).collect();
-                    joining.reverse();
-                    for request in joining {
-                        // Prefills run back to back: each member starts
-                        // (and is no longer "waiting") when its own
-                        // prefill begins.
-                        let start_ms = run.clock_ms();
-                        let ev = run.stepper.admit(request.id, request.workload)?;
-                        // lint: order-sensitive — event-ordered timeline accumulation
-                        run.rel_ms += ev.ms;
-                        // lint: order-sensitive — event-ordered timeline accumulation
-                        busy[server] += ev.ms;
-                        dispatches += 1;
-                        if ev.finished.contains(&request.id) {
-                            let finish_ms = run.clock_ms();
-                            responses.push(Response {
-                                request,
-                                server,
-                                start_ms,
-                                finish_ms,
-                            });
-                            Self::schedule_next_submission(
-                                &plan,
-                                &mut pending,
-                                n,
-                                request.id,
-                                finish_ms,
-                            );
-                        } else if ev.prefilling.contains(&request.id) {
-                            // A chunked admission: no token yet, the
-                            // remaining chunks interleave with decode.
-                            run.members.push(Active {
-                                request,
-                                start_ms,
-                                tokens_done: 0,
-                                last_emit_ms: 0.0,
-                            });
-                        } else {
-                            run.members.push(Active {
-                                request,
-                                start_ms,
-                                tokens_done: 1,
-                                last_emit_ms: run.clock_ms(),
-                            });
+                    .position(|m| m.request.id == id)
+                    .ok_or_else(|| {
+                        SimError::Service(format!("stepper finished unknown member {id}"))
+                    })?;
+                let m = run.members.remove(pos);
+                st.responses.push(Response {
+                    request: m.request,
+                    server,
+                    start_ms: m.start_ms,
+                    finish_ms,
+                });
+                Self::schedule_next_submission(
+                    &st.plan,
+                    &mut st.pending,
+                    n,
+                    m.request.id,
+                    finish_ms,
+                );
+            }
+            st.stalls = 0;
+        } else if !st.queue.is_empty() && !admitted_any {
+            // Idle server, queued work, nothing admitted: the scheduler
+            // may be holding out for a future arrival or for another
+            // server's token boundary (retirements and closed-loop
+            // completions both change the picture). Only a fully idle
+            // pool with neither is a hard stall. On a horizon-bounded
+            // stream the wake instant depends on the next arrival, so
+            // an empty pending heap stashes the decline instead of
+            // mistaking "not pushed yet" for "none coming".
+            if horizon.is_some() && st.pending.is_empty() {
+                st.stashed_decline = true;
+                return Ok(StepOutcome::Blocked);
+            }
+            self.cont_note_decline(st)?;
+        }
+        Ok(StepOutcome::Progressed)
+    }
+
+    /// Consumes a finished state into its [`ServiceReport`].
+    pub(crate) fn build_report(&self, state: EngineState<'_>) -> Result<ServiceReport, SimError> {
+        match state {
+            EngineState::Static(st) => self.report(
+                &st.workloads,
+                st.responses,
+                &st.busy,
+                st.dispatches,
+                st.peak_live_batch,
+                &[],
+                None,
+            ),
+            EngineState::Continuous(st) => {
+                // Pool-wide paged-K/V counters, when any stepper pages.
+                let mut paging: Option<PagingStats> = None;
+                for run in &st.runs {
+                    if let Some(stats) = run.stepper.kv_stats() {
+                        match paging.as_mut() {
+                            Some(merged) => merged.merge(&stats),
+                            None => paging = Some(stats),
                         }
                     }
-                    peak_live_batch = peak_live_batch.max(run.stepper.live());
                 }
-            }
-
-            if run.stepper.live() > 0 {
-                // One step: a prefill chunk if one is in flight, then a
-                // decode pass; exits happen the moment a member has its
-                // last token.
-                let ev = run.stepper.step_token()?;
-                // lint: order-sensitive — event-ordered timeline accumulation
-                run.rel_ms += ev.ms;
-                // lint: order-sensitive — event-ordered timeline accumulation
-                busy[server] += ev.ms;
-                dispatches += 1;
-                let finish_ms = run.clock_ms();
-                for m in &mut run.members {
-                    if ev.prefilling.contains(&m.request.id) {
-                        continue; // mid-prefill: no token this step
-                    }
-                    if m.tokens_done > 0 {
-                        // The inter-token gap a decoding member felt.
-                        token_gaps.push(finish_ms - m.last_emit_ms);
-                    }
-                    m.tokens_done += 1;
-                    m.last_emit_ms = finish_ms;
-                }
-                for id in ev.finished {
-                    let pos = run
-                        .members
-                        .iter()
-                        .position(|m| m.request.id == id)
-                        .ok_or_else(|| {
-                            SimError::Service(format!("stepper finished unknown member {id}"))
-                        })?;
-                    let m = run.members.remove(pos);
-                    responses.push(Response {
-                        request: m.request,
-                        server,
-                        start_ms: m.start_ms,
-                        finish_ms,
-                    });
-                    Self::schedule_next_submission(&plan, &mut pending, n, m.request.id, finish_ms);
-                }
-                stalls = 0;
-            } else if !queue.is_empty() && !admitted_any {
-                // Idle server, queued work, nothing admitted: the
-                // scheduler may be holding out for a future arrival or
-                // for another server's token boundary (retirements and
-                // closed-loop completions both change the picture).
-                // Only a fully idle pool with neither is a hard stall.
-                match (pending.first(), busy_next) {
-                    (Some(&(arrival_ms, _)), _) => {
-                        wake_ms = arrival_ms;
-                        stalls += 1;
-                    }
-                    (None, Some((boundary_ms, _))) => {
-                        // Defer the idle retry past the next busy
-                        // boundary (ties prefer the busy event, so that
-                        // boundary processes first and resets the
-                        // counter if it makes progress).
-                        wake_ms = wake_ms.max(boundary_ms);
-                        stalls += 1;
-                    }
-                    (None, None) => stalls = 3,
-                }
-                if stalls > 2 {
-                    return Err(SimError::Service(format!(
-                        "scheduler {} declines to admit queued requests",
-                        self.scheduler.name()
-                    )));
-                }
+                self.report(
+                    &st.workloads,
+                    st.responses,
+                    &st.busy,
+                    st.dispatches,
+                    st.peak_live_batch,
+                    &st.token_gaps,
+                    paging,
+                )
             }
         }
-
-        // Pool-wide paged-K/V counters, when any stepper pages.
-        let mut paging: Option<PagingStats> = None;
-        for run in &runs {
-            if let Some(stats) = run.stepper.kv_stats() {
-                match paging.as_mut() {
-                    Some(merged) => merged.merge(&stats),
-                    None => paging = Some(stats),
-                }
-            }
-        }
-
-        self.report(
-            workloads,
-            responses,
-            &busy,
-            dispatches,
-            peak_live_batch,
-            &token_gaps,
-            paging,
-        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -821,11 +1348,11 @@ impl<'a> ServingEngine<'a> {
     ) -> Result<ServiceReport, SimError> {
         let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
 
-        let mut sojourns: Vec<f64> = responses.iter().map(Response::sojourn_ms).collect();
-        sojourns.sort_by(f64::total_cmp);
-        let p50_sojourn_ms = stats::percentile(&sojourns, 0.50)?;
-        let p95_sojourn_ms = stats::percentile(&sojourns, 0.95)?;
-        let p99_sojourn_ms = stats::percentile(&sojourns, 0.99)?;
+        let mut sorted_sojourns: Vec<f64> = responses.iter().map(Response::sojourn_ms).collect();
+        sorted_sojourns.sort_by(f64::total_cmp);
+        let p50_sojourn_ms = stats::percentile(&sorted_sojourns, 0.50)?;
+        let p95_sojourn_ms = stats::percentile(&sorted_sojourns, 0.95)?;
+        let p99_sojourn_ms = stats::percentile(&sorted_sojourns, 0.99)?;
 
         // Waiting-queue depth over time: +1 at arrival, -1 at start.
         // Departures sort before arrivals at equal timestamps, so a
@@ -876,7 +1403,15 @@ impl<'a> ServingEngine<'a> {
             p99_token_gap_ms,
             paging,
             responses,
+            sorted_sojourns,
         })
+    }
+
+    /// The per-server memory models of this engine's pool, in pool
+    /// order — what [`EngineCheckpoint`](crate::EngineCheckpoint) sizes
+    /// K/V claims with.
+    pub(crate) fn server_memories(&self) -> Vec<Option<MemoryModel>> {
+        self.servers.iter().map(|s| s.memory()).collect()
     }
 
     fn pool_name(&self) -> String {
@@ -894,7 +1429,6 @@ impl<'a> ServingEngine<'a> {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

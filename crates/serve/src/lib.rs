@@ -43,6 +43,7 @@
 
 mod arrivals;
 mod backend;
+mod checkpoint;
 mod cluster;
 mod engine;
 mod mix;
@@ -52,6 +53,12 @@ mod stepper;
 
 pub use arrivals::ArrivalProcess;
 pub use backend::{validate_workload, Backend, BatchReport, RunReport};
+/// Incremental engine checkpoints ([`EngineCheckpoint`]): resume a
+/// request stream from its last simulated event instead of replaying
+/// the whole prefix — the seam that makes the cluster tier's load-aware
+/// placement snapshots O(n) instead of O(n²) over a sweep, with
+/// bit-identical reports.
+pub use checkpoint::EngineCheckpoint;
 /// Cluster tier ([`ClusterRouter`]): deterministic routing across N
 /// replica engines with pluggable [`Placement`] policies
 /// ([`RoundRobin`], [`LeastOutstanding`], [`LeastKvLoaded`],

@@ -16,6 +16,11 @@
 //!    bare `ServingEngine` run, bit-identical responses and all.
 //! 5. **Round-robin fairness** — dispatch counts never differ by more
 //!    than one, so the Jain balance index is ~1.
+//! 6. **Checkpoint equivalence** — load-aware routing through
+//!    incremental engine checkpoints produces a report bit-identical
+//!    to the O(n²) full-replay reference
+//!    ([`with_full_replay`](ClusterRouter::with_full_replay)), declines
+//!    and all.
 //!
 //! Plus the session-affinity prefix-hit regression: with a shared
 //! system prompt on paged replicas, pinning a session strictly
@@ -261,6 +266,52 @@ proptest! {
         let counts: Vec<usize> = report.replicas.iter().map(|r| r.dispatched).collect();
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
         prop_assert!(max - min <= 1, "round-robin dispatch skew: {:?}", counts);
+    }
+
+    /// Checkpoint equivalence: routing through incremental engine
+    /// checkpoints (the default for load-aware placements) produces a
+    /// `ClusterReport` bit-identical to the O(n²) full-replay
+    /// reference, for both load signals. Memory-bound replicas make
+    /// `LeastKvLoaded` read real K/V claims and push the scheduler
+    /// into saturation declines, exercising the stalled-stream replay
+    /// fallback as well as the streamed admission accounting.
+    #[test]
+    fn incremental_checkpoints_match_full_replay(
+        workloads in arb_workloads(),
+        rate_per_s in 0.5f64..200.0,
+        seed in any::<u64>(),
+        replicas in 1usize..4,
+        max_batch in 1usize..5,
+        kv_aware in any::<bool>(),
+    ) {
+        // Budget fits any single arb workload (≤ 126 tokens) but not
+        // every pair, so declines genuinely occur under load.
+        let backends: Vec<Appliance> = (0..replicas)
+            .map(|_| {
+                let base = Appliance::timing_only(GptConfig::tiny(), 1).unwrap();
+                let m = base.memory_model();
+                let capacity = m.weight_bytes + 160 * m.kv_bytes_per_token;
+                base.with_hbm_capacity(capacity).unwrap()
+            })
+            .collect();
+        let arrivals = ArrivalProcess::Poisson { rate_per_s, seed };
+        let run = |full_replay: bool| {
+            let servers: Vec<&dyn Backend> =
+                backends.iter().map(|b| b as &dyn Backend).collect();
+            let placement: Box<dyn Placement> = if kv_aware {
+                Box::new(dfx::serve::LeastKvLoaded)
+            } else {
+                Box::new(dfx::serve::LeastOutstanding)
+            };
+            let mut router = ClusterRouter::uniform(servers, placement)
+                .unwrap()
+                .with_scheduler_factory(move || Box::new(ContinuousBatching::new(max_batch)));
+            if full_replay {
+                router = router.with_full_replay();
+            }
+            router.run(&workloads, &arrivals).unwrap()
+        };
+        prop_assert_eq!(run(false), run(true));
     }
 }
 

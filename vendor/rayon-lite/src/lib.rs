@@ -1,0 +1,205 @@
+//! Minimal deterministic scoped thread pool — the vendored stand-in
+//! for the one `rayon` shape this workspace uses: *map N independent
+//! items across worker threads, collect results in input order*.
+//!
+//! Like the other `vendor/` crates this is registry-free and
+//! dependency-free. Unlike real rayon there is no global registry, no
+//! join primitive and no work-*stealing* deque per worker: items are
+//! claimed from a single shared atomic counter (self-scheduling), which
+//! for the coarse, similarly-sized sweep cells in `dfx-bench` gives the
+//! same load-balancing property (a fast worker drains the tail while a
+//! slow one finishes its cell) with far less machinery.
+//!
+//! Determinism contract: [`par_map`] returns results **ordered by input
+//! index**, bit-identical to the serial `map`, regardless of thread
+//! count or interleaving. No wall clocks, no RNGs; worker count comes
+//! from [`std::thread::available_parallelism`] unless overridden with
+//! [`with_max_threads`] (which `dfx-bench`'s determinism harness uses
+//! to pin pool-off runs to one thread).
+//!
+//! Panic policy: a panicking closure does not deadlock the pool — the
+//! panic payload is captured and re-raised on the caller's thread after
+//! every worker has parked.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`with_max_threads`].
+    static MAX_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with every [`par_map`] on this thread capped at `n` worker
+/// threads (`n = 1` forces fully serial execution — the pool-off
+/// reference the determinism tests compare against). The previous
+/// override is restored on exit, including on panic.
+pub fn with_max_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.with(|m| m.set(self.0));
+        }
+    }
+    let _restore = Restore(MAX_THREADS.with(|m| m.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Worker count for `items` work items: the thread-local override if
+/// one is installed, else the machine's available parallelism, never
+/// more than one thread per item.
+fn thread_count(items: usize) -> usize {
+    let cap = MAX_THREADS.with(|m| m.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    cap.min(items).max(1)
+}
+
+/// Maps `f` over `items` on a scoped worker pool and returns the
+/// results **in input order** — bit-identical to
+/// `items.iter().map(f).collect()` whatever the thread count.
+///
+/// `f` runs once per item, on an unspecified worker thread; items are
+/// claimed dynamically (self-scheduling), so uneven cell costs balance
+/// without a static partition. With one item (or a
+/// [`with_max_threads(1, ..)`](with_max_threads) override, or a
+/// single-core machine) everything runs on the calling thread with no
+/// spawn at all.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                let panic_slot = &panic_slot;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return out;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => {
+                                let mut slot = panic_slot.lock().unwrap_or_else(|p| p.into_inner());
+                                slot.get_or_insert(payload);
+                                // Drain the counter so every worker
+                                // exits promptly instead of computing
+                                // results that will be discarded.
+                                next.store(items.len(), Ordering::Relaxed);
+                                return out;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // A worker can only die from a panic in `f`, which it
+            // already parked in `panic_slot`; an empty chunk keeps
+            // the merge loop going until we re-raise below.
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    if let Some(payload) = panic_slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+        resume_unwind(payload);
+    }
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for chunk in &mut collected {
+        for (i, r) in chunk.drain(..) {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly one result"))
+        .collect()
+}
+
+/// Index-aware variant of [`par_map`]: `f` receives `(index, &item)`.
+/// Results are still returned in input order.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let indexed: Vec<(usize, &T)> = items.iter().enumerate().collect();
+    par_map(&indexed, |&(i, item)| f(i, item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|&i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_on_matches_pool_off_bit_for_bit() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |&i: &u64| (i as f64).sqrt() + i as f64 * 1e-3;
+        let serial = with_max_threads(1, || par_map(&items, f));
+        let parallel = with_max_threads(8, || par_map(&items, f));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&empty, |&i| i).len(), 0);
+        assert_eq!(par_map(&[42u32], |&i| i + 1), vec![43]);
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        with_max_threads(4, || {
+            with_max_threads(1, || {
+                assert_eq!(thread_count(100), 1);
+            });
+            assert_eq!(thread_count(100), 4);
+        });
+        assert!(MAX_THREADS.with(|m| m.get()).is_none());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |&i| {
+                assert!(i != 13, "boom");
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn indexed_variant_sees_the_right_indices() {
+        let items = ["a", "b", "c"];
+        let out = par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+}
