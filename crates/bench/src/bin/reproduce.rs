@@ -1,14 +1,23 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce <id>... [--full] [--write <path>]
+//! reproduce <id>... [--full] [--write <path>] [--metrics <path>] [--trace <path>]
 //!   ids: see `reproduce --help` (driven by `experiments::CATALOG`),
 //!        or `all` to run everything
-//!   --full   accuracy task sets at paper sizes (slow)
-//!   --write  also write the combined markdown to <path>
+//!   --full     accuracy task sets at paper sizes (slow)
+//!   --write    also write the combined markdown to <path>
+//!   --metrics  write Prometheus metrics for the first serving id to <path>
+//!   --trace    write a Chrome trace for the first serving id to <path>
 //! ```
+//!
+//! `--metrics` / `--trace` run one traced, representative configuration
+//! of the first selected serving-capable id (see
+//! `dfx_bench::observability::SERVING_IDS`) and validate both dumps
+//! in-process before writing; every timestamp is simulated time, so the
+//! files are bit-identical across runs.
 
 use dfx_bench::experiments::CATALOG;
+use dfx_bench::observability::{self, SERVING_IDS};
 use dfx_bench::table::ExperimentReport;
 use std::io::Write as _;
 
@@ -34,11 +43,55 @@ fn eprint_catalog() {
 }
 
 fn usage() {
-    eprintln!("usage: reproduce <id|all>... [--full] [--write <path>]");
-    eprintln!("  --full   accuracy task sets at paper sizes (slow)");
-    eprintln!("  --write  also write the combined markdown to <path>");
+    eprintln!(
+        "usage: reproduce <id|all>... [--full] [--write <path>] [--metrics <path>] \
+         [--trace <path>]"
+    );
+    eprintln!("  --full     accuracy task sets at paper sizes (slow)");
+    eprintln!("  --write    also write the combined markdown to <path>");
+    eprintln!("  --metrics  write Prometheus metrics for the first serving id to <path>");
+    eprintln!("  --trace    write a Chrome trace for the first serving id to <path>");
     eprintln!("known ids:");
     eprint_catalog();
+}
+
+/// Captures and writes the telemetry dumps for the first serving-capable
+/// id among `selected`. Exits nonzero if no serving id was selected or
+/// the capture fails its in-process validation.
+fn write_observability(
+    selected: &[&str],
+    full: bool,
+    metrics_path: Option<&str>,
+    trace_path: Option<&str>,
+) {
+    let Some(id) = selected.iter().find(|id| SERVING_IDS.contains(id)) else {
+        eprintln!(
+            "[reproduce] --metrics/--trace need a serving id; known serving ids: {SERVING_IDS:?}"
+        );
+        std::process::exit(2);
+    };
+    eprintln!("[reproduce] capturing telemetry for {id}...");
+    let dump = match observability::capture(id, full) {
+        Ok(dump) => dump,
+        Err(e) => {
+            eprintln!("[reproduce] telemetry capture for {id} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = metrics_path {
+        std::fs::write(path, &dump.metrics_text).expect("write metrics file");
+        eprintln!(
+            "[reproduce] wrote {path} ({} samples, validated)",
+            dump.metric_samples
+        );
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(path, &dump.trace_json).expect("write trace file");
+        eprintln!(
+            "[reproduce] wrote {path} ({} trace events, round-tripped)",
+            dump.trace_events
+        );
+    }
 }
 
 fn main() {
@@ -48,14 +101,22 @@ fn main() {
         return;
     }
     let full = args.iter().any(|a| a == "--full");
-    let write_path = args
-        .iter()
-        .position(|a| a == "--write")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let write_path = flag_value("--write");
+    let metrics_path = flag_value("--metrics");
+    let trace_path = flag_value("--trace");
+    let flag_values = [&write_path, &metrics_path, &trace_path];
     let ids: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--") && Some(a) != write_path.as_ref())
+        .iter()
+        .filter(|a| {
+            !a.starts_with("--") && !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str()))
+        })
+        .cloned()
         .collect();
     if ids.is_empty() {
         usage();
@@ -73,7 +134,7 @@ fn main() {
          `cargo run -p dfx-bench --release --bin reproduce -- <id>`; \"paper\" columns quote \
          the published values for comparison.\n\n",
     );
-    for id in selected {
+    for &id in &selected {
         eprintln!("[reproduce] running {id}...");
         // lint: allow(ambient-time, progress display only; no simulated quantity depends on it)
         let start = std::time::Instant::now();
@@ -91,5 +152,14 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create output file");
         f.write_all(combined.as_bytes()).expect("write output file");
         eprintln!("[reproduce] wrote {path}");
+    }
+
+    if metrics_path.is_some() || trace_path.is_some() {
+        write_observability(
+            &selected,
+            full,
+            metrics_path.as_deref(),
+            trace_path.as_deref(),
+        );
     }
 }

@@ -15,7 +15,9 @@
 //! exit). Knobs: model/devices, request count, the batch-size and rate
 //! grids, and the static batching timeout. Output shape: one table with
 //! a row per (appliance, discipline, max batch, rate) carrying p50/p99
-//! sojourn, utilization and goodput. Continuous rows with `max batch =
+//! sojourn, utilization, goodput, p95 TTFT/ITL and total energy (ITL is
+//! zero on the static disciplines, which model no intra-batch token
+//! timing). Continuous rows with `max batch =
 //! 1` are identical to the `serving` experiment's cells — token-boundary
 //! scheduling at batch 1 degenerates to the single-dispatch FIFO path.
 
@@ -69,6 +71,9 @@ pub fn run_setup(
             "p99 ms",
             "util %",
             "goodput tok/s",
+            "p95 ttft ms",
+            "p95 itl ms",
+            "energy J",
         ],
     );
     // One engine per (appliance, discipline, batch size): the static
@@ -112,6 +117,12 @@ pub fn run_setup(
                         fmt(r.p99_sojourn_ms, 0),
                         fmt(100.0 * r.utilization, 1),
                         fmt(r.goodput_tps, 1),
+                        fmt(r.p95_ttft_ms, 0),
+                        fmt(r.p95_itl_ms, 2),
+                        match r.energy_j {
+                            Some(e) => fmt(e, 1),
+                            None => "-".into(),
+                        },
                     ]
                 })
                 .collect()

@@ -33,5 +33,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observability;
 pub mod paper;
 pub mod table;

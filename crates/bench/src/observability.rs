@@ -1,0 +1,194 @@
+//! Telemetry capture for the serving experiments.
+//!
+//! The `reproduce` harness's `--metrics <path>` / `--trace <path>` flags
+//! are backed by this module: for a serving-capable catalog id it runs
+//! one representative traced configuration, records the report into a
+//! [`MetricsRegistry`], assembles the per-request [`RunTrace`], and
+//! validates both rendered formats in-process (Prometheus text
+//! line-by-line, Chrome trace JSON by a parse → render round-trip)
+//! before handing them back. Everything downstream of the seeded
+//! arrival process is simulated time, so both dumps are bit-identical
+//! across runs — `crates/bench/tests/determinism.rs` pins that.
+
+use dfx_model::GptConfig;
+use dfx_serve::telemetry::{self, Json, Labels, MetricsRegistry, RunTrace};
+use dfx_serve::{
+    chatbot_mix, ArrivalProcess, Batching, ClusterRouter, ContinuousBatching, Fifo, RoundRobin,
+    Scheduler, ServingEngine,
+};
+use dfx_sim::{Appliance, SimError};
+
+/// One rendered observability dump: both export formats plus the counts
+/// the harness prints so a CI log shows the capture was non-trivial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservabilityDump {
+    /// The catalog id the capture ran for.
+    pub id: String,
+    /// Prometheus text exposition, already validated line-by-line.
+    pub metrics_text: String,
+    /// Chrome trace-event JSON, already validated by a parse → render
+    /// round-trip through the vendored parser.
+    pub trace_json: String,
+    /// Number of metric samples in [`metrics_text`](Self::metrics_text).
+    pub metric_samples: usize,
+    /// Number of events in the trace's `traceEvents` array.
+    pub trace_events: usize,
+}
+
+/// The catalog ids that accept `--metrics` / `--trace`: the ones whose
+/// experiment is a [`ServingEngine`] (or cluster) request stream rather
+/// than a batch latency grid.
+pub const SERVING_IDS: &[&str] = &["serving", "batching", "continuous", "memory", "cluster"];
+
+/// Captures the telemetry dump for `id` at the headline scale the
+/// `reproduce` harness uses: GPT-2 1.5B on 4 devices, a seeded Poisson
+/// chatbot-mix stream (`--full` lengthens the stream to the paper-sized
+/// 200 requests).
+pub fn capture(id: &str, full: bool) -> Result<ObservabilityDump, SimError> {
+    let n_requests = if full { 200 } else { 64 };
+    capture_setup(id, GptConfig::gpt2_1_5b(), 4, n_requests, 1.0)
+}
+
+/// Parameterized capture: one traced representative run per serving id
+/// on the given model/cluster scale. The determinism tests call this at
+/// smoke scale so two in-process runs can be byte-compared in debug
+/// builds.
+pub fn capture_setup(
+    id: &str,
+    cfg: GptConfig,
+    devices: usize,
+    n_requests: usize,
+    rate_per_s: f64,
+) -> Result<ObservabilityDump, SimError> {
+    let stream = chatbot_mix(n_requests, cfg.max_seq_len);
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s,
+        seed: 0x5EED,
+    };
+    let extra = Labels::new().with("experiment", id);
+    let mut reg = MetricsRegistry::new();
+    let trace = match id {
+        "cluster" => {
+            // Two appliance replicas behind a round-robin router: the
+            // cluster tier has no per-token stepping seam, so the trace
+            // carries the coarse queued/service spans.
+            let a = Appliance::timing_only(cfg.clone(), devices)?;
+            let b = Appliance::timing_only(cfg, devices)?;
+            let mut router = ClusterRouter::uniform(vec![&a, &b], Box::new(RoundRobin::new()))?;
+            let report = router.run(&stream, &arrivals)?;
+            telemetry::record_cluster_report(&mut reg, &report, &extra);
+            RunTrace::from_responses(&report.placement, &report.scheduler, &report.responses)
+        }
+        "serving" | "batching" | "continuous" | "memory" => {
+            let dfx = Appliance::timing_only(cfg, devices)?;
+            // The discipline each experiment is about: FIFO for the
+            // batch-1 serving reference, the padded coalescer for the
+            // batching and memory sweeps, token-boundary admission for
+            // continuous.
+            let scheduler: Box<dyn Scheduler> = match id {
+                "serving" => Box::new(Fifo),
+                "batching" | "memory" => Box::new(Batching::new(8, 500.0)),
+                _ => Box::new(ContinuousBatching::new(8)),
+            };
+            let (report, trace) = ServingEngine::new(&dfx)
+                .with_scheduler(scheduler)
+                .run_traced(&stream, &arrivals)?;
+            telemetry::record_service_report(&mut reg, &report, &extra);
+            trace
+        }
+        other => {
+            return Err(SimError::Service(format!(
+                "experiment `{other}` has no serving telemetry capture; \
+                 serving ids: {SERVING_IDS:?}"
+            )))
+        }
+    };
+
+    let metrics_text = reg.render();
+    let metric_samples =
+        telemetry::validate_prometheus(&metrics_text).map_err(SimError::Service)?;
+    trace.validate().map_err(SimError::Service)?;
+    let trace_json = trace.to_chrome_json();
+    let parsed = Json::parse(&trace_json).map_err(SimError::Service)?;
+    if parsed.render() != trace_json {
+        return Err(SimError::Service(
+            "trace JSON does not round-trip through the vendored parser".into(),
+        ));
+    }
+    Ok(ObservabilityDump {
+        id: id.to_string(),
+        metrics_text,
+        trace_json,
+        metric_samples,
+        trace_events: count_trace_events(&parsed),
+    })
+}
+
+fn count_trace_events(doc: &Json) -> usize {
+    if let Json::Obj(fields) = doc {
+        for (key, value) in fields {
+            if key == "traceEvents" {
+                if let Json::Arr(events) = value {
+                    return events.len();
+                }
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(id: &str) -> ObservabilityDump {
+        capture_setup(
+            id,
+            GptConfig::new("obs-smoke", 64, 2, 2, 512, 640),
+            1,
+            16,
+            50.0,
+        )
+        .expect("capture succeeds")
+    }
+
+    #[test]
+    fn every_serving_id_captures_a_valid_dump() {
+        for id in SERVING_IDS {
+            let dump = smoke(id);
+            assert!(dump.metric_samples > 0, "{id}: no metric samples");
+            assert!(dump.trace_events > 0, "{id}: no trace events");
+            assert!(
+                dump.metrics_text.contains("dfx_ttft_ms"),
+                "{id}: TTFT percentiles missing from the metrics dump"
+            );
+            assert!(dump.metrics_text.contains("dfx_itl_ms"), "{id}: no ITL");
+            assert!(
+                dump.metrics_text.contains(&format!("experiment=\"{id}\"")),
+                "{id}: experiment label missing"
+            );
+        }
+    }
+
+    #[test]
+    fn non_serving_ids_are_a_typed_error() {
+        let err = capture_setup(
+            "fig14",
+            GptConfig::new("obs-smoke", 64, 2, 2, 512, 640),
+            1,
+            4,
+            50.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Service(m) if m.contains("no serving telemetry")));
+    }
+
+    #[test]
+    fn continuous_capture_records_energy_and_token_events() {
+        let dump = smoke("continuous");
+        // The appliance models board power, so energy reaches the
+        // metrics dump; the continuous path traces per-token instants.
+        assert!(dump.metrics_text.contains("dfx_energy_joules"));
+        assert!(dump.trace_json.contains("\"ph\":\"i\""));
+    }
+}

@@ -7,7 +7,7 @@
 //! report structure, so a single differing bit in any cell, note or
 //! metric fails.
 
-use dfx_bench::experiments;
+use dfx_bench::{experiments, observability};
 use dfx_model::{GptConfig, Workload};
 use dfx_serve::{ArrivalProcess, ContinuousBatching, ServingEngine};
 use dfx_sim::Appliance;
@@ -80,6 +80,31 @@ fn sweeps_are_bit_identical_with_the_worker_pool_off() {
     assert_eq!(pooled_c, serial_c, "continuous sweep depends on the pool");
     assert_eq!(pooled_m, serial_m, "memory sweep depends on the pool");
     assert_eq!(pooled_k, serial_k, "cluster sweep depends on the pool");
+}
+
+#[test]
+fn telemetry_dumps_are_byte_identical_across_runs() {
+    // The acceptance property for `reproduce --metrics/--trace`: two
+    // in-process captures of the same serving id produce byte-identical
+    // Prometheus exposition text and Chrome trace JSON. Every serving id
+    // is pinned, not just the headline `continuous` one.
+    for id in observability::SERVING_IDS {
+        let run = || {
+            let cfg = GptConfig::new("telemetry-smoke", 64, 2, 2, 512, 640);
+            observability::capture_setup(id, cfg, 1, 16, 50.0).expect("capture succeeds")
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(
+            first.metrics_text, second.metrics_text,
+            "{id}: metrics text diverged between identical runs"
+        );
+        assert_eq!(
+            first.trace_json, second.trace_json,
+            "{id}: trace JSON diverged between identical runs"
+        );
+        assert_eq!(first, second, "{id}: dump metadata diverged");
+    }
 }
 
 #[test]

@@ -61,6 +61,12 @@
 //!   off the stream: the cluster router falls back to the old cached
 //!   replay exactly while a replica reports `is_stalled`, keeping
 //!   snapshot values bit-identical to the full-replay reference.
+//! - Checkpointed runs report through the same
+//!   [`ServiceReport`] as batch runs, so the cluster tier's pooled
+//!   TTFT/ITL percentiles and energy totals (see
+//!   [`telemetry`](crate::telemetry)) need no checkpoint-specific
+//!   plumbing — `finish` hands back the sorted samples and busy time
+//!   the telemetry layer reads.
 //!
 //! [`LeastOutstanding`]: crate::cluster::LeastOutstanding
 //! [`LeastKvLoaded`]: crate::cluster::LeastKvLoaded

@@ -382,6 +382,30 @@ pub struct ClusterReport {
     pub p95_sojourn_ms: f64,
     /// 99th-percentile pooled sojourn, ms.
     pub p99_sojourn_ms: f64,
+    /// Median pooled time to first token, ms — per-replica TTFT
+    /// samples pooled via [`stats::merge_sorted`] (percentiles of a
+    /// cluster are percentiles of the pooled samples, never averages
+    /// of per-replica percentiles). On a [`DisaggregatedCluster`] this
+    /// is end to end: the first token reaches the client when its
+    /// prefill phase completes.
+    pub p50_ttft_ms: f64,
+    /// 95th-percentile pooled TTFT, ms.
+    pub p95_ttft_ms: f64,
+    /// 99th-percentile pooled TTFT, ms.
+    pub p99_ttft_ms: f64,
+    /// Median pooled inter-token latency, ms (zero when no replica ran
+    /// a token-boundary discipline).
+    pub p50_itl_ms: f64,
+    /// 95th-percentile pooled ITL, ms.
+    pub p95_itl_ms: f64,
+    /// 99th-percentile pooled ITL, ms.
+    pub p99_itl_ms: f64,
+    /// Cluster energy, J: the sum of per-replica
+    /// [`ServiceReport::energy_j`] (each replica's backend power times
+    /// its busy time). `None` when no replica models power. Per-replica
+    /// values stay readable through
+    /// [`replicas`](ClusterReport::replicas).
+    pub energy_j: Option<f64>,
     /// Output tokens delivered per second of cluster makespan.
     pub goodput_tps: f64,
     /// Jain fairness of the dispatch counts ([`jain_fairness`]).
@@ -807,6 +831,23 @@ impl<'a> ClusterRouter<'a> {
         let counts: Vec<usize> = replica_reports.iter().map(|r| r.dispatched).collect();
         let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
 
+        // TTFT/ITL pool through the same merge seam as sojourns, and
+        // energy sums per-replica totals — the values a per-replica
+        // engine report carries but this tier used to drop.
+        let ttft_refs: Vec<&[f64]> = replica_reports
+            .iter()
+            .filter_map(|r| r.report.as_ref().map(ServiceReport::sorted_ttfts))
+            .collect();
+        let pooled_ttfts = stats::merge_sorted(&ttft_refs)?;
+        let itl_refs: Vec<&[f64]> = replica_reports
+            .iter()
+            .filter_map(|r| r.report.as_ref().map(ServiceReport::sorted_token_gaps))
+            .collect();
+        let pooled_itl = stats::merge_sorted(&itl_refs)?;
+        let (p50_ttft_ms, p95_ttft_ms, p99_ttft_ms) = pooled_percentiles(&pooled_ttfts)?;
+        let (p50_itl_ms, p95_itl_ms, p99_itl_ms) = pooled_percentiles(&pooled_itl)?;
+        let energy_j = sum_energy(replica_reports.iter().map(|r| r.report.as_ref()));
+
         Ok(ClusterReport {
             placement: self.placement.name(),
             scheduler: (self.make_scheduler)().name().to_string(),
@@ -817,12 +858,45 @@ impl<'a> ClusterRouter<'a> {
             p50_sojourn_ms: stats::percentile(&pooled, 0.50)?,
             p95_sojourn_ms: stats::percentile(&pooled, 0.95)?,
             p99_sojourn_ms: stats::percentile(&pooled, 0.99)?,
+            p50_ttft_ms,
+            p95_ttft_ms,
+            p99_ttft_ms,
+            p50_itl_ms,
+            p95_itl_ms,
+            p99_itl_ms,
+            energy_j,
             goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
             balance_index: jain_fairness(&counts),
             paging,
             transfer: None,
         })
     }
+}
+
+/// Nearest-rank p50/p95/p99 over an already-sorted pool; all zero for
+/// an empty pool (e.g. ITL under a static discipline).
+fn pooled_percentiles(pool: &[f64]) -> Result<(f64, f64, f64), SimError> {
+    if pool.is_empty() {
+        return Ok((0.0, 0.0, 0.0));
+    }
+    Ok((
+        stats::percentile(pool, 0.50)?,
+        stats::percentile(pool, 0.95)?,
+        stats::percentile(pool, 0.99)?,
+    ))
+}
+
+/// Sums [`ServiceReport::energy_j`] across replica reports: `None`
+/// when no replica models power, otherwise the sum over those that do.
+fn sum_energy<'r>(reports: impl Iterator<Item = Option<&'r ServiceReport>>) -> Option<f64> {
+    let mut total: Option<f64> = None;
+    for report in reports.flatten() {
+        if let Some(e) = report.energy_j {
+            // lint: order-sensitive — summed in replica index order
+            *total.get_or_insert(0.0) += e;
+        }
+    }
+    total
 }
 
 /// A backend wrapper whose admission charges no prefill: the K/V cache
@@ -1072,6 +1146,27 @@ impl<'a> DisaggregatedCluster<'a> {
         let counts: Vec<usize> = replicas.iter().map(|r| r.dispatched).collect();
         let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
 
+        // End-to-end TTFT: the client sees its first token when the
+        // prefill phase completes (phase 1 runs `(input, 1)`
+        // workloads), before the K/V handoff and decode.
+        let mut ttfts: Vec<f64> = prefill_report
+            .responses
+            .iter()
+            .map(Response::sojourn_ms)
+            .collect();
+        ttfts.sort_by(f64::total_cmp);
+        let (p50_ttft_ms, p95_ttft_ms, p99_ttft_ms) = pooled_percentiles(&ttfts)?;
+        // ITL pools across both phases' replicas; prefill-phase
+        // single-token runs contribute no gaps, so this is the decode
+        // tier's inter-token story.
+        let itl_refs: Vec<&[f64]> = replicas
+            .iter()
+            .filter_map(|r| r.report.as_ref().map(ServiceReport::sorted_token_gaps))
+            .collect();
+        let pooled_itl = stats::merge_sorted(&itl_refs)?;
+        let (p50_itl_ms, p95_itl_ms, p99_itl_ms) = pooled_percentiles(&pooled_itl)?;
+        let energy_j = sum_energy(replicas.iter().map(|r| r.report.as_ref()));
+
         Ok(ClusterReport {
             placement: format!(
                 "disaggregated(prefill: {}, decode: {})",
@@ -1088,6 +1183,13 @@ impl<'a> DisaggregatedCluster<'a> {
             p50_sojourn_ms: stats::percentile(&sojourns, 0.50)?,
             p95_sojourn_ms: stats::percentile(&sojourns, 0.95)?,
             p99_sojourn_ms: stats::percentile(&sojourns, 0.99)?,
+            p50_ttft_ms,
+            p95_ttft_ms,
+            p99_ttft_ms,
+            p50_itl_ms,
+            p95_itl_ms,
+            p99_itl_ms,
+            energy_j,
             goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
             balance_index: jain_fairness(&counts),
             paging,
@@ -1204,6 +1306,29 @@ mod tests {
         let ids: Vec<u64> = report.responses.iter().map(|r| r.request.id).collect();
         assert_eq!(ids, (0..8).collect::<Vec<u64>>());
         assert!(report.balance_index > 0.9);
+    }
+
+    #[test]
+    fn cluster_energy_is_the_sum_of_replica_energies() {
+        let a = tiny_appliance();
+        let b = tiny_appliance();
+        let mut cluster =
+            ClusterRouter::uniform(vec![&a, &b], Box::new(RoundRobin::new())).unwrap();
+        let (w, arr) = burst(6);
+        let report = cluster.run(&w, &arr).unwrap();
+        // The DFX appliance models board power, so every replica report
+        // carries energy and the pooled total is their exact sum.
+        let replica_sum: f64 = report
+            .replicas
+            .iter()
+            .filter_map(|r| r.report.as_ref().and_then(|s| s.energy_j))
+            .sum();
+        assert!(replica_sum > 0.0);
+        assert!((report.energy_j.unwrap() - replica_sum).abs() < 1e-9);
+        // TTFT pools across replicas (dispatch delay on the static
+        // path) and keeps percentile ordering.
+        assert!(report.p99_ttft_ms >= report.p50_ttft_ms);
+        assert!(report.p50_ttft_ms >= 0.0);
     }
 
     #[test]

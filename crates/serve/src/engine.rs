@@ -133,6 +133,34 @@ pub struct ServiceReport {
     /// under a chunked-prefill discipline) interleave with its steps.
     /// Zero on the static path and when no member ever emitted twice.
     pub p99_token_gap_ms: f64,
+    /// Median time to first token, ms. On the token-boundary path a
+    /// request's TTFT is measured at its first emission boundary (its
+    /// prefill's completion — the engine's first-token instant); on
+    /// the static path no intra-batch token timing exists, so TTFT is
+    /// the dispatch delay (`start - arrival`), a lower bound on what a
+    /// streaming client would see. Percentiles are nearest-rank over
+    /// exactly one sample per request.
+    pub p50_ttft_ms: f64,
+    /// 95th-percentile time to first token, ms.
+    pub p95_ttft_ms: f64,
+    /// 99th-percentile time to first token, ms.
+    pub p99_ttft_ms: f64,
+    /// Median inter-token latency, ms: the gap between a member's
+    /// consecutive token emissions on the token-boundary path, pooled
+    /// across members (the same samples as
+    /// [`p99_token_gap_ms`](ServiceReport::p99_token_gap_ms)). Zero on
+    /// the static path and when no member ever emitted twice.
+    pub p50_itl_ms: f64,
+    /// 95th-percentile inter-token latency, ms.
+    pub p95_itl_ms: f64,
+    /// 99th-percentile inter-token latency, ms (equals
+    /// [`p99_token_gap_ms`](ServiceReport::p99_token_gap_ms)).
+    pub p99_itl_ms: f64,
+    /// Backend energy over the run, J: each server's
+    /// [`nominal_power_w`](crate::Backend::nominal_power_w) times its
+    /// busy time, summed over the pool. `None` when no server models
+    /// power (servers without a power model contribute nothing).
+    pub energy_j: Option<f64>,
     /// Paged-K/V counters summed across the pool's steppers (block
     /// capacity, peak occupancy and fragmentation, prefix-cache
     /// hit/computed tokens, preemptions). `None` unless at least one
@@ -144,6 +172,12 @@ pub struct ServiceReport {
     /// report is built — percentile queries and cluster-level pooling
     /// read this without re-sorting per call.
     pub sorted_sojourns: Vec<f64>,
+    /// Per-request TTFT samples sorted ascending (one per request),
+    /// the cluster pooling seam for TTFT percentiles.
+    sorted_ttfts: Vec<f64>,
+    /// Inter-token gap samples sorted ascending, the cluster pooling
+    /// seam for ITL percentiles. Empty on the static path.
+    sorted_token_gaps: Vec<f64>,
 }
 
 impl ServiceReport {
@@ -177,6 +211,22 @@ impl ServiceReport {
     /// report construction; this accessor is free.
     pub fn sorted_sojourns(&self) -> &[f64] {
         &self.sorted_sojourns
+    }
+
+    /// Per-request TTFT samples ascending (exactly one per request) —
+    /// the seam cluster aggregation pools TTFT percentiles across, and
+    /// the raw material of the telemetry TTFT histogram. See
+    /// [`p50_ttft_ms`](ServiceReport::p50_ttft_ms) for what a sample
+    /// measures on each path.
+    pub fn sorted_ttfts(&self) -> &[f64] {
+        &self.sorted_ttfts
+    }
+
+    /// Inter-token gap samples ascending (empty on the static path) —
+    /// the cluster pooling seam for ITL percentiles and the telemetry
+    /// ITL histogram's raw material.
+    pub fn sorted_token_gaps(&self) -> &[f64] {
+        &self.sorted_token_gaps
     }
 }
 
@@ -491,6 +541,15 @@ pub(crate) struct ContState<'b> {
     /// Gaps between a member's consecutive token emissions (the decode
     /// stall admissions inject), pooled across members.
     token_gaps: Vec<f64>,
+    /// Per-request time to first token, ms, appended at each request's
+    /// first emission boundary (exactly one sample per request).
+    ttfts: Vec<f64>,
+    /// `(request id, emission instant)` per token the engine charged,
+    /// in event order — the raw material of a
+    /// [`RunTrace`](crate::telemetry::RunTrace)'s decode
+    /// spans. `None` (not collected) unless the run was started by
+    /// [`ServingEngine::run_traced`], so the hot path pays nothing.
+    trace_tokens: Option<Vec<(u64, f64)>>,
     /// Floor on the next idle-admission instant, set after a decline so
     /// a future arrival can change the scheduler's mind.
     wake_ms: f64,
@@ -695,6 +754,120 @@ impl<'a> ServingEngine<'a> {
         self.build_report(state)
     }
 
+    /// Serves `workloads` exactly as [`run`](Self::run) does — same
+    /// event loop, bit-identical [`ServiceReport`] — and additionally
+    /// assembles the per-request lifecycle trace
+    /// ([`RunTrace`](crate::telemetry::RunTrace)): queued / prefill /
+    /// per-token decode spans in simulated time, with each request's
+    /// energy attributed as its token share of its server's busy
+    /// energy. Trace collection is enabled only on this entry point,
+    /// so [`run`](Self::run) pays nothing for it.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_traced(
+        &mut self,
+        workloads: &[Workload],
+        arrivals: &ArrivalProcess,
+    ) -> Result<(ServiceReport, crate::telemetry::RunTrace), SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::Service("nothing to serve".into()));
+        }
+        let plan = arrivals.plan(workloads.len())?;
+        let mut state = self.build_state(workloads.to_vec(), plan)?;
+        if let EngineState::Continuous(st) = &mut state {
+            st.trace_tokens = Some(Vec::new());
+        }
+        let n = workloads.len();
+        while state.responses().len() < n {
+            match self.step(&mut state, None)? {
+                StepOutcome::Progressed => {}
+                StepOutcome::Blocked | StepOutcome::Exhausted => {
+                    return Err(state.starvation_error());
+                }
+            }
+        }
+        // Harvest the raw material the report constructor consumes.
+        let (busy, token_events) = match &mut state {
+            EngineState::Static(st) => (st.busy.clone(), Vec::new()),
+            EngineState::Continuous(st) => {
+                (st.busy.clone(), st.trace_tokens.take().unwrap_or_default())
+            }
+        };
+        let report = self.build_report(state)?;
+        let trace = self.assemble_trace(&report, &busy, token_events);
+        Ok((report, trace))
+    }
+
+    /// Builds the [`RunTrace`](crate::telemetry::RunTrace) for a
+    /// finished run: one [`RequestTrace`](crate::telemetry::RequestTrace)
+    /// per response, its token boundaries from the engine's emission
+    /// events, and its energy as `(its input + output tokens) /
+    /// (tokens its server served)` of the server's busy energy.
+    fn assemble_trace(
+        &self,
+        report: &ServiceReport,
+        busy: &[f64],
+        token_events: Vec<(u64, f64)>,
+    ) -> crate::telemetry::RunTrace {
+        use crate::telemetry::{RequestTrace, RunTrace, SpanOutcome};
+
+        let server_energy: Vec<Option<f64>> = busy
+            .iter()
+            .enumerate()
+            .map(|(s, &b)| self.servers[s].nominal_power_w().map(|p| p * b / 1e3))
+            .collect();
+        let mut server_tokens = vec![0u64; self.servers.len()];
+        for r in &report.responses {
+            server_tokens[r.server] +=
+                (r.request.workload.input_len + r.request.workload.output_len) as u64;
+        }
+
+        // Batch-run request ids are submission indices 0..n, and every
+        // request retires exactly once, so id-indexed assembly is
+        // total.
+        let mut requests: Vec<RequestTrace> = report
+            .responses
+            .iter()
+            .map(|r| {
+                let tokens = (r.request.workload.input_len + r.request.workload.output_len) as f64;
+                let share = if server_tokens[r.server] > 0 {
+                    tokens / server_tokens[r.server] as f64
+                } else {
+                    0.0
+                };
+                RequestTrace {
+                    id: r.request.id,
+                    server: r.server,
+                    input_tokens: r.request.workload.input_len,
+                    output_tokens: r.request.workload.output_len,
+                    arrival_ms: r.request.arrival_ms,
+                    start_ms: r.start_ms,
+                    first_token_ms: None,
+                    finish_ms: r.finish_ms,
+                    token_ms: Vec::new(),
+                    energy_j: server_energy[r.server].map(|e| e * share),
+                    outcome: SpanOutcome::Retired,
+                }
+            })
+            .collect();
+        requests.sort_by_key(|t| t.id);
+        for (id, ms) in token_events {
+            if let Some(t) = requests.get_mut(id as usize) {
+                t.token_ms.push(ms);
+            }
+        }
+        for t in &mut requests {
+            t.first_token_ms = t.token_ms.first().copied();
+        }
+        RunTrace {
+            backend: report.backend.clone(),
+            scheduler: report.scheduler.clone(),
+            requests,
+        }
+    }
+
     /// Builds the resumable state for a run over `workloads` under
     /// `plan`, choosing the event path exactly as [`run`](Self::run)
     /// describes.
@@ -739,6 +912,8 @@ impl<'a> ServingEngine<'a> {
                 dispatches: 0,
                 peak_live_batch: 0,
                 token_gaps: Vec::new(),
+                ttfts: Vec::with_capacity(n),
+                trace_tokens: None,
                 wake_ms: 0.0,
                 stalls: 0,
                 stashed_decline: false,
@@ -1198,7 +1373,14 @@ impl<'a> ServingEngine<'a> {
                     st.busy[server] += ev.ms;
                     st.dispatches += 1;
                     if ev.finished.contains(&request.id) {
+                        // Retired at admission: the prefill emitted
+                        // everything, so its completion is the first
+                        // (and last) token instant.
                         let finish_ms = run.clock_ms();
+                        st.ttfts.push(finish_ms - request.arrival_ms);
+                        if let Some(tokens) = st.trace_tokens.as_mut() {
+                            tokens.push((request.id, finish_ms));
+                        }
                         st.responses.push(Response {
                             request,
                             server,
@@ -1222,11 +1404,18 @@ impl<'a> ServingEngine<'a> {
                             last_emit_ms: 0.0,
                         });
                     } else {
+                        // A whole-prefill admission emits the first
+                        // token at its completion.
+                        let first_ms = run.clock_ms();
+                        st.ttfts.push(first_ms - request.arrival_ms);
+                        if let Some(tokens) = st.trace_tokens.as_mut() {
+                            tokens.push((request.id, first_ms));
+                        }
                         run.members.push(Active {
                             request,
                             start_ms,
                             tokens_done: 1,
-                            last_emit_ms: run.clock_ms(),
+                            last_emit_ms: first_ms,
                         });
                     }
                 }
@@ -1253,6 +1442,13 @@ impl<'a> ServingEngine<'a> {
                 if m.tokens_done > 0 {
                     // The inter-token gap a decoding member felt.
                     st.token_gaps.push(finish_ms - m.last_emit_ms);
+                } else {
+                    // A chunked prefill's last chunk: the member's
+                    // first token lands here, not at admission.
+                    st.ttfts.push(finish_ms - m.request.arrival_ms);
+                }
+                if let Some(tokens) = st.trace_tokens.as_mut() {
+                    tokens.push((m.request.id, finish_ms));
                 }
                 m.tokens_done += 1;
                 m.last_emit_ms = finish_ms;
@@ -1302,15 +1498,22 @@ impl<'a> ServingEngine<'a> {
     /// Consumes a finished state into its [`ServiceReport`].
     pub(crate) fn build_report(&self, state: EngineState<'_>) -> Result<ServiceReport, SimError> {
         match state {
-            EngineState::Static(st) => self.report(
-                &st.workloads,
-                st.responses,
-                &st.busy,
-                st.dispatches,
-                st.peak_live_batch,
-                &[],
-                None,
-            ),
+            EngineState::Static(st) => {
+                // The static path models no intra-batch token timing:
+                // TTFT collapses to the dispatch delay (see the
+                // `ServiceReport::p50_ttft_ms` docs).
+                let ttfts: Vec<f64> = st.responses.iter().map(Response::wait_ms).collect();
+                self.report(
+                    &st.workloads,
+                    st.responses,
+                    &st.busy,
+                    st.dispatches,
+                    st.peak_live_batch,
+                    ttfts,
+                    Vec::new(),
+                    None,
+                )
+            }
             EngineState::Continuous(st) => {
                 // Pool-wide paged-K/V counters, when any stepper pages.
                 let mut paging: Option<PagingStats> = None;
@@ -1328,7 +1531,8 @@ impl<'a> ServingEngine<'a> {
                     &st.busy,
                     st.dispatches,
                     st.peak_live_batch,
-                    &st.token_gaps,
+                    st.ttfts,
+                    st.token_gaps,
                     paging,
                 )
             }
@@ -1343,7 +1547,8 @@ impl<'a> ServingEngine<'a> {
         busy: &[f64],
         dispatches: usize,
         peak_live_batch: usize,
-        token_gaps: &[f64],
+        ttfts: Vec<f64>,
+        token_gaps: Vec<f64>,
         paging: Option<PagingStats>,
     ) -> Result<ServiceReport, SimError> {
         let makespan_ms = responses.iter().map(|r| r.finish_ms).fold(0.0f64, f64::max);
@@ -1371,13 +1576,39 @@ impl<'a> ServingEngine<'a> {
             prev_t = t;
         }
 
-        let p99_token_gap_ms = if token_gaps.is_empty() {
-            0.0
+        let mut sorted_token_gaps = token_gaps;
+        sorted_token_gaps.sort_by(f64::total_cmp);
+        let (p50_itl_ms, p95_itl_ms, p99_itl_ms) = if sorted_token_gaps.is_empty() {
+            (0.0, 0.0, 0.0)
         } else {
-            let mut gaps = token_gaps.to_vec();
-            gaps.sort_by(f64::total_cmp);
-            stats::percentile(&gaps, 0.99)?
+            (
+                stats::percentile(&sorted_token_gaps, 0.50)?,
+                stats::percentile(&sorted_token_gaps, 0.95)?,
+                stats::percentile(&sorted_token_gaps, 0.99)?,
+            )
         };
+
+        let mut sorted_ttfts = ttfts;
+        sorted_ttfts.sort_by(f64::total_cmp);
+        let (p50_ttft_ms, p95_ttft_ms, p99_ttft_ms) = if sorted_ttfts.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                stats::percentile(&sorted_ttfts, 0.50)?,
+                stats::percentile(&sorted_ttfts, 0.95)?,
+                stats::percentile(&sorted_ttfts, 0.99)?,
+            )
+        };
+
+        // Pool energy: nominal power x busy time per server; servers
+        // without a power model (the TPU) contribute nothing.
+        let mut energy_j: Option<f64> = None;
+        for (s, &busy_ms) in busy.iter().enumerate() {
+            if let Some(power_w) = self.servers[s].nominal_power_w() {
+                // lint: order-sensitive — summed in server index order
+                *energy_j.get_or_insert(0.0) += power_w * busy_ms / 1e3;
+            }
+        }
 
         let total_tokens: usize = workloads.iter().map(|w| w.output_len).sum();
         Ok(ServiceReport {
@@ -1400,10 +1631,19 @@ impl<'a> ServingEngine<'a> {
             goodput_tps: total_tokens as f64 / (makespan_ms.max(f64::MIN_POSITIVE) / 1e3),
             dispatches,
             peak_live_batch,
-            p99_token_gap_ms,
+            p99_token_gap_ms: p99_itl_ms,
+            p50_ttft_ms,
+            p95_ttft_ms,
+            p99_ttft_ms,
+            p50_itl_ms,
+            p95_itl_ms,
+            p99_itl_ms,
+            energy_j,
             paging,
             responses,
             sorted_sojourns,
+            sorted_ttfts,
+            sorted_token_gaps,
         })
     }
 
@@ -1443,6 +1683,7 @@ mod tests {
     struct Const {
         label: &'static str,
         stepped: bool,
+        power_w: Option<f64>,
     }
 
     struct ConstStepper {
@@ -1497,7 +1738,7 @@ mod tests {
             1
         }
         fn nominal_power_w(&self) -> Option<f64> {
-            None
+            self.power_w
         }
         fn serve(&self, w: Workload) -> Result<RunReport, SimError> {
             validate_workload(w)?;
@@ -1522,11 +1763,20 @@ mod tests {
     const B: Const = Const {
         label: "unit",
         stepped: false,
+        power_w: None,
     };
     /// The same backend with the token-granular capability.
     const S: Const = Const {
         label: "unit",
         stepped: true,
+        power_w: None,
+    };
+    /// The stepped backend with a 250 W power model, for the energy
+    /// accounting tests.
+    const PW: Const = Const {
+        label: "unit",
+        stepped: true,
+        power_w: Some(250.0),
     };
 
     #[test]
@@ -1563,6 +1813,118 @@ mod tests {
         let a = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
         let b = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ttft_pins_continuous_vs_static_on_a_known_workload() {
+        // Two well-separated (8 in, 4 out) requests on the 1 ms/token
+        // backend. Both paths serve identically (batch-1 continuous ≡
+        // FIFO), but TTFT differs by construction: the static path has
+        // no intra-batch token timing, so TTFT is the dispatch delay
+        // (0 here — each request starts at its arrival), while the
+        // continuous path measures the first emission boundary — the
+        // 8 ms prefill after arrival — then decodes a token per ms.
+        let workloads = vec![Workload::new(8, 4); 2];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 100.0]);
+        let fifo = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        let cont = ServingEngine::new(&S)
+            .with_scheduler(Box::new(ContinuousBatching::new(1)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(fifo.responses, cont.responses);
+
+        assert_eq!(fifo.p50_ttft_ms, 0.0);
+        assert_eq!(fifo.p99_ttft_ms, 0.0);
+        assert_eq!(fifo.p50_itl_ms, 0.0);
+        assert_eq!(fifo.sorted_ttfts(), &[0.0, 0.0]);
+        assert!(fifo.sorted_token_gaps().is_empty());
+
+        assert_eq!(cont.p50_ttft_ms, 8.0);
+        assert_eq!(cont.p99_ttft_ms, 8.0);
+        assert_eq!(cont.sorted_ttfts(), &[8.0, 8.0]);
+        assert_eq!(cont.p50_itl_ms, 1.0);
+        assert_eq!(cont.p99_itl_ms, 1.0);
+        assert_eq!(cont.p99_token_gap_ms, cont.p99_itl_ms);
+    }
+
+    #[test]
+    fn every_request_contributes_exactly_one_ttft_sample() {
+        let workloads: Vec<Workload> = (0..17)
+            .map(|i| Workload::new(4 + i % 5, 1 + i % 7))
+            .collect();
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_s: 120.0,
+            seed: 9,
+        };
+        for (backend, scheduler) in [(&B, None), (&S, Some(ContinuousBatching::new(4)))] {
+            let mut engine = ServingEngine::new(backend as &dyn Backend);
+            if let Some(s) = scheduler {
+                engine = engine.with_scheduler(Box::new(s));
+            }
+            let r = engine.run(&workloads, &arrivals).unwrap();
+            assert_eq!(r.sorted_ttfts().len(), workloads.len());
+            assert!(r.sorted_ttfts().iter().all(|&t| t >= 0.0));
+            assert!(r.p99_ttft_ms >= r.p50_ttft_ms);
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_busy_time() {
+        let workloads = vec![Workload::new(8, 4); 2];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 100.0]);
+        // 2 requests x (8 ms prefill + 4 ms decode) at 250 W:
+        // 250 W x 0.024 s = 6 J exactly.
+        let r = ServingEngine::new(&PW)
+            .with_scheduler(Box::new(ContinuousBatching::new(1)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(r.energy_j, Some(6.0));
+        // No power model anywhere in the pool: energy is None.
+        let b = ServingEngine::new(&B).run(&workloads, &arrivals).unwrap();
+        assert_eq!(b.energy_j, None);
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_conserves_spans() {
+        let workloads = vec![
+            Workload::new(8, 4),
+            Workload::new(6, 3),
+            Workload::new(5, 1),
+        ];
+        let arrivals = ArrivalProcess::Trace(vec![0.0, 1.0, 2.0]);
+
+        let plain = ServingEngine::new(&PW)
+            .with_scheduler(Box::new(ContinuousBatching::new(4)))
+            .run(&workloads, &arrivals)
+            .unwrap();
+        let (report, trace) = ServingEngine::new(&PW)
+            .with_scheduler(Box::new(ContinuousBatching::new(4)))
+            .run_traced(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(report, plain, "tracing must not perturb the run");
+        trace.validate().unwrap();
+        assert_eq!(trace.requests.len(), workloads.len());
+        for t in &trace.requests {
+            assert!(t.first_token_ms.is_some());
+            assert!(!t.token_ms.is_empty());
+        }
+        // Attributed energy partitions the pool total (token shares
+        // sum to one per server).
+        let attributed: f64 = trace.requests.iter().filter_map(|t| t.energy_j).sum();
+        assert!((attributed - report.energy_j.unwrap()).abs() < 1e-9);
+
+        // The static path traces coarse spans: no token timing.
+        let (sreport, strace) = ServingEngine::new(&B)
+            .run_traced(&workloads, &arrivals)
+            .unwrap();
+        assert_eq!(sreport.responses.len(), workloads.len());
+        strace.validate().unwrap();
+        assert!(strace
+            .requests
+            .iter()
+            .all(|t| t.first_token_ms.is_none() && t.token_ms.is_empty() && t.energy_j.is_none()));
+        let json = strace.to_chrome_json();
+        assert!(crate::telemetry::Json::parse(&json).is_ok());
     }
 
     #[test]

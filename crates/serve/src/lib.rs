@@ -50,6 +50,7 @@ mod mix;
 mod scheduler;
 pub mod stats;
 mod stepper;
+pub mod telemetry;
 
 pub use arrivals::ArrivalProcess;
 pub use backend::{validate_workload, Backend, BatchReport, RunReport};
@@ -92,3 +93,10 @@ pub use scheduler::{
     ShortestJobFirst, UnboundedProbe,
 };
 pub use stepper::{ContinuousStepper, StepEvent};
+/// Observability ([`telemetry`]): a deterministic, dependency-free
+/// [`MetricsRegistry`] rendered in Prometheus text exposition format,
+/// per-request lifecycle traces ([`RunTrace`], built by
+/// [`ServingEngine::run_traced`]) exportable as Chrome trace-event
+/// JSON, and per-request energy attribution — every timestamp is
+/// simulated time, so exports are bit-identical across runs.
+pub use telemetry::{Labels, MetricsRegistry, RequestTrace, RunTrace, SpanOutcome};

@@ -25,6 +25,13 @@
 //!   per-step decode stall; [`StepEvent::prefilling`] reports the
 //!   members that consumed prefill budget without emitting a token.
 //!
+//! The telemetry layer hangs off the same seam: every [`StepEvent`]
+//! boundary the engine commits becomes a token-emission instant in a
+//! [`RunTrace`](crate::telemetry::RunTrace) (via
+//! [`ServingEngine::run_traced`](crate::ServingEngine::run_traced)) and
+//! an inter-token-latency sample in the
+//! [`ServiceReport`](crate::ServiceReport) percentiles.
+//!
 //! [`prefill_cost_ms`]: ContinuousStepper::prefill_cost_ms
 //! [`step_cost_ms`]: ContinuousStepper::step_cost_ms
 //! [`set_prefill_chunk`]: ContinuousStepper::set_prefill_chunk

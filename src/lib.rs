@@ -35,7 +35,10 @@
 //!   [`ClusterRouter`](serve::ClusterRouter) over N replica engines
 //!   with pluggable [`Placement`](serve::Placement) policies, session
 //!   affinity, and prefill/decode disaggregation over a modelled
-//!   [`LinkModel`](hw::LinkModel).
+//!   [`LinkModel`](hw::LinkModel), and the observability layer
+//!   ([`serve::telemetry`]): Prometheus-format metrics, per-request
+//!   lifecycle traces with Chrome trace-event export, TTFT/ITL
+//!   percentiles and per-request energy attribution.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's sections,
 //! figures and tables onto these crates and the `reproduce` ids that
@@ -148,6 +151,34 @@
 //! assert_eq!(report.balance_index, 1.0); // round-robin splits 4:4
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! ## Observability
+//!
+//! Every run can be traced and scraped. [`run_traced`](serve::ServingEngine::run_traced)
+//! returns the usual [`ServiceReport`](serve::ServiceReport) — now with
+//! first-class TTFT/ITL percentiles and energy — plus a
+//! [`RunTrace`](serve::RunTrace) of per-request lifecycle spans that
+//! exports as Chrome trace-event JSON; a
+//! [`MetricsRegistry`](serve::MetricsRegistry) renders counters, gauges
+//! and log-bucketed histograms in Prometheus text exposition format.
+//! All timestamps are simulated, so both dumps are bit-identical across
+//! runs:
+//!
+//! ```
+//! use dfx::serve::telemetry::{validate_prometheus, Labels, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let labels = Labels::new().with("backend", "dfx").with("discipline", "continuous");
+//! reg.counter("dfx_requests_total", "Requests retired.", &labels, 96);
+//! reg.gauge("dfx_p99_ttft_ms", "p99 time to first token.", &labels, 41.5);
+//! reg.observe("dfx_request_ttft_ms", "Per-request TTFT.", &labels, 12.0);
+//!
+//! let text = reg.render();
+//! assert!(text.contains("# TYPE dfx_requests_total counter"));
+//! assert!(text.contains(r#"dfx_requests_total{backend="dfx",discipline="continuous"} 96"#));
+//! // The exposition validates line by line (CI runs this on real dumps).
+//! assert!(validate_prometheus(&text).is_ok());
 //! ```
 //!
 //! See `examples/` for end-to-end scenarios, `crates/bench` for the
